@@ -1,0 +1,152 @@
+//! Criterion micro-benchmarks over the algorithmic substrates: FFT,
+//! period detection, DBSCAN, random forest, PFSM inference and scoring.
+
+use behaviot_cluster::{Dbscan, Standardizer};
+use behaviot_dsp::autocorr::autocorrelation;
+use behaviot_dsp::fft::periodogram;
+use behaviot_dsp::period::{detect_periods, PeriodConfig};
+use behaviot_forest::{RandomForest, RandomForestConfig};
+use behaviot_pfsm::{Pfsm, PfsmConfig, SeqGraph, TraceLog};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_fft(c: &mut Criterion) {
+    let signal: Vec<f64> = (0..65536).map(|i| ((i % 97) as f64).sin()).collect();
+    let mut g = c.benchmark_group("dsp");
+    g.throughput(Throughput::Elements(signal.len() as u64));
+    g.bench_function("periodogram_64k", |b| b.iter(|| periodogram(&signal)));
+    g.bench_function("autocorrelation_64k_lag4k", |b| {
+        b.iter(|| autocorrelation(&signal, 4096))
+    });
+    g.finish();
+}
+
+fn bench_period_detection(c: &mut Criterion) {
+    // A 5-day heartbeat at 236 s, the TP-Link Plug model.
+    let ts: Vec<f64> = (0..1830).map(|k| k as f64 * 236.0).collect();
+    let mut g = c.benchmark_group("period_detection");
+    g.sample_size(20);
+    g.bench_function("detect_5day_236s", |b| {
+        b.iter(|| detect_periods(&ts, &PeriodConfig::default()))
+    });
+    g.finish();
+}
+
+fn bench_dbscan(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let pts: Vec<Vec<f64>> = (0..1500)
+        .map(|i| {
+            let c = (i % 3) as f64 * 10.0;
+            (0..21).map(|_| c + rng.gen_range(-0.5..0.5)).collect()
+        })
+        .collect();
+    let std = Standardizer::fit(&pts).unwrap();
+    let t = std.transform_all(&pts);
+    let mut g = c.benchmark_group("dbscan");
+    g.sample_size(10);
+    g.bench_function("fit_1500x21", |b| {
+        b.iter(|| {
+            Dbscan {
+                eps: 1.0,
+                min_pts: 4,
+            }
+            .fit(&t)
+        })
+    });
+    let (_, model) = Dbscan {
+        eps: 1.0,
+        min_pts: 4,
+    }
+    .fit(&t);
+    g.bench_function("predict", |b| b.iter(|| model.predict(&t[7])));
+    g.finish();
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let x: Vec<Vec<f64>> = (0..600)
+        .map(|i| {
+            let base = if i % 2 == 0 { 200.0 } else { 600.0 };
+            (0..21).map(|_| base + rng.gen_range(-20.0..20.0)).collect()
+        })
+        .collect();
+    let y: Vec<bool> = (0..600).map(|i| i % 2 == 0).collect();
+    let mut g = c.benchmark_group("random_forest");
+    g.sample_size(10);
+    g.bench_function("train_30trees_600x21", |b| {
+        b.iter(|| {
+            RandomForest::fit(
+                &x,
+                &y,
+                &RandomForestConfig {
+                    n_trees: 30,
+                    parallel: false,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    let f = RandomForest::fit(
+        &x,
+        &y,
+        &RandomForestConfig {
+            n_trees: 30,
+            ..Default::default()
+        },
+    );
+    g.bench_function("predict_proba", |b| b.iter(|| f.predict_proba(&x[0])));
+    g.finish();
+}
+
+fn routine_like_log() -> TraceLog {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut log = TraceLog::new();
+    let autos: Vec<Vec<String>> = (0..16)
+        .map(|a| {
+            (0..3)
+                .map(|s| format!("dev{}:act{}", (a * 3 + s) % 18, s))
+                .collect()
+        })
+        .collect();
+    for _ in 0..200 {
+        log.push_trace(&autos[rng.gen_range(0..autos.len())]);
+    }
+    log
+}
+
+fn bench_pfsm(c: &mut Criterion) {
+    let log = routine_like_log();
+    let mut g = c.benchmark_group("pfsm");
+    g.sample_size(20);
+    g.bench_function("infer_200traces", |b| {
+        b.iter(|| Pfsm::infer(&log, &PfsmConfig::default()))
+    });
+    g.bench_function("infer_unrefined", |b| {
+        b.iter(|| {
+            Pfsm::infer(
+                &log,
+                &PfsmConfig {
+                    refine: false,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    g.bench_function("seqgraph_build", |b| b.iter(|| SeqGraph::build(&log)));
+    let m = Pfsm::infer(&log, &PfsmConfig::default());
+    let trace: Vec<_> = log.traces[0].iter().map(|&e| Some(e)).collect();
+    g.bench_function("score_trace", |b| b.iter(|| m.score(&trace)));
+    g.bench_function("accepts_trace", |b| b.iter(|| m.accepts(&trace)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_period_detection,
+    bench_dbscan,
+    bench_forest,
+    bench_pfsm
+);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks over the measurement pipeline: flow
+//! assembly, feature extraction, event inference, and the monitor.
+
+use behaviot::{BehavIoT, TrainConfig, TrainingData};
+use behaviot_flows::features::{extract, PacketView};
+use behaviot_flows::{assemble_flows, DomainTable, FlowConfig};
+use behaviot_sim::{self as sim, Catalog};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::collections::HashMap;
+
+fn bench_flow_assembly(c: &mut Criterion) {
+    let catalog = Catalog::standard();
+    let cap = sim::idle_dataset(&catalog, 1, 0.05);
+    let mut g = c.benchmark_group("flow_assembly");
+    g.throughput(Throughput::Elements(cap.packets.len() as u64));
+    g.bench_function("assemble_flows", |b| {
+        b.iter(|| assemble_flows(&cap.packets, &cap.domains, &FlowConfig::default()))
+    });
+    g.finish();
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let views: Vec<PacketView> = (0..64)
+        .map(|i| PacketView {
+            ts: i as f64 * 0.02,
+            bytes: 100 + (i * 37 % 1200) as u32,
+            outbound: i % 2 == 0,
+            remote_is_local: false,
+        })
+        .collect();
+    c.bench_function("features/extract_64pkt_burst", |b| {
+        b.iter(|| extract(&views))
+    });
+}
+
+fn trained_models(catalog: &Catalog) -> (BehavIoT, Vec<behaviot_flows::FlowRecord>) {
+    let idle = sim::idle_dataset(catalog, 1, 0.2);
+    let activity = sim::activity_dataset(catalog, 2, 4);
+    let fc = FlowConfig::default();
+    let idle_flows = assemble_flows(&idle.packets, &idle.domains, &fc);
+    let act_flows = assemble_flows(&activity.packets, &activity.domains, &fc);
+    let labeled = sim::label_flows(&act_flows, &activity, catalog, 0.75);
+    let samples = labeled.iter().map(|l| {
+        let act = match &l.label {
+            Some(sim::TruthLabel::User(a)) => Some(a.as_str()),
+            _ => None,
+        };
+        (&l.flow, act)
+    });
+    let names: HashMap<_, _> = (0..catalog.devices.len())
+        .map(|i| (catalog.device_ip(i), catalog.devices[i].name.clone()))
+        .collect();
+    let models = BehavIoT::train(
+        &TrainingData::from_flows(idle_flows.clone(), samples, names),
+        &TrainConfig::default(),
+    );
+    (models, idle_flows)
+}
+
+fn bench_event_inference(c: &mut Criterion) {
+    let catalog = Catalog::standard();
+    let (models, flows) = trained_models(&catalog);
+    let slice: Vec<_> = flows.iter().take(5000).cloned().collect();
+    let mut g = c.benchmark_group("event_inference");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(slice.len() as u64));
+    g.bench_function("infer_events_5k_flows", |b| {
+        b.iter(|| models.infer_events(&slice))
+    });
+    g.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let catalog = Catalog::standard();
+    let idle = sim::idle_dataset(&catalog, 1, 0.1);
+    let fc = FlowConfig::default();
+    let idle_flows = assemble_flows(&idle.packets, &idle.domains, &fc);
+    let mut g = c.benchmark_group("training");
+    g.sample_size(10);
+    g.bench_function("periodic_models_0.1day", |b| {
+        b.iter_batched(
+            || idle_flows.clone(),
+            |flows| {
+                behaviot::periodic::PeriodicModelSet::train(
+                    &flows,
+                    &behaviot::periodic::PeriodicTrainConfig::default(),
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_domain_table(c: &mut Criterion) {
+    let mut table = DomainTable::new();
+    let catalog = Catalog::standard();
+    table.preload_rdns(catalog.rdns_entries());
+    let ip = catalog.ip_of_domain("devs.tplinkcloud.com");
+    c.bench_function("domain_table/resolve", |b| b.iter(|| table.resolve(ip)));
+}
+
+criterion_group!(
+    benches,
+    bench_flow_assembly,
+    bench_feature_extraction,
+    bench_event_inference,
+    bench_training,
+    bench_domain_table
+);
+criterion_main!(benches);

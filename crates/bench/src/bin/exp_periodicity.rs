@@ -1,0 +1,4 @@
+//! §5.1 synthetic periodicity experiment (100/100/100 sequences).
+fn main() {
+    println!("{}", behaviot_bench::experiments::exp_periodicity(0x5EED));
+}

@@ -1,0 +1,21 @@
+//! One function per paper table/figure (see DESIGN.md §4 for the index).
+
+mod ablations;
+mod fig3;
+mod fig4;
+mod fig5;
+mod periodicity;
+mod table2;
+mod table3;
+mod tables;
+mod testcases;
+
+pub use ablations::exp_ablations;
+pub use fig3::{exp_pfsm_props, fig3};
+pub use fig4::{fig4a, fig4b, fig4c};
+pub use fig5::fig5;
+pub use periodicity::exp_periodicity;
+pub use table2::{exp_fnr_fpr, table2};
+pub use table3::table3;
+pub use tables::{exp_essential, table4, table5, table9};
+pub use testcases::exp_testcases;

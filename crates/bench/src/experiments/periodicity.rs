@@ -1,0 +1,103 @@
+//! §5.1 "Periodic models" synthetic check: 100 periodic sequences with
+//! varying periods, 100 aperiodic sequences (randomized versions of them),
+//! and 100 noisy periodic sequences. The paper reports 100 % correct
+//! period inference / aperiodicity classification.
+
+use behaviot_dsp::period::{detect_periods, PeriodConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn periodic_sequence(period: f64, span: f64, jitter: f64, rng: &mut StdRng) -> Vec<f64> {
+    let mut ts = Vec::new();
+    let mut t = rng.gen::<f64>() * period;
+    while t < span {
+        ts.push(t + jitter * (rng.gen::<f64>() - 0.5));
+        t += period;
+    }
+    ts
+}
+
+fn random_sequence(n: usize, span: f64, rng: &mut StdRng) -> Vec<f64> {
+    let mut ts: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * span).collect();
+    ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ts
+}
+
+/// Run the synthetic experiment and render the report.
+pub fn exp_periodicity(seed: u64) -> String {
+    let cfg = PeriodConfig::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_each = 100;
+    let mut ok_periodic = 0;
+    let mut ok_aperiodic = 0;
+    let mut ok_noisy = 0;
+    let mut failures: Vec<String> = Vec::new();
+
+    for i in 0..n_each {
+        // Periods spread from tens of seconds to ~an hour.
+        let period = 20.0 + 36.0 * i as f64;
+        let span = (period * 150.0).max(43200.0);
+        let ts = periodic_sequence(period, span, period * 0.02, &mut rng);
+
+        let found = detect_periods(&ts, &cfg);
+        if found
+            .first()
+            .is_some_and(|p| (p.period - period).abs() / period < 0.05)
+        {
+            ok_periodic += 1;
+        } else {
+            failures.push(format!("periodic T={period:.0}s -> {found:?}"));
+        }
+
+        // Aperiodic control: same event count and span, randomized times
+        // (the paper applies random permutations to the periodic
+        // sequences).
+        let rnd = random_sequence(ts.len(), span, &mut rng);
+        let found = detect_periods(&rnd, &cfg);
+        if found.is_empty() {
+            ok_aperiodic += 1;
+        } else {
+            failures.push(format!("aperiodic control of T={period:.0}s -> {found:?}"));
+        }
+
+        // Noisy periodic: periodic + aperiodic mixture.
+        let mut noisy = ts.clone();
+        noisy.extend(random_sequence(ts.len() / 3, span, &mut rng));
+        noisy.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let found = detect_periods(&noisy, &cfg);
+        if found
+            .iter()
+            .any(|p| (p.period - period).abs() / period < 0.05)
+        {
+            ok_noisy += 1;
+        } else {
+            failures.push(format!("noisy T={period:.0}s -> {found:?}"));
+        }
+    }
+
+    let mut out = String::from("== §5.1 synthetic periodicity check ==\n");
+    out.push_str(&crate::report::paper_vs_measured(&[
+        (
+            "periodic sequences correct",
+            "100/100",
+            format!("{ok_periodic}/{n_each}"),
+        ),
+        (
+            "aperiodic sequences correct",
+            "100/100",
+            format!("{ok_aperiodic}/{n_each}"),
+        ),
+        (
+            "noisy periodic correct",
+            "100/100",
+            format!("{ok_noisy}/{n_each}"),
+        ),
+    ]));
+    if !failures.is_empty() {
+        out.push_str("\nfailures:\n");
+        for f in failures.iter().take(10) {
+            out.push_str(&format!("  {f}\n"));
+        }
+    }
+    out
+}

@@ -1,0 +1,261 @@
+//! Table 2 (event inference per device category) and the §5.1 FNR/FPR
+//! analysis.
+
+use crate::prep::{train_on, truth_activity, Prepared};
+use crate::report::{pct, table};
+use behaviot::event::EventKind;
+use behaviot::BehavIoT;
+use behaviot_sim::{LabeledFlow, TruthLabel};
+use std::collections::HashMap;
+
+/// Split labeled activity flows so every `(device, activity)` group
+/// alternates between train and test (even occurrence → train). Background
+/// flows alternate by index.
+fn split_activity(activity: &[LabeledFlow]) -> (Vec<LabeledFlow>, Vec<LabeledFlow>) {
+    let mut counters: HashMap<(usize, Option<String>), usize> = HashMap::new();
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for l in activity {
+        let key = (l.device, truth_activity(l).map(str::to_string));
+        let c = counters.entry(key).or_insert(0);
+        if (*c).is_multiple_of(2) {
+            train.push(l.clone());
+        } else {
+            test.push(l.clone());
+        }
+        *c += 1;
+    }
+    (train, test)
+}
+
+fn split_idle(idle: &[LabeledFlow], train_frac: f64) -> (Vec<LabeledFlow>, Vec<LabeledFlow>) {
+    let cut = (idle.len() as f64 * train_frac) as usize;
+    (idle[..cut].to_vec(), idle[cut..].to_vec())
+}
+
+struct CategoryStats {
+    idle_train_total: usize,
+    idle_train_covered: usize,
+    periodic_truth: usize,
+    periodic_correct: usize,
+    user_truth: usize,
+    user_correct: usize,
+    events_total: usize,
+    events_aperiodic: usize,
+}
+
+impl CategoryStats {
+    fn new() -> Self {
+        CategoryStats {
+            idle_train_total: 0,
+            idle_train_covered: 0,
+            periodic_truth: 0,
+            periodic_correct: 0,
+            user_truth: 0,
+            user_correct: 0,
+            events_total: 0,
+            events_aperiodic: 0,
+        }
+    }
+}
+
+/// Shared evaluation used by both Table 2 and the FNR/FPR report.
+pub struct EventInferenceEval {
+    models: BehavIoT,
+    idle_train: Vec<LabeledFlow>,
+    idle_test: Vec<LabeledFlow>,
+    act_test: Vec<LabeledFlow>,
+}
+
+impl EventInferenceEval {
+    /// Train on half-splits of the prepared datasets.
+    pub fn run(p: &Prepared) -> Self {
+        let (idle_train, idle_test) = split_idle(&p.idle, 0.6);
+        let (act_train, act_test) = split_activity(&p.activity);
+        let models = train_on(&idle_train, &act_train, &p.names);
+        EventInferenceEval {
+            models,
+            idle_train,
+            idle_test,
+            act_test,
+        }
+    }
+}
+
+/// Regenerate Table 2.
+pub fn table2(p: &Prepared) -> String {
+    let eval = EventInferenceEval::run(p);
+    let models = &eval.models;
+    let mut per_cat: HashMap<String, CategoryStats> = HashMap::new();
+
+    // Periodic coverage on the idle training partition.
+    for l in &eval.idle_train {
+        let stats = per_cat
+            .entry(p.category_of(l.flow.device))
+            .or_insert_with(CategoryStats::new);
+        stats.idle_train_total += 1;
+        let (dest, proto) = l.flow.group_key();
+        if models.periodic.get(&(l.flow.device, dest, proto)).is_some() {
+            stats.idle_train_covered += 1;
+        }
+    }
+
+    // Periodic event accuracy + aperiodic share on the idle test partition.
+    let idle_test_flows: Vec<_> = eval.idle_test.iter().map(|l| l.flow.clone()).collect();
+    let idle_events = models.infer_events(&idle_test_flows);
+    for (l, e) in eval.idle_test.iter().zip(&idle_events) {
+        let stats = per_cat
+            .entry(p.category_of(e.device))
+            .or_insert_with(CategoryStats::new);
+        stats.events_total += 1;
+        if matches!(e.kind, EventKind::Aperiodic) {
+            stats.events_aperiodic += 1;
+        }
+        if matches!(l.label, Some(TruthLabel::Periodic(..))) {
+            stats.periodic_truth += 1;
+            if matches!(e.kind, EventKind::Periodic { .. }) {
+                stats.periodic_correct += 1;
+            }
+        }
+    }
+
+    // User event accuracy + aperiodic share on the activity test partition.
+    let act_test_flows: Vec<_> = eval.act_test.iter().map(|l| l.flow.clone()).collect();
+    let act_events = models.infer_events(&act_test_flows);
+    for (l, e) in eval.act_test.iter().zip(&act_events) {
+        let stats = per_cat
+            .entry(p.category_of(e.device))
+            .or_insert_with(CategoryStats::new);
+        stats.events_total += 1;
+        if matches!(e.kind, EventKind::Aperiodic) {
+            stats.events_aperiodic += 1;
+        }
+        if let Some(truth) = truth_activity(l) {
+            stats.user_truth += 1;
+            if matches!(&e.kind, EventKind::User { activity, .. } if activity == truth) {
+                stats.user_correct += 1;
+            }
+        }
+    }
+
+    let cats = ["Home Auto", "Camera", "Smart Speaker", "Hub", "Appliance"];
+    let mut rows = Vec::new();
+    let mut tot = CategoryStats::new();
+    for cat in cats {
+        let s = per_cat.get(cat);
+        let s = match s {
+            Some(s) => s,
+            None => continue,
+        };
+        rows.push(vec![
+            cat.to_string(),
+            pct(s.idle_train_covered as f64 / s.idle_train_total.max(1) as f64),
+            pct(s.periodic_correct as f64 / s.periodic_truth.max(1) as f64),
+            pct(s.user_correct as f64 / s.user_truth.max(1) as f64),
+            pct(s.events_aperiodic as f64 / s.events_total.max(1) as f64),
+        ]);
+        tot.idle_train_total += s.idle_train_total;
+        tot.idle_train_covered += s.idle_train_covered;
+        tot.periodic_truth += s.periodic_truth;
+        tot.periodic_correct += s.periodic_correct;
+        tot.user_truth += s.user_truth;
+        tot.user_correct += s.user_correct;
+        tot.events_total += s.events_total;
+        tot.events_aperiodic += s.events_aperiodic;
+    }
+    rows.push(vec![
+        "Total".to_string(),
+        pct(tot.idle_train_covered as f64 / tot.idle_train_total.max(1) as f64),
+        pct(tot.periodic_correct as f64 / tot.periodic_truth.max(1) as f64),
+        pct(tot.user_correct as f64 / tot.user_truth.max(1) as f64),
+        pct(tot.events_aperiodic as f64 / tot.events_total.max(1) as f64),
+    ]);
+
+    let mut out = String::from(
+        "== Table 2: event inference per IoT device category ==\n(paper totals: coverage 99.8%, periodic acc 99.2%, user acc 98.9%, aperiodic 0.52%)\n\n",
+    );
+    out.push_str(&table(
+        &[
+            "Category",
+            "PeriodicCoverage",
+            "PeriodicEventAcc",
+            "UserEventAcc",
+            "Aperiodic%",
+        ],
+        &rows,
+    ));
+    out
+}
+
+/// The §5.1 false-negative / false-positive analysis.
+pub fn exp_fnr_fpr(p: &Prepared) -> String {
+    let eval = EventInferenceEval::run(p);
+    let models = &eval.models;
+
+    // FNR per device on the activity test partition.
+    let act_test_flows: Vec<_> = eval.act_test.iter().map(|l| l.flow.clone()).collect();
+    let act_events = models.infer_events(&act_test_flows);
+    let mut fn_per_dev: HashMap<String, (usize, usize)> = HashMap::new(); // (missed, total)
+    for (l, e) in eval.act_test.iter().zip(&act_events) {
+        if truth_activity(l).is_some() {
+            let entry = fn_per_dev.entry(p.name_of(e.device)).or_insert((0, 0));
+            entry.1 += 1;
+            if !matches!(e.kind, EventKind::User { .. }) {
+                entry.0 += 1;
+            }
+        }
+    }
+    let zero_fn = fn_per_dev.values().filter(|(m, _)| *m == 0).count();
+    let total_missed: usize = fn_per_dev.values().map(|(m, _)| m).sum();
+    let total_user: usize = fn_per_dev.values().map(|(_, t)| t).sum();
+
+    // FPR on the idle test partition: events misclassified as user.
+    let idle_test_flows: Vec<_> = eval.idle_test.iter().map(|l| l.flow.clone()).collect();
+    let idle_events = models.infer_events(&idle_test_flows);
+    let mut fp = 0usize;
+    let mut fp_by_dev: HashMap<String, usize> = HashMap::new();
+    for e in &idle_events {
+        if matches!(e.kind, EventKind::User { .. }) {
+            fp += 1;
+            *fp_by_dev.entry(p.name_of(e.device)).or_insert(0) += 1;
+        }
+    }
+    let fpr = fp as f64 / idle_events.len().max(1) as f64;
+    let echo_show_fp = fp_by_dev.get("Echo Show5").copied().unwrap_or(0);
+
+    let mut worst: Vec<(&String, &(usize, usize))> =
+        fn_per_dev.iter().filter(|(_, (m, _))| *m > 0).collect();
+    worst.sort_by(|a, b| {
+        let ra = a.1 .0 as f64 / a.1 .1 as f64;
+        let rb = b.1 .0 as f64 / b.1 .1 as f64;
+        rb.partial_cmp(&ra).unwrap()
+    });
+
+    let mut out = String::from("== §5.1 FNR / FPR analysis ==\n");
+    out.push_str(&crate::report::paper_vs_measured(&[
+        (
+            "devices with zero false negatives",
+            "19 of 30",
+            format!("{zero_fn} of {}", fn_per_dev.len()),
+        ),
+        (
+            "overall FNR",
+            "(11 devices at 5.84%)",
+            pct(total_missed as f64 / total_user.max(1) as f64),
+        ),
+        ("FPR on idle events", "0.09%", crate::report::pct3(fpr)),
+        (
+            "share of FPs from Echo Show5",
+            "~80%",
+            pct(echo_show_fp as f64 / fp.max(1) as f64),
+        ),
+    ]));
+    out.push_str("\nhighest-FNR devices (paper: SmartThings Hub at 71.88%):\n");
+    for &(name, &(m, t)) in worst.iter().take(5) {
+        out.push_str(&format!(
+            "  {name}: {} ({m}/{t})\n",
+            pct(m as f64 / t.max(1) as f64)
+        ));
+    }
+    out
+}

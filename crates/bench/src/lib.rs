@@ -1,0 +1,24 @@
+//! Shared experiment harness: dataset preparation, model training,
+//! train/test folds, accuracy bookkeeping, and plain-text table/CDF
+//! rendering used by every `table*`/`fig*`/`exp_*` binary.
+//!
+//! Each experiment lives in [`experiments`] as a function returning a
+//! printable report, so `--bin all` can regenerate the paper's entire
+//! evaluation in one run, and each `--bin tableN` stays a thin wrapper.
+
+pub mod experiments;
+pub mod prep;
+pub mod report;
+
+pub use prep::{Prepared, Scale};
+
+/// Parse the common CLI convention of the experiment binaries: `--quick`
+/// selects the reduced-scale datasets (used in CI); anything else runs the
+/// full scale of the paper.
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--quick") {
+        Scale::quick()
+    } else {
+        Scale::full()
+    }
+}

@@ -1,0 +1,107 @@
+//! Plain-text rendering helpers: aligned tables and CDF listings that the
+//! experiment binaries print (the "rows/series the paper reports").
+
+/// Render an aligned text table with a header row.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let n = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), n, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_string()
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (n - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Format a fraction as a percentage with three decimals (used where the
+/// paper reports e.g. 98.631%).
+pub fn pct3(x: f64) -> String {
+    format!("{:.3}%", 100.0 * x)
+}
+
+/// Render a CDF as `quantile  value` lines from a sample, at the given
+/// number of evenly spaced quantiles — the data behind the Fig. 4 curves.
+pub fn cdf_series(label: &str, sample: &[f64], points: usize) -> String {
+    let mut out = format!("# CDF: {label} (n={})\n", sample.len());
+    if sample.is_empty() {
+        out.push_str("(empty)\n");
+        return out;
+    }
+    let ecdf = behaviot_dsp::Ecdf::new(sample.to_vec());
+    for i in 0..=points {
+        let q = i as f64 / points as f64;
+        out.push_str(&format!("{:>6.3}  {:.4}\n", q, ecdf.quantile(q)));
+    }
+    out
+}
+
+/// A named experiment result with paper-vs-measured framing, rendered for
+/// EXPERIMENTS.md.
+pub fn paper_vs_measured(rows: &[(&str, &str, String)]) -> String {
+    table(
+        &["quantity", "paper", "measured"],
+        &rows
+            .iter()
+            .map(|(q, p, m)| vec![q.to_string(), p.to_string(), m.clone()])
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.985), "98.5%");
+        assert_eq!(pct3(0.98631), "98.631%");
+    }
+
+    #[test]
+    fn cdf_series_renders() {
+        let s = cdf_series("test", &[0.0, 1.0, 2.0, 3.0], 4);
+        assert!(s.contains("n=4"));
+        assert!(s.lines().count() >= 5);
+        assert!(cdf_series("empty", &[], 4).contains("(empty)"));
+    }
+}

@@ -1,0 +1,336 @@
+//! DBSCAN clustering substrate for BehavIoT.
+//!
+//! §4.1 of the paper labels periodic traffic in two steps: a count-up timer
+//! for flows whose period matches cleanly, then **DBSCAN** over flow
+//! features for the remainder, with clusters trained on idle traffic. DBSCAN
+//! is used because the number of clusters is unknown a priori.
+//!
+//! We provide:
+//! * [`Standardizer`] — per-feature z-score normalization fitted on training
+//!   data (distances in DBSCAN are meaningless across raw feature scales),
+//! * [`Dbscan`] — the classic density-based clustering algorithm
+//!   (Ester et al., KDD'96),
+//! * [`DbscanModel`] — a fitted model that can assign *new* points to the
+//!   trained clusters (a point joins a cluster when it lies within `eps` of
+//!   one of that cluster's core points), which is exactly how the pipeline
+//!   classifies future unlabeled flows as periodic events.
+
+#![warn(missing_docs)]
+
+/// Label assigned to points that belong to no cluster.
+pub const NOISE: i32 = -1;
+
+/// Per-feature standardization (zero mean, unit variance) fitted on a
+/// training matrix.
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fit on row-major data (`points[i]` is a feature vector). All rows
+    /// must share a dimension. Returns `None` for empty input.
+    pub fn fit(points: &[Vec<f64>]) -> Option<Self> {
+        let dim = points.first()?.len();
+        let n = points.len() as f64;
+        let mut means = vec![0.0; dim];
+        for p in points {
+            assert_eq!(p.len(), dim, "inconsistent dimensions");
+            for (m, &x) in means.iter_mut().zip(p) {
+                *m += x;
+            }
+        }
+        for m in means.iter_mut() {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; dim];
+        for p in points {
+            for ((s, &m), &x) in stds.iter_mut().zip(&means).zip(p) {
+                *s += (x - m) * (x - m);
+            }
+        }
+        for s in stds.iter_mut() {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant feature: leave centered values at zero
+            }
+        }
+        Some(Self { means, stds })
+    }
+
+    /// Transform one point.
+    pub fn transform(&self, point: &[f64]) -> Vec<f64> {
+        assert_eq!(point.len(), self.means.len(), "dimension mismatch");
+        point
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(&x, (&m, &s))| (x - m) / s)
+            .collect()
+    }
+
+    /// Transform a batch.
+    pub fn transform_all(&self, points: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        points.iter().map(|p| self.transform(p)).collect()
+    }
+}
+
+/// DBSCAN parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Dbscan {
+    /// Neighborhood radius (Euclidean, on standardized features).
+    pub eps: f64,
+    /// Minimum neighborhood size (including the point itself) for a core
+    /// point.
+    pub min_pts: usize,
+}
+
+fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl Dbscan {
+    /// Run DBSCAN, returning per-point labels (`NOISE` or a cluster id
+    /// starting at 0) and the fitted model for classifying new points.
+    ///
+    /// Complexity is O(n²) distance computations; training sets in the
+    /// pipeline are per-device and comfortably small (≤ tens of thousands).
+    pub fn fit(&self, points: &[Vec<f64>]) -> (Vec<i32>, DbscanModel) {
+        let n = points.len();
+        let eps_sq = self.eps * self.eps;
+        let mut labels = vec![NOISE; n];
+        let mut visited = vec![false; n];
+        let mut cluster = 0i32;
+
+        let neighbors = |i: usize| -> Vec<usize> {
+            (0..n)
+                .filter(|&j| dist_sq(&points[i], &points[j]) <= eps_sq)
+                .collect()
+        };
+
+        for i in 0..n {
+            if visited[i] {
+                continue;
+            }
+            visited[i] = true;
+            let nbrs = neighbors(i);
+            if nbrs.len() < self.min_pts {
+                continue; // stays noise unless later absorbed as a border point
+            }
+            // Start a new cluster; expand via BFS over density-reachable pts.
+            labels[i] = cluster;
+            let mut queue: Vec<usize> = nbrs;
+            let mut qi = 0;
+            while qi < queue.len() {
+                let j = queue[qi];
+                qi += 1;
+                if labels[j] == NOISE {
+                    labels[j] = cluster; // border point
+                }
+                if visited[j] {
+                    continue;
+                }
+                visited[j] = true;
+                labels[j] = cluster;
+                let jn = neighbors(j);
+                if jn.len() >= self.min_pts {
+                    queue.extend(jn);
+                }
+            }
+            cluster += 1;
+        }
+
+        // Collect core points for the predictive model.
+        let mut core_points = Vec::new();
+        let mut core_labels = Vec::new();
+        for i in 0..n {
+            if labels[i] == NOISE {
+                continue;
+            }
+            if neighbors(i).len() >= self.min_pts {
+                core_points.push(points[i].clone());
+                core_labels.push(labels[i]);
+            }
+        }
+        (
+            labels,
+            DbscanModel {
+                eps: self.eps,
+                core_points,
+                core_labels,
+                n_clusters: cluster as usize,
+            },
+        )
+    }
+}
+
+/// A fitted DBSCAN model: cluster assignment for unseen points.
+#[derive(Debug, Clone)]
+pub struct DbscanModel {
+    eps: f64,
+    core_points: Vec<Vec<f64>>,
+    core_labels: Vec<i32>,
+    n_clusters: usize,
+}
+
+impl DbscanModel {
+    /// Number of clusters discovered during fitting.
+    pub fn n_clusters(&self) -> usize {
+        self.n_clusters
+    }
+
+    /// Assign a new point: the cluster of the nearest core point within
+    /// `eps`, else `None` (noise).
+    pub fn predict(&self, point: &[f64]) -> Option<i32> {
+        let eps_sq = self.eps * self.eps;
+        let mut best: Option<(f64, i32)> = None;
+        for (cp, &lab) in self.core_points.iter().zip(&self.core_labels) {
+            let d = dist_sq(cp, point);
+            if d <= eps_sq && best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, lab));
+            }
+        }
+        best.map(|(_, lab)| lab)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(cx: f64, cy: f64, n: usize, spread: f64, seed: u64) -> Vec<Vec<f64>> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n)
+            .map(|_| vec![cx + spread * next(), cy + spread * next()])
+            .collect()
+    }
+
+    #[test]
+    fn two_blobs_two_clusters() {
+        let mut pts = blob(0.0, 0.0, 50, 0.5, 3);
+        pts.extend(blob(10.0, 10.0, 50, 0.5, 7));
+        let (labels, model) = Dbscan {
+            eps: 1.0,
+            min_pts: 4,
+        }
+        .fit(&pts);
+        assert_eq!(model.n_clusters(), 2);
+        // Points in the same blob share a label.
+        assert!(labels[..50].iter().all(|&l| l == labels[0] && l != NOISE));
+        assert!(labels[50..].iter().all(|&l| l == labels[50] && l != NOISE));
+        assert_ne!(labels[0], labels[50]);
+    }
+
+    #[test]
+    fn outlier_is_noise() {
+        let mut pts = blob(0.0, 0.0, 40, 0.4, 11);
+        pts.push(vec![100.0, -50.0]);
+        let (labels, _) = Dbscan {
+            eps: 1.0,
+            min_pts: 4,
+        }
+        .fit(&pts);
+        assert_eq!(*labels.last().unwrap(), NOISE);
+    }
+
+    #[test]
+    fn predict_assigns_near_and_rejects_far() {
+        let pts = blob(5.0, 5.0, 60, 0.5, 13);
+        let (_, model) = Dbscan {
+            eps: 1.0,
+            min_pts: 4,
+        }
+        .fit(&pts);
+        assert!(model.predict(&[5.1, 4.9]).is_some());
+        assert!(model.predict(&[50.0, 50.0]).is_none());
+    }
+
+    #[test]
+    fn min_pts_larger_than_data_all_noise() {
+        let pts = blob(0.0, 0.0, 5, 0.2, 17);
+        let (labels, model) = Dbscan {
+            eps: 0.5,
+            min_pts: 10,
+        }
+        .fit(&pts);
+        assert!(labels.iter().all(|&l| l == NOISE));
+        assert_eq!(model.n_clusters(), 0);
+        assert!(model.predict(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn chain_is_density_connected() {
+        // A line of points spaced 0.5 apart with eps 0.6 forms one cluster.
+        let pts: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 * 0.5, 0.0]).collect();
+        let (labels, model) = Dbscan {
+            eps: 0.6,
+            min_pts: 3,
+        }
+        .fit(&pts);
+        assert_eq!(model.n_clusters(), 1);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn empty_input() {
+        let (labels, model) = Dbscan {
+            eps: 1.0,
+            min_pts: 3,
+        }
+        .fit(&[]);
+        assert!(labels.is_empty());
+        assert_eq!(model.n_clusters(), 0);
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_var() {
+        let pts = vec![vec![10.0, 100.0], vec![20.0, 200.0], vec![30.0, 300.0]];
+        let s = Standardizer::fit(&pts).unwrap();
+        let t = s.transform_all(&pts);
+        for d in 0..2 {
+            let col: Vec<f64> = t.iter().map(|p| p[d]).collect();
+            let mean = col.iter().sum::<f64>() / col.len() as f64;
+            let var = col.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / col.len() as f64;
+            assert!(mean.abs() < 1e-9);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn standardizer_constant_feature() {
+        let pts = vec![vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]];
+        let s = Standardizer::fit(&pts).unwrap();
+        let t = s.transform(&[5.0, 2.0]);
+        assert_eq!(t[0], 0.0);
+    }
+
+    #[test]
+    fn standardizer_empty() {
+        assert!(Standardizer::fit(&[]).is_none());
+    }
+
+    #[test]
+    fn standardization_makes_scales_comparable() {
+        // Same structure, but one feature is 1000x the scale of the other;
+        // without standardization DBSCAN on eps=1 sees one smear.
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push(vec![i as f64 * 0.01, 0.0]);
+            pts.push(vec![i as f64 * 0.01, 5000.0]);
+        }
+        let s = Standardizer::fit(&pts).unwrap();
+        let t = s.transform_all(&pts);
+        let (_, model) = Dbscan {
+            eps: 0.5,
+            min_pts: 3,
+        }
+        .fit(&t);
+        assert_eq!(model.n_clusters(), 2);
+    }
+}

@@ -1,0 +1,236 @@
+//! The three deviation metrics of §4.3 and their §5.3 significance
+//! thresholds.
+
+use crate::system::SystemModel;
+use behaviot_dsp::stats;
+use behaviot_pfsm::model::{StateId, FINAL, INITIAL};
+use std::collections::HashMap;
+
+/// The paper's empirically chosen periodic-event threshold: the knee of the
+/// zoomed CDF in Fig. 4a, `ln(|5T − T|/T + 1) = ln 5 ≈ 1.61` (an event
+/// arriving five periods late).
+pub const PERIODIC_THRESHOLD: f64 = 1.61;
+
+/// The periodic-event deviation metric
+/// `Mp = ln(|T0 − T| / T + 1) ∈ [0, ∞)`, where `T0` is the elapsed time
+/// measured by the count-up timer and `T` the modeled period.
+///
+/// Events arriving exactly on schedule score 0. If multiple periods exist,
+/// callers should take the minimum over periods (the event only needs to
+/// satisfy one pattern).
+pub fn periodic_metric(elapsed: f64, period: f64) -> f64 {
+    assert!(period > 0.0, "period must be positive");
+    ((elapsed - period).abs() / period + 1.0).ln()
+}
+
+/// Minimum `Mp` over a model's periods — an event is as deviant as its
+/// best-matching pattern. Gaps spanning `k` periods (missed observations
+/// up to `max_missed`) count from the nearest multiple.
+pub fn periodic_metric_multi(elapsed: f64, periods: &[f64], max_missed: u32) -> f64 {
+    periods
+        .iter()
+        .flat_map(|&t| {
+            (1..=max_missed.max(1)).map(move |k| {
+                // deviation relative to k-th multiple, but normalized by T
+                // (the paper normalizes by the period itself)
+                ((elapsed - k as f64 * t).abs() / t + 1.0).ln()
+            })
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// One long-term deviation test result: an observed transition frequency
+/// checked against the model's transition probability with a one-proportion
+/// z-test (Binomial approximation).
+#[derive(Debug, Clone)]
+pub struct LongTermResult {
+    /// Source state label ("INITIAL" for the start state).
+    pub from: String,
+    /// Destination state label ("FINAL" for the end state).
+    pub to: String,
+    /// Transition probability in the model (`p0`).
+    pub model_p: f64,
+    /// Observed transition probability in the new window (`p`).
+    pub observed_p: f64,
+    /// Number of departures from the source state in the window (`n`).
+    pub n: usize,
+    /// The metric `Z = |z|`; infinite when the model's variance is zero
+    /// (e.g. a transition the model has never seen).
+    pub z: f64,
+}
+
+/// Evaluate the long-term deviation metric over a window of traces: map
+/// each trace onto the PFSM (Viterbi), count state transitions, and z-test
+/// each against the model (§4.3). Results cover every `(from, to)` pair
+/// that is observed in the window or predicted by the model from an
+/// observed source state.
+pub fn long_term_deviations(model: &SystemModel, traces: &[Vec<String>]) -> Vec<LongTermResult> {
+    // Count observed transitions, including INITIAL/FINAL. Unknown events
+    // (no state) break the chain: transitions into/out of them are skipped
+    // (the short-term metric owns new-event detection).
+    let mut counts: HashMap<(StateId, StateId), usize> = HashMap::new();
+    let mut out_totals: HashMap<StateId, usize> = HashMap::new();
+    for trace in traces {
+        if trace.is_empty() {
+            continue;
+        }
+        let resolved = model.log.resolve(trace);
+        let score = model.pfsm.score(&resolved);
+        let mut prev: Option<StateId> = Some(INITIAL);
+        for state in score.path.iter().chain(std::iter::once(&Some(FINAL))) {
+            if let (Some(a), Some(b)) = (prev, state) {
+                *counts.entry((a, *b)).or_insert(0) += 1;
+                *out_totals.entry(a).or_insert(0) += 1;
+            }
+            prev = *state;
+        }
+    }
+
+    // For each observed source state, test every destination that is
+    // observed or that the model expects.
+    let mut results = Vec::new();
+    for (&from, &n) in &out_totals {
+        let mut dests: std::collections::HashSet<StateId> = counts
+            .keys()
+            .filter(|(a, _)| *a == from)
+            .map(|(_, b)| *b)
+            .collect();
+        for (f, t, _, _) in model.pfsm.transitions() {
+            if f == from {
+                dests.insert(t);
+            }
+        }
+        for to in dests {
+            let observed = counts.get(&(from, to)).copied().unwrap_or(0);
+            let p = observed as f64 / n as f64;
+            let p0 = model.pfsm.transition_prob(from, to);
+            let z = stats::binomial_z(p, p0, n).abs();
+            results.push(LongTermResult {
+                from: state_label(model, from),
+                to: state_label(model, to),
+                model_p: p0,
+                observed_p: p,
+                n,
+                z,
+            });
+        }
+    }
+    results.sort_by(|a, b| b.z.partial_cmp(&a.z).unwrap_or(std::cmp::Ordering::Equal));
+    results
+}
+
+fn state_label(model: &SystemModel, s: StateId) -> String {
+    if s == INITIAL {
+        "INITIAL".to_string()
+    } else if s == FINAL {
+        "FINAL".to_string()
+    } else {
+        match model.pfsm.event_of(s) {
+            Some(ev) => model.log.vocab.name(ev).to_string(),
+            None => format!("s{}", s.0),
+        }
+    }
+}
+
+/// The long-term significance threshold: the two-sided critical z-value for
+/// a confidence level (95 % in the paper → 1.96).
+pub fn long_term_threshold(confidence: f64) -> f64 {
+    stats::z_critical(confidence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemModelConfig;
+
+    #[test]
+    fn periodic_metric_values() {
+        assert_eq!(periodic_metric(100.0, 100.0), 0.0);
+        // T0 = 5T -> ln 5 = 1.609... (the paper's threshold)
+        assert!((periodic_metric(500.0, 100.0) - 5.0f64.ln()).abs() < 1e-9);
+        // Early events deviate too.
+        assert!(periodic_metric(10.0, 100.0) > 0.0);
+        // Monotone in |T0 - T|.
+        assert!(periodic_metric(300.0, 100.0) < periodic_metric(400.0, 100.0));
+    }
+
+    #[test]
+    fn periodic_metric_multi_takes_best_pattern() {
+        let periods = [60.0, 3600.0];
+        assert!(periodic_metric_multi(3600.0, &periods, 1) < 1e-9);
+        assert!(periodic_metric_multi(60.0, &periods, 1) < 1e-9);
+        // Bridging a missed occurrence: 120 s with T=60 and max_missed 2.
+        assert!(periodic_metric_multi(120.0, &[60.0], 2) < 1e-9);
+        assert!(periodic_metric_multi(120.0, &[60.0], 1) > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_panics() {
+        periodic_metric(1.0, 0.0);
+    }
+
+    fn simple_model() -> SystemModel {
+        let traces: Vec<Vec<String>> = (0..30)
+            .map(|i| {
+                if i % 3 == 0 {
+                    vec!["a".into(), "b".into()]
+                } else {
+                    vec!["a".into(), "c".into()]
+                }
+            })
+            .collect();
+        SystemModel::from_traces(&traces, &SystemModelConfig::default())
+    }
+
+    #[test]
+    fn long_term_no_deviation_for_matching_window() {
+        let m = simple_model();
+        // Window with the same 1/3 : 2/3 mix.
+        let window: Vec<Vec<String>> = (0..30)
+            .map(|i| {
+                if i % 3 == 0 {
+                    vec!["a".into(), "b".into()]
+                } else {
+                    vec!["a".into(), "c".into()]
+                }
+            })
+            .collect();
+        let res = long_term_deviations(&m, &window);
+        let crit = long_term_threshold(0.95);
+        assert!(res.iter().all(|r| r.z <= crit), "{res:#?}");
+    }
+
+    #[test]
+    fn long_term_flags_frequency_shift() {
+        let m = simple_model();
+        // Window where a->b suddenly dominates (like a misactivating
+        // speaker: same states, wrong frequencies).
+        let window: Vec<Vec<String>> = (0..30).map(|_| vec!["a".into(), "b".into()]).collect();
+        let res = long_term_deviations(&m, &window);
+        let crit = long_term_threshold(0.95);
+        let flagged: Vec<_> = res.iter().filter(|r| r.z > crit).collect();
+        assert!(!flagged.is_empty());
+        assert!(flagged.iter().any(|r| r.from == "a" && r.to == "b"));
+    }
+
+    #[test]
+    fn long_term_infinite_for_novel_transition() {
+        let m = simple_model();
+        let window: Vec<Vec<String>> = (0..10).map(|_| vec!["b".into(), "a".into()]).collect();
+        let res = long_term_deviations(&m, &window);
+        assert!(res.iter().any(|r| r.z.is_infinite()));
+    }
+
+    #[test]
+    fn threshold_values() {
+        assert!((long_term_threshold(0.95) - 1.96).abs() < 0.01);
+        assert!((PERIODIC_THRESHOLD - 5.0f64.ln()).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_window() {
+        let m = simple_model();
+        assert!(long_term_deviations(&m, &[]).is_empty());
+    }
+}

@@ -1,0 +1,381 @@
+//! Behavior-model diffing: what changed between two learned models?
+//!
+//! §7.3 recommends periodically retraining models as device behavior
+//! drifts, and §7.2 proposes validating deployments against published
+//! profiles. Both need an answer to "how does the new model differ from
+//! the old one?" beyond per-window deviation scores. This module compares
+//! two system models (PFSMs) and two periodic-model sets structurally:
+//! states/groups that appeared or disappeared, and transitions/periods
+//! whose values shifted significantly.
+
+use crate::periodic::PeriodicModelSet;
+use crate::system::SystemModel;
+use behaviot_pfsm::model::{StateId, FINAL, INITIAL};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A change in the system model's transition structure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemChange {
+    /// An event label present only in the new model.
+    EventAdded(String),
+    /// An event label present only in the old model.
+    EventRemoved(String),
+    /// A transition whose probability moved by more than the tolerance.
+    TransitionShifted {
+        /// Source label.
+        from: String,
+        /// Destination label.
+        to: String,
+        /// Probability in the old model.
+        old_p: f64,
+        /// Probability in the new model.
+        new_p: f64,
+    },
+}
+
+impl std::fmt::Display for SystemChange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemChange::EventAdded(e) => write!(f, "new event: {e}"),
+            SystemChange::EventRemoved(e) => write!(f, "event no longer observed: {e}"),
+            SystemChange::TransitionShifted {
+                from,
+                to,
+                old_p,
+                new_p,
+            } => {
+                write!(f, "transition {from} -> {to}: {old_p:.2} -> {new_p:.2}")
+            }
+        }
+    }
+}
+
+fn label_of(model: &SystemModel, s: StateId) -> String {
+    if s == INITIAL {
+        "INITIAL".to_string()
+    } else if s == FINAL {
+        "FINAL".to_string()
+    } else {
+        model
+            .pfsm
+            .event_of(s)
+            .map(|e| model.log.vocab.name(e).to_string())
+            .unwrap_or_else(|| format!("s{}", s.0))
+    }
+}
+
+/// Label-level transition probabilities of a system model. States sharing
+/// an event label (refinement splits) are aggregated by transition count,
+/// which makes two independently trained models comparable.
+fn label_transitions(model: &SystemModel) -> BTreeMap<(String, String), f64> {
+    let mut counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+    let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    for (from, to, c, _) in model.pfsm.transitions() {
+        let fl = label_of(model, from);
+        let tl = label_of(model, to);
+        *counts.entry((fl.clone(), tl)).or_insert(0) += c;
+        *totals.entry(fl).or_insert(0) += c;
+    }
+    counts
+        .into_iter()
+        .map(|((f, t), c)| {
+            let p = c as f64 / totals[&f] as f64;
+            ((f, t), p)
+        })
+        .collect()
+}
+
+/// Compare two system models. `tolerance` bounds acceptable
+/// transition-probability drift (e.g. `0.15`). Changes are ordered:
+/// additions, removals, then shifts by decreasing magnitude.
+pub fn diff_system_models(
+    old: &SystemModel,
+    new: &SystemModel,
+    tolerance: f64,
+) -> Vec<SystemChange> {
+    let old_events: BTreeSet<String> = (0..old.log.vocab.len() as u32)
+        .map(|i| old.log.vocab.name(behaviot_pfsm::EventId(i)).to_string())
+        .collect();
+    let new_events: BTreeSet<String> = (0..new.log.vocab.len() as u32)
+        .map(|i| new.log.vocab.name(behaviot_pfsm::EventId(i)).to_string())
+        .collect();
+
+    let mut out: Vec<SystemChange> = Vec::new();
+    for e in new_events.difference(&old_events) {
+        out.push(SystemChange::EventAdded(e.clone()));
+    }
+    for e in old_events.difference(&new_events) {
+        out.push(SystemChange::EventRemoved(e.clone()));
+    }
+
+    let old_t = label_transitions(old);
+    let new_t = label_transitions(new);
+    let mut shifts: Vec<SystemChange> = Vec::new();
+    let keys: BTreeSet<&(String, String)> = old_t.keys().chain(new_t.keys()).collect();
+    for key in keys {
+        // Transitions touching added/removed events are already reported.
+        if !old_events.contains(&key.0) && key.0 != "INITIAL"
+            || !old_events.contains(&key.1) && key.1 != "FINAL"
+            || !new_events.contains(&key.0) && key.0 != "INITIAL"
+            || !new_events.contains(&key.1) && key.1 != "FINAL"
+        {
+            continue;
+        }
+        let old_p = old_t.get(key).copied().unwrap_or(0.0);
+        let new_p = new_t.get(key).copied().unwrap_or(0.0);
+        if (old_p - new_p).abs() > tolerance {
+            shifts.push(SystemChange::TransitionShifted {
+                from: key.0.clone(),
+                to: key.1.clone(),
+                old_p,
+                new_p,
+            });
+        }
+    }
+    shifts.sort_by(|a, b| {
+        let mag = |c: &SystemChange| match c {
+            SystemChange::TransitionShifted { old_p, new_p, .. } => (old_p - new_p).abs(),
+            _ => 0.0,
+        };
+        mag(b)
+            .partial_cmp(&mag(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out.extend(shifts);
+    out
+}
+
+/// A change in the periodic-model inventory.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PeriodicChange {
+    /// A traffic group modeled only in the new set (new endpoint — e.g.
+    /// after a firmware update adds telemetry).
+    GroupAdded {
+        /// Device address as text.
+        device: String,
+        /// Destination + protocol.
+        group: String,
+    },
+    /// A traffic group modeled only in the old set (endpoint gone).
+    GroupRemoved {
+        /// Device address as text.
+        device: String,
+        /// Destination + protocol.
+        group: String,
+    },
+    /// The dominant period of a shared group moved by more than the
+    /// relative tolerance.
+    PeriodShifted {
+        /// Device address as text.
+        device: String,
+        /// Destination + protocol.
+        group: String,
+        /// Old dominant period (seconds).
+        old_period: f64,
+        /// New dominant period (seconds).
+        new_period: f64,
+    },
+}
+
+impl std::fmt::Display for PeriodicChange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PeriodicChange::GroupAdded { device, group } => {
+                write!(f, "{device}: new periodic endpoint {group}")
+            }
+            PeriodicChange::GroupRemoved { device, group } => {
+                write!(f, "{device}: periodic endpoint gone {group}")
+            }
+            PeriodicChange::PeriodShifted {
+                device,
+                group,
+                old_period,
+                new_period,
+            } => {
+                write!(
+                    f,
+                    "{device}: {group} period {old_period:.0}s -> {new_period:.0}s"
+                )
+            }
+        }
+    }
+}
+
+/// Compare two periodic-model sets (e.g. lab-trained vs freshly retrained).
+/// `rel_tolerance` bounds acceptable relative period drift (e.g. `0.1`).
+pub fn diff_periodic_models(
+    old: &PeriodicModelSet,
+    new: &PeriodicModelSet,
+    rel_tolerance: f64,
+) -> Vec<PeriodicChange> {
+    let key_of = |m: &crate::periodic::PeriodicModel| {
+        (
+            m.device.to_string(),
+            format!("{}-{}", m.proto, m.destination),
+        )
+    };
+    let old_map: BTreeMap<(String, String), f64> =
+        old.iter().map(|m| (key_of(m), m.period())).collect();
+    let new_map: BTreeMap<(String, String), f64> =
+        new.iter().map(|m| (key_of(m), m.period())).collect();
+
+    let mut out = Vec::new();
+    for ((device, group), &new_period) in &new_map {
+        match old_map.get(&(device.clone(), group.clone())) {
+            None => out.push(PeriodicChange::GroupAdded {
+                device: device.clone(),
+                group: group.clone(),
+            }),
+            Some(&old_period) => {
+                if (old_period - new_period).abs() / old_period.max(1e-9) > rel_tolerance {
+                    out.push(PeriodicChange::PeriodShifted {
+                        device: device.clone(),
+                        group: group.clone(),
+                        old_period,
+                        new_period,
+                    });
+                }
+            }
+        }
+    }
+    for (device, group) in old_map.keys() {
+        if !new_map.contains_key(&(device.clone(), group.clone())) {
+            out.push(PeriodicChange::GroupRemoved {
+                device: device.clone(),
+                group: group.clone(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::periodic::PeriodicTrainConfig;
+    use crate::system::SystemModelConfig;
+    use behaviot_flows::{FlowRecord, N_FEATURES};
+    use behaviot_net::Proto;
+    use std::net::Ipv4Addr;
+
+    fn model(traces: &[Vec<String>]) -> SystemModel {
+        SystemModel::from_traces(traces, &SystemModelConfig::default())
+    }
+
+    fn t(labels: &[&str]) -> Vec<String> {
+        labels.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_models_no_diff() {
+        let traces = vec![t(&["a", "b"]), t(&["a", "c"])];
+        let d = diff_system_models(&model(&traces), &model(&traces), 0.1);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn added_and_removed_events() {
+        let old = model(&[t(&["a", "b"])]);
+        let new = model(&[t(&["a", "z"])]);
+        let d = diff_system_models(&old, &new, 0.1);
+        assert!(d.contains(&SystemChange::EventAdded("z".into())));
+        assert!(d.contains(&SystemChange::EventRemoved("b".into())));
+    }
+
+    #[test]
+    fn shifted_transition_reported_and_ranked() {
+        // a->b goes from 80% to 20%.
+        let old: Vec<Vec<String>> = (0..10)
+            .map(|i| {
+                if i < 8 {
+                    t(&["a", "b"])
+                } else {
+                    t(&["a", "c"])
+                }
+            })
+            .collect();
+        let new: Vec<Vec<String>> = (0..10)
+            .map(|i| {
+                if i < 2 {
+                    t(&["a", "b"])
+                } else {
+                    t(&["a", "c"])
+                }
+            })
+            .collect();
+        let d = diff_system_models(&model(&old), &model(&new), 0.15);
+        let shift = d
+            .iter()
+            .find_map(|c| match c {
+                SystemChange::TransitionShifted {
+                    from,
+                    to,
+                    old_p,
+                    new_p,
+                } if from == "a" && to == "b" => Some((*old_p, *new_p)),
+                _ => None,
+            })
+            .expect("a->b shift reported");
+        assert!((shift.0 - 0.8).abs() < 1e-9 && (shift.1 - 0.2).abs() < 1e-9);
+        assert!(d.iter().any(|c| c.to_string().contains("a -> c")));
+    }
+
+    fn flows(dest: &str, period: f64, n: usize) -> Vec<FlowRecord> {
+        (0..n)
+            .map(|i| {
+                let mut features = [0.0; N_FEATURES];
+                features[0] = 120.0;
+                FlowRecord {
+                    device: Ipv4Addr::new(192, 168, 1, 10),
+                    remote: Ipv4Addr::new(52, 0, 0, 1),
+                    device_port: 30000,
+                    remote_port: 443,
+                    proto: Proto::Tcp,
+                    domain: Some(dest.to_string()),
+                    start: i as f64 * period,
+                    end: i as f64 * period + 0.1,
+                    n_packets: 4,
+                    total_bytes: 480,
+                    features,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn periodic_diff_detects_all_three_changes() {
+        let cfg = PeriodicTrainConfig::default();
+        let mut old_flows = flows("keep.example.com", 120.0, 400);
+        old_flows.extend(flows("gone.example.com", 300.0, 200));
+        let old = PeriodicModelSet::train(&old_flows, &cfg);
+
+        let mut new_flows = flows("keep.example.com", 240.0, 200); // period doubled
+        new_flows.extend(flows("added.example.com", 60.0, 700));
+        let new = PeriodicModelSet::train(&new_flows, &cfg);
+
+        let d = diff_periodic_models(&old, &new, 0.1);
+        assert!(
+            d.iter().any(
+                |c| matches!(c, PeriodicChange::GroupAdded { group, .. } if group.contains("added"))
+            ),
+            "{d:?}"
+        );
+        assert!(d.iter().any(
+            |c| matches!(c, PeriodicChange::GroupRemoved { group, .. } if group.contains("gone"))
+        ));
+        assert!(d.iter().any(
+            |c| matches!(c, PeriodicChange::PeriodShifted { group, .. } if group.contains("keep"))
+        ));
+        // Display strings are readable.
+        assert!(d.iter().any(|c| c.to_string().contains("period")));
+    }
+
+    #[test]
+    fn periodic_diff_identical_empty() {
+        let cfg = PeriodicTrainConfig::default();
+        let f = flows("x.example.com", 100.0, 300);
+        let a = PeriodicModelSet::train(&f, &cfg);
+        let b = PeriodicModelSet::train(&f, &cfg);
+        assert!(diff_periodic_models(&a, &b, 0.1).is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Inferred event types — the output of the device-behavior inference step.
+
+use behaviot_net::Proto;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A device is keyed by its LAN address (the only identity a gateway
+/// observer has); a human-readable name can be attached for reporting.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceKey {
+    /// LAN address.
+    pub ip: Ipv4Addr,
+    /// Optional display name (e.g. from a device inventory).
+    pub name: Option<String>,
+}
+
+impl DeviceKey {
+    /// Key with no name.
+    pub fn from_ip(ip: Ipv4Addr) -> Self {
+        Self { ip, name: None }
+    }
+
+    /// Display label: the name if known, else the address.
+    pub fn label(&self) -> String {
+        self.name.clone().unwrap_or_else(|| self.ip.to_string())
+    }
+}
+
+impl fmt::Display for DeviceKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// The three disjoint event classes of §4.1.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A user event: activity label plus classifier confidence.
+    User {
+        /// Activity name (e.g. `"on_off"`).
+        activity: String,
+        /// Positive-classifier confidence in `[0, 1]`.
+        confidence: f64,
+    },
+    /// A periodic event of the traffic group `(destination, proto)`.
+    Periodic {
+        /// Destination domain (or raw IP when unresolved).
+        destination: String,
+        /// Transport protocol.
+        proto: Proto,
+    },
+    /// Neither user nor periodic.
+    Aperiodic,
+}
+
+impl EventKind {
+    /// Short class label ("user"/"periodic"/"aperiodic").
+    pub fn class(&self) -> &'static str {
+        match self {
+            EventKind::User { .. } => "user",
+            EventKind::Periodic { .. } => "periodic",
+            EventKind::Aperiodic => "aperiodic",
+        }
+    }
+}
+
+/// One inferred event: a classified flow burst.
+#[derive(Debug, Clone)]
+pub struct InferredEvent {
+    /// Burst start time.
+    pub ts: f64,
+    /// Owning device.
+    pub device: Ipv4Addr,
+    /// Destination domain (or raw IP).
+    pub destination: String,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// The inferred class.
+    pub kind: EventKind,
+}
+
+impl InferredEvent {
+    /// PFSM label for user events: `"<device>:<activity>"`, with the device
+    /// rendered through `names` when available.
+    pub fn pfsm_label(
+        &self,
+        names: &std::collections::HashMap<Ipv4Addr, String>,
+    ) -> Option<String> {
+        match &self.kind {
+            EventKind::User { activity, .. } => {
+                let dev = names
+                    .get(&self.device)
+                    .cloned()
+                    .unwrap_or_else(|| self.device.to_string());
+                Some(format!("{dev}:{activity}"))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn device_key_label() {
+        let k = DeviceKey::from_ip(Ipv4Addr::new(192, 168, 1, 10));
+        assert_eq!(k.label(), "192.168.1.10");
+        let k2 = DeviceKey {
+            ip: k.ip,
+            name: Some("TPLink Plug".into()),
+        };
+        assert_eq!(k2.to_string(), "TPLink Plug");
+    }
+
+    #[test]
+    fn event_class_labels() {
+        assert_eq!(EventKind::Aperiodic.class(), "aperiodic");
+        assert_eq!(
+            EventKind::User {
+                activity: "x".into(),
+                confidence: 0.9
+            }
+            .class(),
+            "user"
+        );
+        assert_eq!(
+            EventKind::Periodic {
+                destination: "d".into(),
+                proto: Proto::Tcp
+            }
+            .class(),
+            "periodic"
+        );
+    }
+
+    #[test]
+    fn pfsm_label_only_for_user_events() {
+        let ip = Ipv4Addr::new(192, 168, 1, 10);
+        let mut names = HashMap::new();
+        names.insert(ip, "Wemo Plug".to_string());
+        let ev = InferredEvent {
+            ts: 0.0,
+            device: ip,
+            destination: "d".into(),
+            proto: Proto::Tcp,
+            kind: EventKind::User {
+                activity: "on_off".into(),
+                confidence: 1.0,
+            },
+        };
+        assert_eq!(ev.pfsm_label(&names).as_deref(), Some("Wemo Plug:on_off"));
+        let pe = InferredEvent {
+            kind: EventKind::Aperiodic,
+            ..ev
+        };
+        assert_eq!(pe.pfsm_label(&names), None);
+    }
+}

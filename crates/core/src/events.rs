@@ -1,0 +1,318 @@
+//! The combined event-inference pipeline: every flow burst becomes exactly
+//! one of **user event**, **periodic event**, or **aperiodic event**
+//! (§4.1's disjoint partition of the traffic).
+
+use crate::event::{EventKind, InferredEvent};
+use crate::periodic::{PeriodicClassifier, PeriodicModelSet, PeriodicTrainConfig};
+use crate::user_action::{TrainingSample, UserActionModels, UserActionTrainConfig};
+use behaviot_flows::FlowRecord;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Everything needed to train the device behavior models.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingData {
+    /// Flows from the idle dataset (no user interactions) — trains the
+    /// periodic models and supplies negative samples.
+    pub idle_flows: Vec<FlowRecord>,
+    /// Labeled samples from the activity dataset.
+    pub user_samples: Vec<TrainingSample>,
+    /// Optional device display names for reporting.
+    pub names: HashMap<Ipv4Addr, String>,
+}
+
+impl TrainingData {
+    /// Assemble training data from idle flows plus activity-dataset flows
+    /// with their ground-truth labels (`Some(activity)` for user events,
+    /// `None` for background).
+    pub fn from_flows<'a>(
+        idle_flows: Vec<FlowRecord>,
+        activity_flows: impl IntoIterator<Item = (&'a FlowRecord, Option<&'a str>)>,
+        names: HashMap<Ipv4Addr, String>,
+    ) -> Self {
+        let user_samples = activity_flows
+            .into_iter()
+            .map(|(f, label)| TrainingSample {
+                device: f.device,
+                activity: label.map(str::to_string),
+                features: f.features,
+            })
+            .collect();
+        Self {
+            idle_flows,
+            user_samples,
+            names,
+        }
+    }
+}
+
+/// Training configuration for both device-model families.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Periodic-model settings.
+    pub periodic: PeriodicTrainConfig,
+    /// User-action-model settings.
+    pub user: UserActionTrainConfig,
+    /// How many idle-dataset flows per device to add as extra negative
+    /// samples for the user-action classifiers (evenly subsampled). Idle
+    /// traffic is guaranteed non-user, so it sharpens the user/background
+    /// boundary and keeps the §5.1 false-positive rate low.
+    pub idle_negatives_per_device: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            periodic: PeriodicTrainConfig::default(),
+            user: UserActionTrainConfig::default(),
+            idle_negatives_per_device: 400,
+        }
+    }
+}
+
+/// The trained device behavior models of a deployment.
+#[derive(Debug, Clone)]
+pub struct BehavIoT {
+    /// Periodic models (timers + DBSCAN).
+    pub periodic: PeriodicModelSet,
+    /// User-action models (random forests).
+    pub user: UserActionModels,
+    /// Device display names.
+    pub names: HashMap<Ipv4Addr, String>,
+}
+
+impl BehavIoT {
+    /// Train both model families.
+    pub fn train(data: &TrainingData, cfg: &TrainConfig) -> Self {
+        // Augment the user-action training set with idle flows as known
+        // negatives, evenly subsampled per device.
+        let mut samples = data.user_samples.clone();
+        if cfg.idle_negatives_per_device > 0 {
+            let mut per_device: HashMap<Ipv4Addr, Vec<&FlowRecord>> = HashMap::new();
+            for f in &data.idle_flows {
+                per_device.entry(f.device).or_default().push(f);
+            }
+            for (device, flows) in per_device {
+                let stride = flows
+                    .len()
+                    .checked_div(cfg.idle_negatives_per_device)
+                    .unwrap_or(1)
+                    .max(1);
+                for f in flows.into_iter().step_by(stride) {
+                    samples.push(TrainingSample {
+                        device,
+                        activity: None,
+                        features: f.features,
+                    });
+                }
+            }
+        }
+        BehavIoT {
+            periodic: PeriodicModelSet::train(&data.idle_flows, &cfg.periodic),
+            user: UserActionModels::train(&samples, &cfg.user),
+            names: data.names.clone(),
+        }
+    }
+
+    /// Re-learn the periodic models from a fresh idle window, keeping the
+    /// user-action models — the §7.3 periodic-retraining recommendation
+    /// ("small changes over time mean that periodically updating models
+    /// will result in better long-term detection performance").
+    pub fn retrain_periodic(&mut self, idle_flows: &[FlowRecord], cfg: &TrainConfig) {
+        self.periodic = PeriodicModelSet::train(idle_flows, &cfg.periodic);
+    }
+
+    /// Partition flows into events. Flows are processed in chronological
+    /// order; the user-action models run first (they are the only
+    /// supervised signal), the periodic timer+cluster stage second, and
+    /// whatever matches neither is aperiodic.
+    pub fn infer_events(&self, flows: &[FlowRecord]) -> Vec<InferredEvent> {
+        let mut ordered: Vec<&FlowRecord> = flows.iter().collect();
+        ordered.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("NaN flow start"));
+        let mut periodic_clf = PeriodicClassifier::new(&self.periodic);
+        let mut out = Vec::with_capacity(flows.len());
+        for f in ordered {
+            let (destination, proto) = f.group_key();
+            let kind =
+                if let Some((activity, confidence)) = self.user.classify(f.device, &f.features) {
+                    // Still advance the periodic timer for this group: the flow
+                    // occupies the wire whatever we call it.
+                    let _ = periodic_clf.classify(f);
+                    EventKind::User {
+                        activity,
+                        confidence,
+                    }
+                } else if periodic_clf.classify(f) {
+                    EventKind::Periodic {
+                        destination: destination.clone(),
+                        proto,
+                    }
+                } else {
+                    EventKind::Aperiodic
+                };
+            out.push(InferredEvent {
+                ts: f.start,
+                device: f.device,
+                destination,
+                proto,
+                kind,
+            });
+        }
+        out
+    }
+}
+
+/// Per-class event counts, the bookkeeping behind Tables 2 and 9.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EventCounts {
+    /// User events.
+    pub user: usize,
+    /// Periodic events.
+    pub periodic: usize,
+    /// Aperiodic events.
+    pub aperiodic: usize,
+}
+
+impl EventCounts {
+    /// Count the classes of a batch of events.
+    pub fn of(events: &[InferredEvent]) -> Self {
+        let mut c = EventCounts::default();
+        for e in events {
+            match e.kind {
+                EventKind::User { .. } => c.user += 1,
+                EventKind::Periodic { .. } => c.periodic += 1,
+                EventKind::Aperiodic => c.aperiodic += 1,
+            }
+        }
+        c
+    }
+
+    /// Total events.
+    pub fn total(&self) -> usize {
+        self.user + self.periodic + self.aperiodic
+    }
+
+    /// Fraction of periodic events.
+    pub fn periodic_frac(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.periodic as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of aperiodic events.
+    pub fn aperiodic_frac(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.aperiodic as f64 / self.total() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use behaviot_flows::N_FEATURES;
+    use behaviot_net::Proto;
+
+    const DEV: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 10);
+
+    fn flow(dest: &str, start: f64, size: f64) -> FlowRecord {
+        let mut features = [0.0; N_FEATURES];
+        features[0] = size;
+        features[1] = size;
+        features[2] = size;
+        features[11] = 2.0;
+        FlowRecord {
+            device: DEV,
+            remote: Ipv4Addr::new(52, 0, 0, 1),
+            device_port: 30000,
+            remote_port: 443,
+            proto: Proto::Tcp,
+            domain: Some(dest.to_string()),
+            start,
+            end: start + 0.1,
+            n_packets: 4,
+            total_bytes: size as u64 * 4,
+            features,
+        }
+    }
+
+    fn training_data() -> TrainingData {
+        // Idle: heartbeat every 100 s (small size).
+        let idle: Vec<FlowRecord> = (0..600)
+            .map(|i| flow("hb.cloud.com", i as f64 * 100.0, 120.0))
+            .collect();
+        // Activity: "on_off" flows (large size) + background negatives.
+        let mut activity: Vec<(FlowRecord, Option<String>)> = Vec::new();
+        for i in 0..40 {
+            activity.push((
+                flow("ctl.cloud.com", i as f64 * 75.0, 800.0 + (i % 4) as f64),
+                Some("on_off".into()),
+            ));
+            activity.push((flow("hb.cloud.com", 10.0 + i as f64 * 75.0, 120.0), None));
+        }
+        let refs: Vec<(&FlowRecord, Option<&str>)> =
+            activity.iter().map(|(f, l)| (f, l.as_deref())).collect();
+        TrainingData::from_flows(idle, refs, HashMap::new())
+    }
+
+    #[test]
+    fn pipeline_partitions_disjointly() {
+        let models = BehavIoT::train(&training_data(), &TrainConfig::default());
+        assert!(!models.periodic.is_empty());
+        assert!(models.user.n_models() >= 1);
+
+        // Fresh traffic: 10 heartbeats + 2 user events + 1 oddball.
+        let mut test: Vec<FlowRecord> = (0..10)
+            .map(|i| flow("hb.cloud.com", 50.0 + i as f64 * 100.0, 120.0))
+            .collect();
+        test.push(flow("ctl.cloud.com", 333.0, 801.0));
+        test.push(flow("ctl.cloud.com", 555.0, 799.0));
+        // Background-sized flow to an unmodeled destination: not a user
+        // event (classifiers reject background sizes) and not periodic
+        // (group unknown) -> aperiodic.
+        test.push(flow("weird.example.org", 700.0, 95.0));
+        let events = models.infer_events(&test);
+        let c = EventCounts::of(&events);
+        assert_eq!(c.total(), 13);
+        assert_eq!(c.user, 2, "{events:#?}");
+        assert!(c.periodic >= 9, "periodic {}", c.periodic);
+        assert!(c.aperiodic >= 1);
+    }
+
+    #[test]
+    fn counts_helpers() {
+        let c = EventCounts {
+            user: 2,
+            periodic: 6,
+            aperiodic: 2,
+        };
+        assert_eq!(c.total(), 10);
+        assert!((c.periodic_frac() - 0.6).abs() < 1e-12);
+        assert!((c.aperiodic_frac() - 0.2).abs() < 1e-12);
+        assert_eq!(EventCounts::default().periodic_frac(), 0.0);
+    }
+
+    #[test]
+    fn events_sorted_by_time() {
+        let models = BehavIoT::train(&training_data(), &TrainConfig::default());
+        let test = vec![
+            flow("hb.cloud.com", 500.0, 120.0),
+            flow("hb.cloud.com", 100.0, 120.0),
+        ];
+        let events = models.infer_events(&test);
+        assert!(events[0].ts <= events[1].ts);
+    }
+
+    #[test]
+    fn empty_everything() {
+        let models = BehavIoT::train(&TrainingData::default(), &TrainConfig::default());
+        assert!(models.infer_events(&[]).is_empty());
+        let events = models.infer_events(&[flow("x.com", 1.0, 10.0)]);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::Aperiodic);
+    }
+}

@@ -1,0 +1,482 @@
+//! The behavior monitor: applies the deviation metrics to streaming
+//! capture windows and reports significant deviations (§4.3/§6.2).
+
+use crate::deviation::{
+    long_term_deviations, long_term_threshold, periodic_metric_multi, PERIODIC_THRESHOLD,
+};
+use crate::events::BehavIoT;
+use crate::periodic::GroupKey;
+use crate::system::{traces_from_events, SystemModel};
+use behaviot_flows::FlowRecord;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Which metric raised a deviation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviationKind {
+    /// Periodic-event deviation (per-device metric).
+    PeriodicTiming,
+    /// Short-term (per-trace) system deviation.
+    ShortTerm,
+    /// Long-term (transition-frequency) system deviation.
+    LongTerm,
+}
+
+impl DeviationKind {
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviationKind::PeriodicTiming => "periodic",
+            DeviationKind::ShortTerm => "short-term",
+            DeviationKind::LongTerm => "long-term",
+        }
+    }
+}
+
+/// A reported deviation: when, what, how large, and an explanation a
+/// human (or an anomaly-detection system, §7.2) can act on.
+#[derive(Debug, Clone)]
+pub struct Deviation {
+    /// Time the deviation was measured (window-relative events use their
+    /// own time; absence checks use the window end).
+    pub ts: f64,
+    /// Raising metric.
+    pub kind: DeviationKind,
+    /// Metric value.
+    pub score: f64,
+    /// Threshold it exceeded.
+    pub threshold: f64,
+    /// Affected subject: device name, destination, or trace description.
+    pub subject: String,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+/// Monitor thresholds/configuration (defaults = the paper's §5.3 choices).
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Periodic-event metric threshold (knee of the CDF → 1.61).
+    pub periodic_threshold: f64,
+    /// Short-term threshold is `μ + n·σ` with this `n` (3 in the paper).
+    pub short_sigma: f64,
+    /// Long-term confidence interval (0.95 in the paper).
+    pub long_confidence: f64,
+    /// Minimum departures from a state before the long-term z-test is
+    /// trusted (small-sample guard).
+    pub long_min_n: usize,
+    /// Minimum absolute difference between observed and expected
+    /// transition *counts* — keeps borderline z-scores from spamming
+    /// reports when many transitions are tested per window.
+    pub long_min_count_diff: f64,
+    /// Gap separating user-event traces (60 s).
+    pub trace_gap: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            periodic_threshold: PERIODIC_THRESHOLD,
+            short_sigma: 3.0,
+            long_confidence: 0.95,
+            long_min_n: 8,
+            long_min_count_diff: 5.0,
+            trace_gap: 60.0,
+        }
+    }
+}
+
+/// The streaming monitor. Feed it capture windows (e.g. one day at a
+/// time); it keeps per-group count-up timers across windows.
+pub struct Monitor {
+    models: BehavIoT,
+    system: SystemModel,
+    cfg: MonitorConfig,
+    /// Last event time per periodic traffic group (persists across
+    /// windows — this is the count-up timer of §4.3).
+    last_seen: HashMap<GroupKey, f64>,
+    /// Devices whose silence has already been reported (cleared when the
+    /// device produces traffic again) — a multi-day outage is one
+    /// deviation, not one per window.
+    absence_flagged: std::collections::HashSet<Ipv4Addr>,
+    /// Long-term transitions currently in the deviating state; only the
+    /// transition *entering* that state is reported.
+    long_flagged: std::collections::HashSet<(String, String)>,
+}
+
+impl Monitor {
+    /// Create a monitor from trained device models and a system model.
+    pub fn new(models: BehavIoT, system: SystemModel, cfg: MonitorConfig) -> Self {
+        Self {
+            models,
+            system,
+            cfg,
+            last_seen: HashMap::new(),
+            absence_flagged: std::collections::HashSet::new(),
+            long_flagged: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The device models.
+    pub fn models(&self) -> &BehavIoT {
+        &self.models
+    }
+
+    /// The system model.
+    pub fn system(&self) -> &SystemModel {
+        &self.system
+    }
+
+    fn device_label(&self, ip: Ipv4Addr) -> String {
+        self.models
+            .names
+            .get(&ip)
+            .cloned()
+            .unwrap_or_else(|| ip.to_string())
+    }
+
+    /// Process one window of flows covering `[window_start, window_end)`.
+    /// Returns the significant deviations, most severe first within each
+    /// kind.
+    pub fn process_window(
+        &mut self,
+        flows: &[FlowRecord],
+        window_start: f64,
+        window_end: f64,
+    ) -> Vec<Deviation> {
+        let events = self.models.infer_events(flows);
+        let mut out = Vec::new();
+
+        // ---- periodic-event deviations --------------------------------
+        // Observed events advance the per-group timer; each gap larger
+        // than the threshold (relative to the best-matching period) is a
+        // deviation. At window end, silent groups are checked too
+        // (absence = outage/malfunction; cases 6-9 of §6.2). Both paths
+        // are aggregated per device to keep reports readable.
+        let mut worst_gap: HashMap<Ipv4Addr, (f64, f64, String)> = HashMap::new(); // device -> (score, ts, dest)
+        let mut worst_absent: HashMap<Ipv4Addr, (f64, String)> = HashMap::new();
+        for e in &events {
+            let key: GroupKey = (e.device, e.destination.clone(), e.proto);
+            let Some(model) = self.models.periodic.get(&key) else {
+                continue;
+            };
+            // The device is talking again: a future silence is a new
+            // deviation.
+            self.absence_flagged.remove(&e.device);
+            if let Some(prev) = self.last_seen.insert(key, e.ts) {
+                let gap = e.ts - prev;
+                let score = periodic_metric_multi(
+                    gap,
+                    &model.periods,
+                    self.models.periodic.config().max_missed,
+                );
+                if score > self.cfg.periodic_threshold {
+                    let entry = worst_gap
+                        .entry(e.device)
+                        .or_insert((0.0, e.ts, String::new()));
+                    if score > entry.0 {
+                        *entry = (score, e.ts, e.destination.clone());
+                    }
+                }
+            }
+        }
+        for model in self.models.periodic.iter() {
+            let key: GroupKey = (model.device, model.destination.clone(), model.proto);
+            let Some(&last) = self.last_seen.get(&key) else {
+                continue;
+            };
+            let elapsed = window_end - last;
+            let score = periodic_metric_multi(
+                elapsed,
+                &model.periods,
+                self.models.periodic.config().max_missed,
+            );
+            // Only meaningful when the group has actually fallen silent
+            // beyond its period, and only reported once per silence.
+            if elapsed > model.period()
+                && score > self.cfg.periodic_threshold
+                && !self.absence_flagged.contains(&model.device)
+            {
+                let entry = worst_absent
+                    .entry(model.device)
+                    .or_insert((0.0, String::new()));
+                if score > entry.0 {
+                    *entry = (score, model.destination.clone());
+                }
+            }
+        }
+        for device in worst_absent.keys() {
+            self.absence_flagged.insert(*device);
+        }
+        for (device, (score, ts, dest)) in worst_gap {
+            out.push(Deviation {
+                ts,
+                kind: DeviationKind::PeriodicTiming,
+                score,
+                threshold: self.cfg.periodic_threshold,
+                subject: self.device_label(device),
+                detail: format!("periodic traffic to {dest} arrived off schedule"),
+            });
+        }
+        // A testbed-wide outage silences (nearly) every device at once:
+        // collapse it into a single deviation instead of 49.
+        let devices_with_models: std::collections::HashSet<Ipv4Addr> =
+            self.models.periodic.iter().map(|m| m.device).collect();
+        if worst_absent.len() >= 5 && worst_absent.len() * 10 >= devices_with_models.len() * 8 {
+            let worst = worst_absent
+                .values()
+                .map(|(s, _)| *s)
+                .fold(f64::NEG_INFINITY, f64::max);
+            out.push(Deviation {
+                ts: window_end,
+                kind: DeviationKind::PeriodicTiming,
+                score: worst,
+                threshold: self.cfg.periodic_threshold,
+                subject: format!("{} devices", worst_absent.len()),
+                detail: "periodic traffic overdue across the testbed (network outage)".to_string(),
+            });
+        } else {
+            for (device, (score, dest)) in worst_absent {
+                out.push(Deviation {
+                    ts: window_end,
+                    kind: DeviationKind::PeriodicTiming,
+                    score,
+                    threshold: self.cfg.periodic_threshold,
+                    subject: self.device_label(device),
+                    detail: format!("periodic traffic to {dest} is overdue (possible outage)"),
+                });
+            }
+        }
+
+        // ---- short-term system deviations ------------------------------
+        // Only events of devices the system model covers participate in
+        // traces: the PFSM is built over the observation period's devices
+        // and cannot judge others (their events would read as perpetual
+        // "new states").
+        let known = self.system.known_devices();
+        let traces: Vec<Vec<String>> =
+            traces_from_events(&events, &self.models.names, self.cfg.trace_gap)
+                .into_iter()
+                .map(|t| {
+                    t.into_iter()
+                        .filter(|label| label.split(':').next().is_some_and(|d| known.contains(d)))
+                        .collect::<Vec<_>>()
+                })
+                .filter(|t: &Vec<String>| !t.is_empty())
+                .collect();
+        let st_threshold = self.system.short_term_threshold(self.cfg.short_sigma);
+        for t in &traces {
+            let score = self.system.short_term_metric(t);
+            if score > st_threshold {
+                out.push(Deviation {
+                    ts: window_start,
+                    kind: DeviationKind::ShortTerm,
+                    score,
+                    threshold: st_threshold,
+                    subject: t.join(" -> "),
+                    detail: "user-event trace is improbable under the system model".to_string(),
+                });
+            }
+        }
+
+        // ---- long-term system deviations --------------------------------
+        let crit = long_term_threshold(self.cfg.long_confidence);
+        let mut still_deviating: std::collections::HashSet<(String, String)> =
+            std::collections::HashSet::new();
+        for r in long_term_deviations(&self.system, &traces) {
+            if r.n < self.cfg.long_min_n {
+                continue;
+            }
+            let count_diff = (r.observed_p - r.model_p).abs() * r.n as f64;
+            if r.z > crit && count_diff >= self.cfg.long_min_count_diff {
+                let key = (r.from.clone(), r.to.clone());
+                still_deviating.insert(key.clone());
+                // A persistent frequency shift (e.g. a relocated camera's
+                // permanently elevated motion rate) is one deviation at
+                // onset, not one per window.
+                if self.long_flagged.contains(&key) {
+                    continue;
+                }
+                out.push(Deviation {
+                    ts: window_start,
+                    kind: DeviationKind::LongTerm,
+                    score: r.z,
+                    threshold: crit,
+                    subject: format!("{} -> {}", r.from, r.to),
+                    detail: format!(
+                        "transition frequency {:.2} deviates from modeled {:.2} over {} departures",
+                        r.observed_p, r.model_p, r.n
+                    ),
+                });
+            }
+        }
+        self.long_flagged = still_deviating;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{TrainConfig, TrainingData};
+    use behaviot_flows::N_FEATURES;
+    use behaviot_net::Proto;
+    use std::collections::HashMap as Map;
+
+    const DEV: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 10);
+
+    fn flow(dest: &str, start: f64, size: f64) -> FlowRecord {
+        let mut features = [0.0; N_FEATURES];
+        features[0] = size;
+        features[1] = size;
+        features[2] = size;
+        features[11] = 2.0;
+        FlowRecord {
+            device: DEV,
+            remote: Ipv4Addr::new(52, 0, 0, 1),
+            device_port: 30000,
+            remote_port: 443,
+            proto: Proto::Tcp,
+            domain: Some(dest.to_string()),
+            start,
+            end: start + 0.1,
+            n_packets: 4,
+            total_bytes: size as u64 * 4,
+            features,
+        }
+    }
+
+    fn monitor() -> Monitor {
+        // Heartbeat every 100 s + one user activity at size 800.
+        let idle: Vec<FlowRecord> = (0..600)
+            .map(|i| flow("hb.cloud.com", i as f64 * 100.0, 120.0))
+            .collect();
+        let activity: Vec<(FlowRecord, Option<String>)> = (0..40)
+            .flat_map(|i| {
+                vec![
+                    (
+                        flow("ctl.cloud.com", i as f64 * 75.0, 800.0),
+                        Some("on_off".to_string()),
+                    ),
+                    (flow("hb.cloud.com", 10.0 + i as f64 * 75.0, 120.0), None),
+                ]
+            })
+            .collect();
+        let refs: Vec<(&FlowRecord, Option<&str>)> =
+            activity.iter().map(|(f, l)| (f, l.as_deref())).collect();
+        let mut names = Map::new();
+        names.insert(DEV, "plug".to_string());
+        let data = TrainingData::from_flows(idle, refs, names);
+        let models = BehavIoT::train(&data, &TrainConfig::default());
+
+        // System model trained on regular "plug:on_off" traces.
+        let traces: Vec<Vec<String>> = (0..30).map(|_| vec!["plug:on_off".to_string()]).collect();
+        let system =
+            SystemModel::from_traces(&traces, &crate::system::SystemModelConfig::default());
+        Monitor::new(models, system, MonitorConfig::default())
+    }
+
+    #[test]
+    fn healthy_window_is_quiet() {
+        let mut m = monitor();
+        let flows: Vec<FlowRecord> = (0..86)
+            .map(|i| flow("hb.cloud.com", i as f64 * 100.0, 120.0))
+            .collect();
+        let devs = m.process_window(&flows, 0.0, 8600.0);
+        assert!(devs.is_empty(), "{devs:#?}");
+    }
+
+    #[test]
+    fn outage_raises_periodic_deviation() {
+        let mut m = monitor();
+        // Heartbeats for the first 2000 s, then silence until 10000 s.
+        let flows: Vec<FlowRecord> = (0..20)
+            .map(|i| flow("hb.cloud.com", i as f64 * 100.0, 120.0))
+            .collect();
+        let devs = m.process_window(&flows, 0.0, 10_000.0);
+        let periodic: Vec<_> = devs
+            .iter()
+            .filter(|d| d.kind == DeviationKind::PeriodicTiming)
+            .collect();
+        assert!(!periodic.is_empty(), "{devs:#?}");
+        assert!(periodic[0].subject == "plug");
+        assert!(periodic[0].detail.contains("overdue"));
+    }
+
+    #[test]
+    fn late_heartbeat_raises_timing_deviation() {
+        let mut m = monitor();
+        // Regular heartbeats then one arriving 8 periods late (and the
+        // window closes right after, so absence isn't also flagged).
+        let mut flows: Vec<FlowRecord> = (0..10)
+            .map(|i| flow("hb.cloud.com", i as f64 * 100.0, 120.0))
+            .collect();
+        flows.push(flow("hb.cloud.com", 900.0 + 800.0, 120.0));
+        let devs = m.process_window(&flows, 0.0, 1800.0);
+        assert!(
+            devs.iter()
+                .any(|d| d.kind == DeviationKind::PeriodicTiming
+                    && d.detail.contains("off schedule")),
+            "{devs:#?}"
+        );
+    }
+
+    #[test]
+    fn misactivation_burst_raises_system_deviation() {
+        let mut m = monitor();
+        // 50 user events in quick succession (all within one trace-gap
+        // chain would be one long trace; space them to form many traces).
+        let mut flows = Vec::new();
+        for i in 0..50 {
+            flows.push(flow("ctl.cloud.com", i as f64 * 120.0, 800.0));
+        }
+        // Keep heartbeats alive so no periodic deviation fires.
+        for i in 0..60 {
+            flows.push(flow("hb.cloud.com", i as f64 * 100.0, 120.0));
+        }
+        let devs = m.process_window(&flows, 0.0, 6000.0);
+        // The repeated single-event traces match training (plug:on_off),
+        // so short-term stays quiet; that is exactly the case the
+        // long-term metric exists for — but here frequencies match the
+        // model too (every trace is the modeled trace), so nothing fires.
+        // Now replay with *pairs* of on_off per trace (unseen structure).
+        let mut flows2 = Vec::new();
+        for i in 0..30 {
+            flows2.push(flow("ctl.cloud.com", 10_000.0 + i as f64 * 120.0, 800.0));
+            flows2.push(flow("ctl.cloud.com", 10_005.0 + i as f64 * 120.0, 800.0));
+        }
+        for i in 0..60 {
+            flows2.push(flow("hb.cloud.com", 6000.0 + i as f64 * 100.0, 120.0));
+        }
+        let devs2 = m.process_window(&flows2, 6000.0, 14_000.0);
+        assert!(
+            devs2
+                .iter()
+                .any(|d| matches!(d.kind, DeviationKind::ShortTerm | DeviationKind::LongTerm)),
+            "quiet: {devs:#?} then {devs2:#?}"
+        );
+    }
+
+    #[test]
+    fn timers_persist_across_windows() {
+        let mut m = monitor();
+        let flows: Vec<FlowRecord> = (0..20)
+            .map(|i| flow("hb.cloud.com", i as f64 * 100.0, 120.0))
+            .collect();
+        let w1 = m.process_window(&flows, 0.0, 2000.0);
+        assert!(w1.is_empty(), "{w1:#?}");
+        // Next window has no heartbeats at all: the timer from window 1
+        // must still trigger the absence check.
+        let w2 = m.process_window(&[], 2000.0, 12_000.0);
+        assert!(
+            w2.iter().any(|d| d.kind == DeviationKind::PeriodicTiming),
+            "{w2:#?}"
+        );
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(DeviationKind::PeriodicTiming.label(), "periodic");
+        assert_eq!(DeviationKind::ShortTerm.label(), "short-term");
+        assert_eq!(DeviationKind::LongTerm.label(), "long-term");
+    }
+}

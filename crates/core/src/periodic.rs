@@ -1,0 +1,398 @@
+//! Periodic model inference and classification (§4.1).
+//!
+//! Training (on the idle dataset): flows are grouped per device by
+//! `(destination domain, protocol)`; each group's burst-start timestamps go
+//! through the DFT + autocorrelation period detector. Groups with validated
+//! periods become *periodic models*.
+//!
+//! Classification (on future traffic): a flow of a modeled group is a
+//! periodic event if the count-up timer since the group's previous event
+//! matches a model period; the remainder is checked against a DBSCAN
+//! clustering of the group's idle-time features (non-deterministic factors
+//! such as congestion defeat pure timers — the motivation for the second
+//! stage, ablated in `bench`).
+
+use behaviot_cluster::{Dbscan, DbscanModel, Standardizer};
+use behaviot_dsp::period::{detect_periods, PeriodConfig};
+use behaviot_flows::FlowRecord;
+use behaviot_net::Proto;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Key of one traffic group: device + destination + protocol.
+pub type GroupKey = (Ipv4Addr, String, Proto);
+
+/// Configuration for periodic-model training.
+#[derive(Debug, Clone)]
+pub struct PeriodicTrainConfig {
+    /// Period-detector settings.
+    pub detector: PeriodConfig,
+    /// Timer tolerance: a gap `g` matches period `T` when
+    /// `|g − kT|/T ≤ tol` for some integer `k ≥ 1` (k ≤ `max_missed`).
+    pub timer_tolerance: f64,
+    /// Maximum multiples of the period the timer will bridge (missed
+    /// occurrences).
+    pub max_missed: u32,
+    /// DBSCAN neighborhood radius on standardized features.
+    pub dbscan_eps: f64,
+    /// DBSCAN core-point density.
+    pub dbscan_min_pts: usize,
+    /// Cap on DBSCAN training points per group (subsampled evenly).
+    pub dbscan_max_train: usize,
+}
+
+impl Default for PeriodicTrainConfig {
+    fn default() -> Self {
+        Self {
+            detector: PeriodConfig::default(),
+            timer_tolerance: 0.3,
+            max_missed: 3,
+            dbscan_eps: 1.0,
+            dbscan_min_pts: 4,
+            dbscan_max_train: 1500,
+        }
+    }
+}
+
+/// One periodic model: a traffic group with validated period(s).
+#[derive(Debug, Clone)]
+pub struct PeriodicModel {
+    /// Device address.
+    pub device: Ipv4Addr,
+    /// Destination domain (or raw IP).
+    pub destination: String,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Validated periods, strongest first.
+    pub periods: Vec<f64>,
+    /// Number of idle flows the model was trained on.
+    pub n_train: usize,
+    standardizer: Standardizer,
+    cluster: DbscanModel,
+}
+
+impl PeriodicModel {
+    /// The dominant (strongest) period.
+    pub fn period(&self) -> f64 {
+        self.periods[0]
+    }
+
+    /// Does a count-up-timer gap match one of the model periods?
+    pub fn timer_matches(&self, gap: f64, cfg: &PeriodicTrainConfig) -> bool {
+        if gap <= 0.0 {
+            // Simultaneous with the previous event: several bursts of one
+            // occurrence (possible when congestion merges groups) — accept.
+            return true;
+        }
+        self.periods.iter().any(|&t| {
+            let k = (gap / t).round();
+            k >= 1.0 && k <= cfg.max_missed as f64 && (gap - k * t).abs() / t <= cfg.timer_tolerance
+        })
+    }
+
+    /// Does the flow's feature vector fall into one of the idle-traffic
+    /// clusters?
+    pub fn cluster_matches(&self, features: &[f64]) -> bool {
+        self.cluster
+            .predict(&self.standardizer.transform(features))
+            .is_some()
+    }
+}
+
+/// The set of periodic models of a deployment, keyed by traffic group.
+#[derive(Debug, Clone)]
+pub struct PeriodicModelSet {
+    models: HashMap<GroupKey, PeriodicModel>,
+    cfg: PeriodicTrainConfig,
+    /// Fraction of training flows whose group exhibited periodicity
+    /// ("Periodic Coverage" in Table 2).
+    pub train_coverage: f64,
+}
+
+impl PeriodicModelSet {
+    /// Train periodic models from idle-dataset flows.
+    pub fn train(idle_flows: &[FlowRecord], cfg: &PeriodicTrainConfig) -> Self {
+        let mut groups: HashMap<GroupKey, Vec<&FlowRecord>> = HashMap::new();
+        for f in idle_flows {
+            let (dest, proto) = f.group_key();
+            groups.entry((f.device, dest, proto)).or_default().push(f);
+        }
+        let mut models = HashMap::new();
+        let mut covered = 0usize;
+        for (key, flows) in groups {
+            let times: Vec<f64> = flows.iter().map(|f| f.start).collect();
+            let periods = detect_periods(&times, &cfg.detector);
+            if periods.is_empty() {
+                continue;
+            }
+            covered += flows.len();
+            let mut feats: Vec<Vec<f64>> = flows.iter().map(|f| f.features.to_vec()).collect();
+            if feats.len() > cfg.dbscan_max_train {
+                let stride = feats.len() / cfg.dbscan_max_train + 1;
+                feats = feats.into_iter().step_by(stride).collect();
+            }
+            let standardizer = Standardizer::fit(&feats).expect("non-empty group");
+            let transformed = standardizer.transform_all(&feats);
+            let (_, cluster) = Dbscan {
+                eps: cfg.dbscan_eps,
+                min_pts: cfg.dbscan_min_pts,
+            }
+            .fit(&transformed);
+            models.insert(
+                key.clone(),
+                PeriodicModel {
+                    device: key.0,
+                    destination: key.1,
+                    proto: key.2,
+                    periods: periods.iter().map(|p| p.period).collect(),
+                    n_train: flows.len(),
+                    standardizer,
+                    cluster,
+                },
+            );
+        }
+        let train_coverage = if idle_flows.is_empty() {
+            0.0
+        } else {
+            covered as f64 / idle_flows.len() as f64
+        };
+        PeriodicModelSet {
+            models,
+            cfg: cfg.clone(),
+            train_coverage,
+        }
+    }
+
+    /// Number of periodic models (the quantity of Table 4).
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Look up the model of a group.
+    pub fn get(&self, key: &GroupKey) -> Option<&PeriodicModel> {
+        self.models.get(key)
+    }
+
+    /// Iterate over all models.
+    pub fn iter(&self) -> impl Iterator<Item = &PeriodicModel> {
+        self.models.values()
+    }
+
+    /// Models per device.
+    pub fn per_device(&self) -> HashMap<Ipv4Addr, usize> {
+        let mut out: HashMap<Ipv4Addr, usize> = HashMap::new();
+        for m in self.models.values() {
+            *out.entry(m.device).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Classify a chronological sequence of flows: `true` entries are
+    /// periodic events. Timer state is kept per group across the call;
+    /// seed it with [`PeriodicClassifier`] for streaming use.
+    pub fn classify(&self, flows: &[FlowRecord]) -> Vec<bool> {
+        let mut clf = PeriodicClassifier::new(self);
+        flows.iter().map(|f| clf.classify(f)).collect()
+    }
+
+    /// Training configuration (exposed for ablation benches).
+    pub fn config(&self) -> &PeriodicTrainConfig {
+        &self.cfg
+    }
+}
+
+/// Streaming classifier holding per-group count-up timers.
+pub struct PeriodicClassifier<'a> {
+    set: &'a PeriodicModelSet,
+    last_seen: HashMap<GroupKey, f64>,
+    /// Disable the DBSCAN second stage (timer-only ablation).
+    pub timer_only: bool,
+}
+
+impl<'a> PeriodicClassifier<'a> {
+    /// New classifier with empty timers.
+    pub fn new(set: &'a PeriodicModelSet) -> Self {
+        Self {
+            set,
+            last_seen: HashMap::new(),
+            timer_only: false,
+        }
+    }
+
+    /// Classify one flow (flows must arrive in chronological order).
+    pub fn classify(&mut self, flow: &FlowRecord) -> bool {
+        let (dest, proto) = flow.group_key();
+        let key = (flow.device, dest, proto);
+        let Some(model) = self.set.models.get(&key) else {
+            return false;
+        };
+        let prev = self.last_seen.insert(key, flow.start);
+        let timer_hit = match prev {
+            Some(last) => model.timer_matches(flow.start - last, &self.set.cfg),
+            // First sighting in this stream: the timer has no reference
+            // yet; defer to the cluster check.
+            None => false,
+        };
+        if timer_hit {
+            return true;
+        }
+        if self.timer_only {
+            return false;
+        }
+        model.cluster_matches(&flow.features)
+    }
+
+    /// Current elapsed-time (`T0`) of a group relative to `now`, if the
+    /// group has been seen.
+    pub fn elapsed(&self, key: &GroupKey, now: f64) -> Option<f64> {
+        self.last_seen.get(key).map(|&t| now - t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use behaviot_flows::N_FEATURES;
+
+    fn flow(device: u8, dest: &str, start: f64, size: f64) -> FlowRecord {
+        let mut features = [0.0; N_FEATURES];
+        features[0] = size; // meanBytes
+        features[1] = size;
+        features[2] = size;
+        features[11] = 1.0;
+        FlowRecord {
+            device: Ipv4Addr::new(192, 168, 1, device),
+            remote: Ipv4Addr::new(52, 0, 0, 1),
+            device_port: 30000,
+            remote_port: 443,
+            proto: Proto::Tcp,
+            domain: Some(dest.to_string()),
+            start,
+            end: start + 0.1,
+            n_packets: 4,
+            total_bytes: size as u64 * 4,
+            features,
+        }
+    }
+
+    fn periodic_flows(device: u8, dest: &str, period: f64, n: usize) -> Vec<FlowRecord> {
+        (0..n)
+            .map(|i| flow(device, dest, 100.0 + i as f64 * period, 150.0))
+            .collect()
+    }
+
+    #[test]
+    fn trains_model_for_periodic_group() {
+        let flows = periodic_flows(10, "devs.cloud.com", 120.0, 400);
+        let set = PeriodicModelSet::train(&flows, &PeriodicTrainConfig::default());
+        assert_eq!(set.len(), 1);
+        let m = set.iter().next().unwrap();
+        assert!((m.period() - 120.0).abs() < 5.0, "{}", m.period());
+        assert!((set.train_coverage - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aperiodic_group_gets_no_model() {
+        // Irregular gaps.
+        let mut t = 0.0;
+        let flows: Vec<FlowRecord> = (0..200)
+            .map(|i| {
+                t += 37.0 + ((i * 7919) % 613) as f64;
+                flow(10, "rand.example.com", t, 200.0)
+            })
+            .collect();
+        let set = PeriodicModelSet::train(&flows, &PeriodicTrainConfig::default());
+        assert!(set.is_empty());
+        assert_eq!(set.train_coverage, 0.0);
+    }
+
+    #[test]
+    fn classify_timer_hits() {
+        let train = periodic_flows(10, "d.com", 100.0, 400);
+        let set = PeriodicModelSet::train(&train, &PeriodicTrainConfig::default());
+        let test = periodic_flows(10, "d.com", 100.0, 20);
+        let labels = set.classify(&test);
+        // All but possibly the very first (no timer reference, but cluster
+        // catches it) must be periodic.
+        assert!(labels.iter().filter(|&&b| b).count() >= 19);
+    }
+
+    #[test]
+    fn classify_congested_flow_caught_by_cluster() {
+        let train = periodic_flows(10, "d.com", 100.0, 400);
+        let set = PeriodicModelSet::train(&train, &PeriodicTrainConfig::default());
+        // A flow arriving completely off-schedule but with idle-like
+        // features.
+        let odd = vec![
+            flow(10, "d.com", 50.0, 150.0),
+            flow(10, "d.com", 95.0, 150.0),
+        ];
+        let labels = set.classify(&odd);
+        assert!(labels[1], "cluster stage should catch off-timer flow");
+        // Timer-only ablation misses it.
+        let mut clf = PeriodicClassifier::new(&set);
+        clf.timer_only = true;
+        assert!(!clf.classify(&odd[0]));
+        assert!(!clf.classify(&odd[1]));
+    }
+
+    #[test]
+    fn unknown_group_never_periodic() {
+        let train = periodic_flows(10, "d.com", 100.0, 400);
+        let set = PeriodicModelSet::train(&train, &PeriodicTrainConfig::default());
+        let other = vec![flow(10, "other.com", 100.0, 150.0)];
+        assert_eq!(set.classify(&other), vec![false]);
+        // Same destination, different device: separate group.
+        let other_dev = vec![flow(11, "d.com", 100.0, 150.0)];
+        assert_eq!(set.classify(&other_dev), vec![false]);
+    }
+
+    #[test]
+    fn user_like_flow_rejected_by_cluster() {
+        let train = periodic_flows(10, "d.com", 100.0, 400);
+        let set = PeriodicModelSet::train(&train, &PeriodicTrainConfig::default());
+        // Off schedule AND very different features.
+        let user = vec![
+            flow(10, "d.com", 42.0, 150.0),
+            flow(10, "d.com", 77.0, 2000.0),
+        ];
+        let labels = set.classify(&user);
+        assert!(!labels[1]);
+    }
+
+    #[test]
+    fn timer_bridges_missed_occurrences() {
+        let cfg = PeriodicTrainConfig::default();
+        let train = periodic_flows(10, "d.com", 100.0, 400);
+        let set = PeriodicModelSet::train(&train, &cfg);
+        let m = set.iter().next().unwrap();
+        assert!(m.timer_matches(100.0, &cfg));
+        assert!(m.timer_matches(200.0, &cfg)); // one missed
+        assert!(m.timer_matches(300.0, &cfg)); // two missed
+        assert!(!m.timer_matches(460.0, &cfg)); // beyond max_missed & off multiple
+        assert!(!m.timer_matches(151.0, &cfg));
+    }
+
+    #[test]
+    fn per_device_counts() {
+        let mut flows = periodic_flows(10, "a.com", 100.0, 300);
+        flows.extend(periodic_flows(10, "b.com", 300.0, 150));
+        flows.extend(periodic_flows(11, "a.com", 60.0, 500));
+        let set = PeriodicModelSet::train(&flows, &PeriodicTrainConfig::default());
+        let pd = set.per_device();
+        assert_eq!(pd[&Ipv4Addr::new(192, 168, 1, 10)], 2);
+        assert_eq!(pd[&Ipv4Addr::new(192, 168, 1, 11)], 1);
+    }
+
+    #[test]
+    fn empty_training() {
+        let set = PeriodicModelSet::train(&[], &PeriodicTrainConfig::default());
+        assert!(set.is_empty());
+        assert_eq!(set.train_coverage, 0.0);
+    }
+}

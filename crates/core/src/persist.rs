@@ -1,0 +1,388 @@
+//! Model persistence — lab-to-home deployment (§7.2).
+//!
+//! "Our approach does not require data to be collected from users; rather,
+//! models based on lab experiments can be pushed into home-network-based
+//! deployments." This module serializes the learned models to a compact,
+//! versioned, line-oriented text format and loads them back, so a gateway
+//! can run inference without ever training.
+//!
+//! The format is deliberately simple (no external serializers): one record
+//! per line, `|`-separated fields, strings percent-escaped. A header line
+//! carries a format version; loading rejects unknown versions.
+
+use crate::system::{SystemModel, SystemModelConfig};
+use behaviot_pfsm::TraceLog;
+use std::fmt::Write as _;
+
+/// Format version written by [`save_system_model`].
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors from loading persisted models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// Header missing or wrong magic.
+    BadHeader,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// A record line could not be parsed.
+    BadRecord {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::BadHeader => write!(f, "bad header"),
+            PersistError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            PersistError::BadRecord { line, reason } => {
+                write!(f, "bad record at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '|' => out.push_str("%7C"),
+            '%' => out.push_str("%25"),
+            '\n' => out.push_str("%0A"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '%' {
+            let hex: String = chars.by_ref().take(2).collect();
+            match hex.as_str() {
+                "7C" => out.push('|'),
+                "25" => out.push('%'),
+                "0A" => out.push('\n'),
+                _ => {
+                    out.push('%');
+                    out.push_str(&hex);
+                }
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Serialize a system model: the training traces (the PFSM is re-inferred
+/// deterministically on load — traces are the canonical artifact, exactly
+/// what the paper's release ships) plus the configuration.
+pub fn save_system_model(model: &SystemModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "behaviot-system|v{FORMAT_VERSION}");
+    let _ = writeln!(out, "cfg|{}", model.trace_gap());
+    for trace in &model.log.traces {
+        let labels: Vec<String> = trace
+            .iter()
+            .map(|&e| escape(model.log.vocab.name(e)))
+            .collect();
+        let _ = writeln!(out, "trace|{}", labels.join("|"));
+    }
+    out
+}
+
+/// Load a system model saved with [`save_system_model`].
+pub fn load_system_model(data: &str) -> Result<SystemModel, PersistError> {
+    let mut lines = data.lines().enumerate();
+    let (_, header) = lines.next().ok_or(PersistError::BadHeader)?;
+    let version = header
+        .strip_prefix("behaviot-system|v")
+        .and_then(|v| v.parse::<u32>().ok())
+        .ok_or(PersistError::BadHeader)?;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let mut cfg = SystemModelConfig::default();
+    let mut traces: Vec<Vec<String>> = Vec::new();
+    for (i, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split('|');
+        match parts.next() {
+            Some("cfg") => {
+                let gap: f64 =
+                    parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or(PersistError::BadRecord {
+                            line: i + 1,
+                            reason: "bad trace gap",
+                        })?;
+                if !(gap.is_finite() && gap > 0.0) {
+                    return Err(PersistError::BadRecord {
+                        line: i + 1,
+                        reason: "bad trace gap",
+                    });
+                }
+                cfg.trace_gap = gap;
+            }
+            Some("trace") => {
+                let t: Vec<String> = parts.map(unescape).collect();
+                if t.is_empty() {
+                    return Err(PersistError::BadRecord {
+                        line: i + 1,
+                        reason: "empty trace",
+                    });
+                }
+                traces.push(t);
+            }
+            _ => {
+                return Err(PersistError::BadRecord {
+                    line: i + 1,
+                    reason: "unknown record",
+                })
+            }
+        }
+    }
+    Ok(SystemModel::from_traces(&traces, &cfg))
+}
+
+/// Serialize the periodic models of a [`crate::BehavIoT`] instance as a
+/// portable inventory `(device, destination, proto, periods)`. Loading it
+/// on a gateway yields timer-based classification immediately; the DBSCAN
+/// stage retrains locally from the first idle day (its training input is
+/// unlabeled by definition).
+pub fn save_periodic_inventory(models: &crate::BehavIoT) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "behaviot-periodic|v{FORMAT_VERSION}");
+    let mut entries: Vec<_> = models.periodic.iter().collect();
+    entries.sort_by(|a, b| {
+        (a.device, &a.destination, a.proto).cmp(&(b.device, &b.destination, b.proto))
+    });
+    for m in entries {
+        let periods: Vec<String> = m.periods.iter().map(|p| format!("{p:.3}")).collect();
+        let _ = writeln!(
+            out,
+            "model|{}|{}|{}|{}",
+            m.device,
+            escape(&m.destination),
+            m.proto,
+            periods.join(",")
+        );
+    }
+    out
+}
+
+/// Parsed entry of a periodic inventory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeriodicInventoryEntry {
+    /// Device address.
+    pub device: std::net::Ipv4Addr,
+    /// Destination domain.
+    pub destination: String,
+    /// `"TCP"` or `"UDP"`.
+    pub proto: String,
+    /// Periods in seconds.
+    pub periods: Vec<f64>,
+}
+
+/// Load a periodic inventory saved with [`save_periodic_inventory`].
+pub fn load_periodic_inventory(data: &str) -> Result<Vec<PeriodicInventoryEntry>, PersistError> {
+    let mut lines = data.lines().enumerate();
+    let (_, header) = lines.next().ok_or(PersistError::BadHeader)?;
+    let version = header
+        .strip_prefix("behaviot-periodic|v")
+        .and_then(|v| v.parse::<u32>().ok())
+        .ok_or(PersistError::BadHeader)?;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let bad = |reason| PersistError::BadRecord {
+            line: i + 1,
+            reason,
+        };
+        let mut parts = line.split('|');
+        if parts.next() != Some("model") {
+            return Err(bad("unknown record"));
+        }
+        let device: std::net::Ipv4Addr = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or(bad("bad device"))?;
+        let destination = unescape(parts.next().ok_or(bad("missing destination"))?);
+        let proto = parts.next().ok_or(bad("missing proto"))?.to_string();
+        if proto != "TCP" && proto != "UDP" {
+            return Err(bad("bad proto"));
+        }
+        let periods: Result<Vec<f64>, _> = parts
+            .next()
+            .ok_or(bad("missing periods"))?
+            .split(',')
+            .map(|p| p.parse::<f64>().map_err(|_| bad("bad period")))
+            .collect();
+        let periods = periods?;
+        if periods.is_empty() || periods.iter().any(|p| !p.is_finite() || *p <= 0.0) {
+            return Err(bad("bad period"));
+        }
+        out.push(PeriodicInventoryEntry {
+            device,
+            destination,
+            proto,
+            periods,
+        });
+    }
+    Ok(out)
+}
+
+/// Convenience: serialize the traces held by a [`TraceLog`] (the raw
+/// artifact the paper's public release contains).
+pub fn save_trace_log(log: &TraceLog) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "behaviot-traces|v{FORMAT_VERSION}");
+    for trace in &log.traces {
+        let labels: Vec<String> = trace.iter().map(|&e| escape(log.vocab.name(e))).collect();
+        let _ = writeln!(out, "trace|{}", labels.join("|"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{TrainConfig, TrainingData};
+    use behaviot_flows::{FlowRecord, N_FEATURES};
+    use behaviot_net::Proto;
+    use std::collections::HashMap;
+    use std::net::Ipv4Addr;
+
+    fn traces() -> Vec<Vec<String>> {
+        vec![
+            vec!["cam:motion".into(), "bulb:on|off".into()],
+            vec!["spot:voice".into()],
+            vec![
+                "cam:motion".into(),
+                "bulb:on|off".into(),
+                "spot:voice".into(),
+            ],
+        ]
+    }
+
+    #[test]
+    fn system_model_roundtrip() {
+        let model = SystemModel::from_traces(&traces(), &SystemModelConfig::default());
+        let text = save_system_model(&model);
+        let loaded = load_system_model(&text).unwrap();
+        assert_eq!(loaded.pfsm.n_states(), model.pfsm.n_states());
+        assert_eq!(loaded.pfsm.n_transitions(), model.pfsm.n_transitions());
+        assert_eq!(loaded.trace_gap(), model.trace_gap());
+        // Scores agree (deterministic re-inference).
+        for t in traces() {
+            assert!((loaded.short_term_metric(&t) - model.short_term_metric(&t)).abs() < 1e-9);
+        }
+        // Escaped label with '|' survived.
+        assert!(loaded.accepts(&["cam:motion".into(), "bulb:on|off".into()]));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            load_system_model(""),
+            Err(PersistError::BadHeader)
+        ));
+        assert!(matches!(
+            load_system_model("behaviot-system|v99\n"),
+            Err(PersistError::BadVersion(99))
+        ));
+        assert!(matches!(
+            load_system_model("behaviot-system|v1\nwat|x\n"),
+            Err(PersistError::BadRecord { .. })
+        ));
+        assert!(matches!(
+            load_system_model("behaviot-system|v1\ncfg|-3\n"),
+            Err(PersistError::BadRecord { .. })
+        ));
+    }
+
+    fn trained_models() -> crate::BehavIoT {
+        let mk = |dest: &str, start: f64| {
+            let mut features = [0.0; N_FEATURES];
+            features[0] = 120.0;
+            FlowRecord {
+                device: Ipv4Addr::new(192, 168, 1, 10),
+                remote: Ipv4Addr::new(52, 0, 0, 1),
+                device_port: 30000,
+                remote_port: 443,
+                proto: Proto::Tcp,
+                domain: Some(dest.to_string()),
+                start,
+                end: start + 0.1,
+                n_packets: 4,
+                total_bytes: 480,
+                features,
+            }
+        };
+        let idle: Vec<FlowRecord> = (0..400)
+            .map(|i| mk("hb.example.com", i as f64 * 120.0))
+            .collect();
+        crate::BehavIoT::train(
+            &TrainingData::from_flows(idle, std::iter::empty(), HashMap::new()),
+            &TrainConfig::default(),
+        )
+    }
+
+    #[test]
+    fn periodic_inventory_roundtrip() {
+        let models = trained_models();
+        let text = save_periodic_inventory(&models);
+        let entries = load_periodic_inventory(&text).unwrap();
+        assert_eq!(entries.len(), models.periodic.len());
+        let e = &entries[0];
+        assert_eq!(e.destination, "hb.example.com");
+        assert_eq!(e.proto, "TCP");
+        assert!((e.periods[0] - 120.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn inventory_rejects_bad_records() {
+        assert!(load_periodic_inventory("behaviot-periodic|v1\nmodel|x|d|TCP|60").is_err());
+        assert!(load_periodic_inventory("behaviot-periodic|v1\nmodel|1.2.3.4|d|ICMP|60").is_err());
+        assert!(load_periodic_inventory("behaviot-periodic|v1\nmodel|1.2.3.4|d|TCP|-1").is_err());
+        assert!(load_periodic_inventory("nope").is_err());
+    }
+
+    #[test]
+    fn escaping_roundtrip() {
+        for s in [
+            "plain",
+            "with|pipe",
+            "with%percent",
+            "new\nline",
+            "%7C literal",
+        ] {
+            assert_eq!(unescape(&escape(s)), s, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn trace_log_save() {
+        let mut log = TraceLog::new();
+        log.push_trace(&["a", "b"]);
+        let text = save_trace_log(&log);
+        assert!(text.starts_with("behaviot-traces|v1"));
+        assert!(text.contains("trace|a|b"));
+    }
+}

@@ -1,0 +1,162 @@
+//! MUD-style device profile export (§7.2 "Informing IoT profiles").
+//!
+//! RFC 8520 (Manufacturer Usage Description) profiles describe a device's
+//! intended communication. None of the paper's 49 devices shipped one; the
+//! paper proposes generating profiles from the learned behavior models.
+//! This module renders a device's periodic models and user activities as a
+//! MUD-flavored JSON document using a small built-in JSON emitter (no
+//! external dependencies).
+
+use crate::events::BehavIoT;
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+
+/// Escape a string for JSON embedding.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the MUD-like profile of one device from its trained models.
+///
+/// The document lists each periodic model as an ACL entry
+/// `(destination, protocol, period)` and each modeled user activity as an
+/// on-demand ACL entry. An empty profile (device without models) is still
+/// a valid document.
+pub fn mud_profile(models: &BehavIoT, device: Ipv4Addr) -> String {
+    let name = models
+        .names
+        .get(&device)
+        .cloned()
+        .unwrap_or_else(|| device.to_string());
+    let mut acls: Vec<String> = Vec::new();
+    let mut periodic: Vec<_> = models
+        .periodic
+        .iter()
+        .filter(|m| m.device == device)
+        .collect();
+    periodic.sort_by(|a, b| {
+        a.destination
+            .cmp(&b.destination)
+            .then(a.proto.cmp(&b.proto))
+    });
+    for m in periodic {
+        acls.push(format!(
+            "{{\"name\":\"periodic-{}\",\"protocol\":\"{}\",\"destination\":\"{}\",\"period-seconds\":{:.1},\"cadence\":\"periodic\"}}",
+            esc(&m.destination),
+            m.proto,
+            esc(&m.destination),
+            m.period()
+        ));
+    }
+    let mut acts = models.user.activities(device);
+    acts.sort();
+    for a in acts {
+        acls.push(format!(
+            "{{\"name\":\"user-{}\",\"cadence\":\"on-demand\",\"activity\":\"{}\"}}",
+            esc(a),
+            esc(a)
+        ));
+    }
+    format!(
+        "{{\"ietf-mud:mud\":{{\"mud-version\":1,\"systeminfo\":\"{}\",\"cache-validity\":48,\"is-supported\":true,\"behaviot:acls\":[{}]}}}}",
+        esc(&name),
+        acls.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{TrainConfig, TrainingData};
+    use behaviot_flows::{FlowRecord, N_FEATURES};
+    use behaviot_net::Proto;
+    use std::collections::HashMap;
+
+    const DEV: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 10);
+
+    fn flow(dest: &str, start: f64, size: f64) -> FlowRecord {
+        let mut features = [0.0; N_FEATURES];
+        features[0] = size;
+        FlowRecord {
+            device: DEV,
+            remote: Ipv4Addr::new(52, 0, 0, 1),
+            device_port: 30000,
+            remote_port: 443,
+            proto: Proto::Tcp,
+            domain: Some(dest.to_string()),
+            start,
+            end: start + 0.1,
+            n_packets: 4,
+            total_bytes: size as u64 * 4,
+            features,
+        }
+    }
+
+    fn trained() -> BehavIoT {
+        let idle: Vec<FlowRecord> = (0..400)
+            .map(|i| flow("devs.tplinkcloud.com", i as f64 * 236.0, 120.0))
+            .collect();
+        let activity: Vec<(FlowRecord, Option<String>)> = (0..30)
+            .map(|i| {
+                (
+                    flow("devs.tplinkcloud.com", i as f64 * 75.0, 800.0),
+                    Some("on_off".into()),
+                )
+            })
+            .collect();
+        let refs: Vec<(&FlowRecord, Option<&str>)> =
+            activity.iter().map(|(f, l)| (f, l.as_deref())).collect();
+        let mut names = HashMap::new();
+        names.insert(DEV, "TPLink Plug".to_string());
+        BehavIoT::train(
+            &TrainingData::from_flows(idle, refs, names),
+            &TrainConfig::default(),
+        )
+    }
+
+    #[test]
+    fn profile_contains_models() {
+        let models = trained();
+        let json = mud_profile(&models, DEV);
+        assert!(json.contains("\"systeminfo\":\"TPLink Plug\""));
+        assert!(json.contains("devs.tplinkcloud.com"));
+        assert!(json.contains("\"period-seconds\":236"));
+        assert!(json.contains("\"activity\":\"on_off\""));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn unknown_device_valid_empty_profile() {
+        let models = trained();
+        let json = mud_profile(&models, Ipv4Addr::new(192, 168, 1, 99));
+        assert!(json.contains("\"behaviot:acls\":[]"));
+        assert!(json.contains("192.168.1.99"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+        assert_eq!(esc("plain"), "plain");
+    }
+
+    #[test]
+    fn profile_is_deterministic() {
+        let models = trained();
+        assert_eq!(mud_profile(&models, DEV), mud_profile(&models, DEV));
+    }
+}

@@ -1,0 +1,243 @@
+//! System behavior modeling (§4.2): user events → event traces → PFSM.
+
+use crate::event::InferredEvent;
+use behaviot_pfsm::{Pfsm, PfsmConfig, TraceLog};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Configuration of the system model.
+#[derive(Debug, Clone)]
+pub struct SystemModelConfig {
+    /// Consecutive user events further apart than this (seconds) start a
+    /// new trace (1 minute in the paper, like prior work \[33, 66, 76\]).
+    pub trace_gap: f64,
+    /// PFSM inference settings.
+    pub pfsm: PfsmConfig,
+}
+
+impl Default for SystemModelConfig {
+    fn default() -> Self {
+        Self {
+            trace_gap: 60.0,
+            pfsm: PfsmConfig::default(),
+        }
+    }
+}
+
+/// The inferred system behavior model: the PFSM plus the statistics of the
+/// training traces needed by the deviation metrics.
+#[derive(Debug, Clone)]
+pub struct SystemModel {
+    /// The probabilistic state machine.
+    pub pfsm: Pfsm,
+    /// The training log (owns the event vocabulary).
+    pub log: TraceLog,
+    /// Mean of the short-term metric over training traces.
+    pub train_score_mean: f64,
+    /// Standard deviation of the short-term metric over training traces.
+    pub train_score_std: f64,
+    cfg: SystemModelConfig,
+}
+
+/// Split chronologically ordered user events into traces of PFSM labels at
+/// gaps larger than `trace_gap`. Non-user events are ignored.
+pub fn traces_from_events(
+    events: &[InferredEvent],
+    names: &HashMap<Ipv4Addr, String>,
+    trace_gap: f64,
+) -> Vec<Vec<String>> {
+    let mut user: Vec<(f64, String)> = events
+        .iter()
+        .filter_map(|e| e.pfsm_label(names).map(|l| (e.ts, l)))
+        .collect();
+    user.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN event time"));
+    let mut traces: Vec<Vec<String>> = Vec::new();
+    let mut cur: Vec<String> = Vec::new();
+    let mut last_ts = f64::NEG_INFINITY;
+    for (ts, label) in user {
+        if !cur.is_empty() && ts - last_ts > trace_gap {
+            traces.push(std::mem::take(&mut cur));
+        }
+        cur.push(label);
+        last_ts = ts;
+    }
+    if !cur.is_empty() {
+        traces.push(cur);
+    }
+    traces
+}
+
+impl SystemModel {
+    /// Build the system model from the user events of an observation
+    /// period.
+    pub fn build(
+        events: &[InferredEvent],
+        names: &HashMap<Ipv4Addr, String>,
+        cfg: &SystemModelConfig,
+    ) -> Self {
+        let traces = traces_from_events(events, names, cfg.trace_gap);
+        Self::from_traces(&traces, cfg)
+    }
+
+    /// Build directly from label traces (used by evaluation code that
+    /// perturbs traces).
+    pub fn from_traces(traces: &[Vec<String>], cfg: &SystemModelConfig) -> Self {
+        let mut log = TraceLog::new();
+        for t in traces {
+            log.push_trace(t);
+        }
+        let pfsm = Pfsm::infer(&log, &cfg.pfsm);
+        // Short-term metric statistics over the training traces.
+        let scores: Vec<f64> = traces
+            .iter()
+            .filter(|t| !t.is_empty())
+            .map(|t| short_term_of(&pfsm, &log, t))
+            .collect();
+        let mean = behaviot_dsp::stats::mean(&scores);
+        let std = behaviot_dsp::stats::std_dev(&scores);
+        SystemModel {
+            pfsm,
+            log,
+            train_score_mean: mean,
+            train_score_std: std,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// The short-term deviation metric of a trace:
+    /// `A_T = 1 − log10(P_T)` where `P_T` is the (smoothed) probability of
+    /// the trace under the PFSM. `A_T = 1` means "as expected".
+    pub fn short_term_metric(&self, trace: &[String]) -> f64 {
+        short_term_of(&self.pfsm, &self.log, trace)
+    }
+
+    /// The §5.3 significance threshold: `μ + nσ` over the training traces
+    /// (`n = 3` in the paper).
+    pub fn short_term_threshold(&self, n_sigma: f64) -> f64 {
+        self.train_score_mean + n_sigma * self.train_score_std
+    }
+
+    /// Does the PFSM accept a trace without smoothing (only transitions
+    /// observed in training)?
+    pub fn accepts(&self, trace: &[String]) -> bool {
+        let resolved = self.log.resolve(trace);
+        self.pfsm.accepts(&resolved)
+    }
+
+    /// Configured trace gap.
+    pub fn trace_gap(&self) -> f64 {
+        self.cfg.trace_gap
+    }
+
+    /// The devices the system model covers (the prefix before `:` of every
+    /// vocabulary label). Events from other devices cannot be judged by
+    /// this model and are excluded from monitoring traces.
+    pub fn known_devices(&self) -> std::collections::HashSet<String> {
+        (0..self.log.vocab.len() as u32)
+            .map(|i| {
+                let name = self.log.vocab.name(behaviot_pfsm::EventId(i));
+                name.split(':').next().unwrap_or(name).to_string()
+            })
+            .collect()
+    }
+}
+
+fn short_term_of(pfsm: &Pfsm, log: &TraceLog, trace: &[String]) -> f64 {
+    let resolved = log.resolve(trace);
+    1.0 - pfsm.score(&resolved).log10_prob
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use behaviot_net::Proto;
+
+    fn user_event(ts: f64, dev_last_octet: u8, activity: &str) -> InferredEvent {
+        InferredEvent {
+            ts,
+            device: Ipv4Addr::new(192, 168, 1, dev_last_octet),
+            destination: "d".into(),
+            proto: Proto::Tcp,
+            kind: EventKind::User {
+                activity: activity.into(),
+                confidence: 1.0,
+            },
+        }
+    }
+
+    fn names() -> HashMap<Ipv4Addr, String> {
+        let mut m = HashMap::new();
+        m.insert(Ipv4Addr::new(192, 168, 1, 10), "cam".to_string());
+        m.insert(Ipv4Addr::new(192, 168, 1, 11), "bulb".to_string());
+        m
+    }
+
+    #[test]
+    fn trace_segmentation_at_gap() {
+        let events = vec![
+            user_event(0.0, 10, "motion"),
+            user_event(5.0, 11, "on"),
+            user_event(100.0, 10, "motion"), // 95 s gap -> new trace
+            user_event(103.0, 11, "on"),
+        ];
+        let traces = traces_from_events(&events, &names(), 60.0);
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0], vec!["cam:motion", "bulb:on"]);
+        assert_eq!(traces[1], vec!["cam:motion", "bulb:on"]);
+    }
+
+    #[test]
+    fn non_user_events_excluded() {
+        let mut events = vec![user_event(0.0, 10, "motion")];
+        events.push(InferredEvent {
+            ts: 1.0,
+            device: Ipv4Addr::new(192, 168, 1, 10),
+            destination: "d".into(),
+            proto: Proto::Tcp,
+            kind: EventKind::Aperiodic,
+        });
+        let traces = traces_from_events(&events, &names(), 60.0);
+        assert_eq!(traces, vec![vec!["cam:motion".to_string()]]);
+    }
+
+    #[test]
+    fn model_accepts_training_and_scores_unseen_higher() {
+        let traces: Vec<Vec<String>> = (0..20)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec!["cam:motion".into(), "bulb:on".into()]
+                } else {
+                    vec!["spot:voice".into(), "bulb:on".into(), "bulb:off".into()]
+                }
+            })
+            .collect();
+        let m = SystemModel::from_traces(&traces, &SystemModelConfig::default());
+        assert!(m.accepts(&["cam:motion".into(), "bulb:on".into()]));
+        let seen = m.short_term_metric(&["cam:motion".into(), "bulb:on".into()]);
+        let unseen =
+            m.short_term_metric(&["bulb:off".into(), "ghost:event".into(), "cam:motion".into()]);
+        assert!(unseen > seen, "{unseen} vs {seen}");
+        assert!(seen >= 1.0);
+        let thr = m.short_term_threshold(3.0);
+        assert!(unseen > thr, "unseen {unseen} thr {thr}");
+        assert!(seen <= thr, "seen {seen} thr {thr}");
+    }
+
+    #[test]
+    fn empty_events_empty_model() {
+        let m = SystemModel::build(&[], &names(), &SystemModelConfig::default());
+        assert_eq!(m.pfsm.n_states(), 2);
+        assert_eq!(m.train_score_mean, 0.0);
+    }
+
+    #[test]
+    fn unsorted_events_are_ordered() {
+        let events = vec![user_event(50.0, 11, "on"), user_event(0.0, 10, "motion")];
+        let traces = traces_from_events(&events, &names(), 60.0);
+        assert_eq!(
+            traces,
+            vec![vec!["cam:motion".to_string(), "bulb:on".to_string()]]
+        );
+    }
+}

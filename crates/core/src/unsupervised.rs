@@ -1,0 +1,202 @@
+//! Unsupervised user-action discovery — the §7.3 "future work" extension.
+//!
+//! The paper's user-action models need ground-truth labels; §7.3 notes that
+//! when labels are unavailable, incomplete, or stale, "user-action models
+//! built using unsupervised clustering methods" can fill the gap. This
+//! module implements that: flows that are *not* periodic events are
+//! clustered with DBSCAN over the 21 features; each dense cluster becomes a
+//! pseudo-activity (`cluster-0`, `cluster-1`, ...) usable for trace
+//! construction and deviation monitoring without any labeling effort.
+
+use crate::periodic::PeriodicModelSet;
+use behaviot_cluster::{Dbscan, DbscanModel, Standardizer};
+use behaviot_flows::{FeatureVector, FlowRecord};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Configuration for unsupervised discovery.
+#[derive(Debug, Clone)]
+pub struct UnsupervisedConfig {
+    /// DBSCAN neighborhood radius on standardized features.
+    pub eps: f64,
+    /// Minimum cluster density. Events rarer than this never form a
+    /// pseudo-activity.
+    pub min_pts: usize,
+    /// Devices need at least this many non-periodic flows to be modeled.
+    pub min_flows: usize,
+}
+
+impl Default for UnsupervisedConfig {
+    fn default() -> Self {
+        Self {
+            eps: 0.8,
+            min_pts: 5,
+            min_flows: 10,
+        }
+    }
+}
+
+/// Per-device clusters of non-periodic traffic: pseudo user-action models.
+#[derive(Debug, Clone)]
+pub struct UnsupervisedUserModels {
+    per_device: HashMap<Ipv4Addr, (Standardizer, DbscanModel)>,
+}
+
+impl UnsupervisedUserModels {
+    /// Discover pseudo-activities from an *unlabeled* capture: every flow
+    /// that the periodic models cannot claim is clustering input.
+    pub fn discover(
+        flows: &[FlowRecord],
+        periodic: &PeriodicModelSet,
+        cfg: &UnsupervisedConfig,
+    ) -> Self {
+        // Partition candidate flows per device (chronological order is
+        // preserved by construction for the timer state).
+        let periodic_flags = periodic.classify(flows);
+        let mut per_device_flows: HashMap<Ipv4Addr, Vec<&FlowRecord>> = HashMap::new();
+        for (f, &is_periodic) in flows.iter().zip(&periodic_flags) {
+            if !is_periodic {
+                per_device_flows.entry(f.device).or_default().push(f);
+            }
+        }
+        let mut per_device = HashMap::new();
+        for (device, flows) in per_device_flows {
+            if flows.len() < cfg.min_flows {
+                continue;
+            }
+            let feats: Vec<Vec<f64>> = flows.iter().map(|f| f.features.to_vec()).collect();
+            let Some(standardizer) = Standardizer::fit(&feats) else {
+                continue;
+            };
+            let transformed = standardizer.transform_all(&feats);
+            let (_, model) = Dbscan {
+                eps: cfg.eps,
+                min_pts: cfg.min_pts,
+            }
+            .fit(&transformed);
+            if model.n_clusters() > 0 {
+                per_device.insert(device, (standardizer, model));
+            }
+        }
+        UnsupervisedUserModels { per_device }
+    }
+
+    /// Total number of discovered pseudo-activities.
+    pub fn n_pseudo_activities(&self) -> usize {
+        self.per_device.values().map(|(_, m)| m.n_clusters()).sum()
+    }
+
+    /// Number of devices with at least one pseudo-activity.
+    pub fn n_devices(&self) -> usize {
+        self.per_device.len()
+    }
+
+    /// Classify a flow into a pseudo-activity label (`"cluster-N"`), or
+    /// `None` when the flow matches no discovered cluster.
+    pub fn classify(&self, device: Ipv4Addr, features: &FeatureVector) -> Option<String> {
+        let (standardizer, model) = self.per_device.get(&device)?;
+        let cluster = model.predict(&standardizer.transform(features))?;
+        Some(format!("cluster-{cluster}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::periodic::PeriodicTrainConfig;
+    use behaviot_flows::N_FEATURES;
+    use behaviot_net::Proto;
+
+    const DEV: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 10);
+
+    fn flow(dest: &str, start: f64, size: f64) -> FlowRecord {
+        let mut features = [0.0; N_FEATURES];
+        features[0] = size;
+        features[1] = size - 5.0;
+        features[2] = size + 5.0;
+        features[11] = 2.0;
+        FlowRecord {
+            device: DEV,
+            remote: Ipv4Addr::new(52, 0, 0, 1),
+            device_port: 30000,
+            remote_port: 443,
+            proto: Proto::Tcp,
+            domain: Some(dest.to_string()),
+            start,
+            end: start + 0.1,
+            n_packets: 4,
+            total_bytes: size as u64 * 4,
+            features,
+        }
+    }
+
+    fn setup() -> (Vec<FlowRecord>, PeriodicModelSet) {
+        // Heartbeats every 100 s plus two recurring "activities" at
+        // distinctive sizes, with irregular timing.
+        let mut flows: Vec<FlowRecord> = (0..400)
+            .map(|i| flow("hb.cloud.com", i as f64 * 100.0, 120.0))
+            .collect();
+        for i in 0..30 {
+            flows.push(flow(
+                "ctl.cloud.com",
+                37.0 + i as f64 * 977.0,
+                800.0 + (i % 3) as f64,
+            ));
+            flows.push(flow(
+                "ctl.cloud.com",
+                411.0 + i as f64 * 1213.0,
+                500.0 + (i % 3) as f64,
+            ));
+        }
+        flows.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        let periodic = PeriodicModelSet::train(
+            &flows
+                .iter()
+                .filter(|f| f.domain.as_deref() == Some("hb.cloud.com"))
+                .cloned()
+                .collect::<Vec<_>>(),
+            &PeriodicTrainConfig::default(),
+        );
+        (flows, periodic)
+    }
+
+    #[test]
+    fn discovers_two_pseudo_activities() {
+        let (flows, periodic) = setup();
+        let m = UnsupervisedUserModels::discover(&flows, &periodic, &UnsupervisedConfig::default());
+        assert_eq!(m.n_devices(), 1);
+        assert_eq!(m.n_pseudo_activities(), 2, "{}", m.n_pseudo_activities());
+        // Same-size flows land in the same cluster; different sizes differ.
+        let a = m
+            .classify(DEV, &flow("ctl.cloud.com", 0.0, 801.0).features)
+            .unwrap();
+        let b = m
+            .classify(DEV, &flow("ctl.cloud.com", 0.0, 501.0).features)
+            .unwrap();
+        assert_ne!(a, b);
+        let a2 = m
+            .classify(DEV, &flow("ctl.cloud.com", 0.0, 800.0).features)
+            .unwrap();
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn periodic_flows_not_clustered() {
+        let (flows, periodic) = setup();
+        let m = UnsupervisedUserModels::discover(&flows, &periodic, &UnsupervisedConfig::default());
+        // A heartbeat-like feature vector does not match pseudo-activities
+        // (heartbeats were excluded from clustering input).
+        assert!(m
+            .classify(DEV, &flow("hb.cloud.com", 0.0, 120.0).features)
+            .is_none());
+    }
+
+    #[test]
+    fn sparse_devices_skipped() {
+        let flows: Vec<FlowRecord> = (0..5).map(|i| flow("x.com", i as f64, 100.0)).collect();
+        let periodic = PeriodicModelSet::train(&[], &PeriodicTrainConfig::default());
+        let m = UnsupervisedUserModels::discover(&flows, &periodic, &UnsupervisedConfig::default());
+        assert_eq!(m.n_devices(), 0);
+        assert!(m.classify(DEV, &flows[0].features).is_none());
+    }
+}

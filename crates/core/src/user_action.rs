@@ -1,0 +1,281 @@
+//! User-action models (§4.1 + Appendix B).
+//!
+//! One binary Random Forest per `(device, activity)` over the 21 flow
+//! features. At prediction time all of a device's classifiers run; the
+//! most confident positive wins, and a flow with no positive classifier is
+//! *not* a user event (it falls through to the periodic/aperiodic stages).
+
+use behaviot_flows::{FeatureVector, N_FEATURES};
+use behaviot_forest::{RandomForest, RandomForestConfig};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Training configuration.
+#[derive(Debug, Clone)]
+pub struct UserActionTrainConfig {
+    /// Forest hyperparameters (seed is re-derived per model).
+    pub forest: RandomForestConfig,
+    /// Negative samples are capped at this multiple of the positives.
+    pub max_negative_ratio: f64,
+    /// Activities with fewer positive samples than this are skipped.
+    pub min_positives: usize,
+    /// Minimum positive-classifier confidence for a flow to be called a
+    /// user event. Raising this trades false positives (idle flows that
+    /// resemble activities, §5.1's FPR) against false negatives.
+    pub confidence_threshold: f64,
+}
+
+impl Default for UserActionTrainConfig {
+    fn default() -> Self {
+        Self {
+            forest: RandomForestConfig {
+                n_trees: 60,
+                ..Default::default()
+            },
+            max_negative_ratio: 15.0,
+            min_positives: 4,
+            confidence_threshold: 0.7,
+        }
+    }
+}
+
+/// One training sample: a flow's features plus its ground truth — the
+/// activity name for labeled user-event flows, `None` for background
+/// (periodic/aperiodic) flows of the same device.
+#[derive(Debug, Clone)]
+pub struct TrainingSample {
+    /// Device address.
+    pub device: Ipv4Addr,
+    /// `Some(activity)` for user events, `None` for background.
+    pub activity: Option<String>,
+    /// The 21 features.
+    pub features: FeatureVector,
+}
+
+/// The per-device set of binary user-action classifiers.
+#[derive(Debug, Clone)]
+pub struct UserActionModels {
+    models: HashMap<Ipv4Addr, Vec<(String, RandomForest)>>,
+    confidence_threshold: f64,
+}
+
+impl UserActionModels {
+    /// Train from labeled samples.
+    pub fn train(samples: &[TrainingSample], cfg: &UserActionTrainConfig) -> Self {
+        let mut per_device: HashMap<Ipv4Addr, Vec<&TrainingSample>> = HashMap::new();
+        for s in samples {
+            per_device.entry(s.device).or_default().push(s);
+        }
+        let mut models: HashMap<Ipv4Addr, Vec<(String, RandomForest)>> = HashMap::new();
+        for (device, dev_samples) in per_device {
+            let mut activities: Vec<String> = dev_samples
+                .iter()
+                .filter_map(|s| s.activity.clone())
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            activities.sort();
+            let mut dev_models = Vec::new();
+            for (ai, act) in activities.iter().enumerate() {
+                let positives: Vec<&&TrainingSample> = dev_samples
+                    .iter()
+                    .filter(|s| s.activity.as_deref() == Some(act))
+                    .collect();
+                if positives.len() < cfg.min_positives {
+                    continue;
+                }
+                // Other activities of the same device are the hard
+                // negatives — keep every one of them (they are few and
+                // subsampling them away would let this classifier claim a
+                // sibling activity's flows). Only the plentiful background
+                // negatives are subsampled.
+                let rival_neg: Vec<&&TrainingSample> = dev_samples
+                    .iter()
+                    .filter(|s| s.activity.is_some() && s.activity.as_deref() != Some(act))
+                    .collect();
+                let background: Vec<&&TrainingSample> = dev_samples
+                    .iter()
+                    .filter(|s| s.activity.is_none())
+                    .collect();
+                let max_neg = ((positives.len() as f64 * cfg.max_negative_ratio) as usize).max(1);
+                let neg_stride = (background.len() / max_neg).max(1);
+                let mut kept_neg: Vec<&&TrainingSample> = rival_neg;
+                kept_neg.extend(background.iter().step_by(neg_stride).copied());
+
+                let mut x: Vec<Vec<f64>> = Vec::with_capacity(positives.len() + kept_neg.len());
+                let mut y: Vec<bool> = Vec::with_capacity(x.capacity());
+                for s in &positives {
+                    x.push(s.features.to_vec());
+                    y.push(true);
+                }
+                for s in &kept_neg {
+                    x.push(s.features.to_vec());
+                    y.push(false);
+                }
+                let seed = cfg
+                    .forest
+                    .seed
+                    .wrapping_add(u64::from(u32::from(device)))
+                    .wrapping_mul(0x9e3779b97f4a7c15)
+                    .wrapping_add(ai as u64);
+                let forest = RandomForest::fit(&x, &y, &RandomForestConfig { seed, ..cfg.forest });
+                dev_models.push((act.clone(), forest));
+            }
+            if !dev_models.is_empty() {
+                models.insert(device, dev_models);
+            }
+        }
+        UserActionModels {
+            models,
+            confidence_threshold: cfg.confidence_threshold,
+        }
+    }
+
+    /// Total number of user-action models (the "57 user-action models"
+    /// statistic of §6.1).
+    pub fn n_models(&self) -> usize {
+        self.models.values().map(|v| v.len()).sum()
+    }
+
+    /// Number of devices with at least one model.
+    pub fn n_devices(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Activity names modeled for a device.
+    pub fn activities(&self, device: Ipv4Addr) -> Vec<&str> {
+        self.models
+            .get(&device)
+            .map(|v| v.iter().map(|(a, _)| a.as_str()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Classify a flow of `device`: the most confident positive classifier
+    /// wins; `None` when no classifier fires (not a user event).
+    pub fn classify(&self, device: Ipv4Addr, features: &FeatureVector) -> Option<(String, f64)> {
+        debug_assert_eq!(features.len(), N_FEATURES);
+        let dev_models = self.models.get(&device)?;
+        let mut best: Option<(&str, f64)> = None;
+        for (act, forest) in dev_models {
+            let p = forest.predict_proba(features);
+            if p >= self.confidence_threshold && best.is_none_or(|(_, bp)| p > bp) {
+                best = Some((act, p));
+            }
+        }
+        best.map(|(a, p)| (a.to_string(), p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEV: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 10);
+
+    fn sample(
+        device: Ipv4Addr,
+        activity: Option<&str>,
+        mean_bytes: f64,
+        n_out: f64,
+    ) -> TrainingSample {
+        let mut features = [0.0; N_FEATURES];
+        features[0] = mean_bytes;
+        features[1] = mean_bytes - 10.0;
+        features[2] = mean_bytes + 10.0;
+        features[11] = n_out;
+        features[13] = n_out * 2.0;
+        TrainingSample {
+            device,
+            activity: activity.map(str::to_string),
+            features,
+        }
+    }
+
+    fn dataset() -> Vec<TrainingSample> {
+        let mut out = Vec::new();
+        for i in 0..30 {
+            let wiggle = (i % 5) as f64;
+            out.push(sample(DEV, Some("on_off"), 200.0 + wiggle, 2.0));
+            out.push(sample(DEV, Some("color"), 400.0 + wiggle, 3.0));
+            // background heartbeats
+            out.push(sample(DEV, None, 90.0 + wiggle, 1.0));
+            out.push(sample(DEV, None, 95.0 + wiggle, 1.0));
+        }
+        out
+    }
+
+    #[test]
+    fn learns_and_classifies_activities() {
+        let m = UserActionModels::train(&dataset(), &UserActionTrainConfig::default());
+        assert_eq!(m.n_models(), 2);
+        assert_eq!(m.n_devices(), 1);
+        let (act, conf) = m
+            .classify(DEV, &sample(DEV, None, 201.0, 2.0).features)
+            .unwrap();
+        assert_eq!(act, "on_off");
+        assert!(conf >= 0.5);
+        let (act, _) = m
+            .classify(DEV, &sample(DEV, None, 398.0, 3.0).features)
+            .unwrap();
+        assert_eq!(act, "color");
+    }
+
+    #[test]
+    fn background_not_user_event() {
+        let m = UserActionModels::train(&dataset(), &UserActionTrainConfig::default());
+        assert!(m
+            .classify(DEV, &sample(DEV, None, 92.0, 1.0).features)
+            .is_none());
+    }
+
+    #[test]
+    fn unknown_device_none() {
+        let m = UserActionModels::train(&dataset(), &UserActionTrainConfig::default());
+        let other = Ipv4Addr::new(192, 168, 1, 99);
+        assert!(m
+            .classify(other, &sample(DEV, None, 200.0, 2.0).features)
+            .is_none());
+    }
+
+    #[test]
+    fn min_positives_skips_rare_activities() {
+        let mut data = dataset();
+        data.push(sample(DEV, Some("rare"), 999.0, 9.0));
+        let m = UserActionModels::train(&data, &UserActionTrainConfig::default());
+        assert_eq!(m.n_models(), 2);
+        assert!(!m.activities(DEV).contains(&"rare"));
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let cfg = UserActionTrainConfig::default();
+        let m1 = UserActionModels::train(&dataset(), &cfg);
+        let m2 = UserActionModels::train(&dataset(), &cfg);
+        let probe = sample(DEV, None, 210.0, 2.0).features;
+        assert_eq!(m1.classify(DEV, &probe), m2.classify(DEV, &probe));
+    }
+
+    #[test]
+    fn devices_are_isolated() {
+        let dev2 = Ipv4Addr::new(192, 168, 1, 11);
+        let mut data = dataset();
+        for i in 0..30 {
+            data.push(sample(dev2, Some("ring"), 600.0 + (i % 3) as f64, 4.0));
+            data.push(sample(dev2, None, 100.0, 1.0));
+        }
+        let m = UserActionModels::train(&data, &UserActionTrainConfig::default());
+        // DEV's classifier set doesn't know "ring".
+        assert!(!m.activities(DEV).contains(&"ring"));
+        let (act, _) = m
+            .classify(dev2, &sample(dev2, None, 600.0, 4.0).features)
+            .unwrap();
+        assert_eq!(act, "ring");
+    }
+
+    #[test]
+    fn empty_training_set() {
+        let m = UserActionModels::train(&[], &UserActionTrainConfig::default());
+        assert_eq!(m.n_models(), 0);
+        assert!(m.classify(DEV, &[0.0; N_FEATURES]).is_none());
+    }
+}

@@ -1,0 +1,259 @@
+//! Radix-2 Cooley–Tukey FFT and periodogram.
+//!
+//! The paper's period inference (§4.1) extracts candidate periods from the
+//! discrete Fourier transform of the event-occurrence signal. We implement an
+//! in-place iterative radix-2 FFT; inputs are zero-padded to the next power
+//! of two by the callers that need it.
+
+/// Minimal complex number (we avoid external deps; only the operations used
+/// by the FFT are provided).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// A purely real value.
+    pub fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    fn mul(self, o: Self) -> Self {
+        Self {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+
+    fn add(self, o: Self) -> Self {
+        Self {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
+    }
+
+    fn sub(self, o: Self) -> Self {
+        Self {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
+    }
+}
+
+/// Next power of two ≥ `n` (and ≥ 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place forward FFT. Panics if `buf.len()` is not a power of two.
+pub fn fft(buf: &mut [Complex]) {
+    fft_dir(buf, false);
+}
+
+/// In-place inverse FFT (including the `1/N` normalization). Panics if
+/// `buf.len()` is not a power of two.
+pub fn ifft(buf: &mut [Complex]) {
+    fft_dir(buf, true);
+    let n = buf.len() as f64;
+    for v in buf.iter_mut() {
+        v.re /= n;
+        v.im /= n;
+    }
+}
+
+fn fft_dir(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    // Butterfly passes.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::real(1.0);
+            for k in 0..len / 2 {
+                let u = buf[i + k];
+                let v = buf[i + k + len / 2].mul(w);
+                buf[i + k] = u.add(v);
+                buf[i + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Periodogram of a real signal: power spectral density estimate at the
+/// `N/2 + 1` non-negative frequencies, where `N` is the padded length.
+///
+/// The signal is mean-removed (so the DC bin reflects only residual padding
+/// effects) and zero-padded to the next power of two. Returned powers are
+/// `|X_k|² / N`.
+pub fn periodogram(signal: &[f64]) -> Vec<f64> {
+    if signal.is_empty() {
+        return Vec::new();
+    }
+    let m = crate::stats::mean(signal);
+    let n = next_pow2(signal.len());
+    let mut buf = vec![Complex::default(); n];
+    for (i, &x) in signal.iter().enumerate() {
+        buf[i] = Complex::real(x - m);
+    }
+    fft(&mut buf);
+    buf[..n / 2 + 1]
+        .iter()
+        .map(|c| c.norm_sq() / n as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() <= eps
+    }
+
+    /// Naive O(N²) DFT for cross-checking.
+    fn dft_naive(xs: &[Complex]) -> Vec<Complex> {
+        let n = xs.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::default();
+                for (j, x) in xs.iter().enumerate() {
+                    let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                    acc = acc.add(x.mul(Complex::new(ang.cos(), ang.sin())));
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let xs: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut fast = xs.clone();
+        fft(&mut fast);
+        let slow = dft_naive(&xs);
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            assert!(close(a.re, b.re, 1e-9) && close(a.im, b.im, 1e-9));
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        let xs: Vec<Complex> = (0..64)
+            .map(|i| Complex::new(i as f64, (i * 3 % 7) as f64))
+            .collect();
+        let mut buf = xs.clone();
+        fft(&mut buf);
+        ifft(&mut buf);
+        for (a, b) in buf.iter().zip(xs.iter()) {
+            assert!(close(a.re, b.re, 1e-9) && close(a.im, b.im, 1e-9));
+        }
+    }
+
+    #[test]
+    fn fft_len_one_identity() {
+        let mut buf = vec![Complex::new(2.5, -1.0)];
+        fft(&mut buf);
+        assert_eq!(buf[0], Complex::new(2.5, -1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_pow2() {
+        let mut buf = vec![Complex::default(); 6];
+        fft(&mut buf);
+    }
+
+    #[test]
+    fn periodogram_peak_at_signal_frequency() {
+        // Pure sinusoid with 8 cycles across 256 samples -> peak at bin 8.
+        let n = 256;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 8.0 * i as f64 / n as f64).sin())
+            .collect();
+        let p = periodogram(&signal);
+        let peak = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 8);
+    }
+
+    #[test]
+    fn periodogram_of_constant_is_flat_zero() {
+        let p = periodogram(&[5.0; 128]);
+        assert!(p.iter().all(|&x| x < 1e-18));
+    }
+
+    #[test]
+    fn periodogram_empty() {
+        assert!(periodogram(&[]).is_empty());
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let xs: Vec<f64> = (0..128).map(|i| ((i * i) % 13) as f64 - 6.0).collect();
+        let m = crate::stats::mean(&xs);
+        let centered: Vec<f64> = xs.iter().map(|x| x - m).collect();
+        let time_energy: f64 = centered.iter().map(|x| x * x).sum();
+        let mut buf: Vec<Complex> = centered.iter().map(|&x| Complex::real(x)).collect();
+        fft(&mut buf);
+        let freq_energy: f64 = buf.iter().map(|c| c.norm_sq()).sum::<f64>() / buf.len() as f64;
+        assert!(close(time_energy, freq_energy, 1e-6));
+    }
+}

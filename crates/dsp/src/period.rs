@@ -1,0 +1,405 @@
+//! Unsupervised period detection (§4.1 of the paper).
+//!
+//! Given the timestamps at which flows of one traffic group (same
+//! destination domain + protocol) were observed, we
+//!
+//! 1. bin the timestamps into an occurrence-count signal,
+//! 2. extract *candidate* periods from periodogram peaks (DFT step),
+//! 3. *validate* each candidate on the autocorrelation function: the
+//!    candidate lag must sit on an ACF hill with a significant correlation
+//!    score (autocorrelation step, following Vlachos et al. \[71\]),
+//! 4. refine the validated period against the raw inter-event gaps.
+//!
+//! Sequences where no candidate survives validation are classified as
+//! aperiodic. The paper reports 100% accuracy of this procedure on 100
+//! periodic / 100 permuted / 100 noisy synthetic sequences; the same
+//! experiment is reproduced in `behaviot-bench --bin exp_periodicity` and in
+//! this module's tests.
+
+use crate::autocorr::{autocorrelation, is_acf_hill, refine_peak};
+use crate::fft::periodogram;
+use crate::stats;
+
+/// Tunable parameters of the period detector. `Default` matches the values
+/// used throughout the reproduction.
+#[derive(Debug, Clone)]
+pub struct PeriodConfig {
+    /// Minimum number of events required to attempt detection.
+    pub min_events: usize,
+    /// Upper bound on the number of signal bins (controls FFT size).
+    pub max_bins: usize,
+    /// Candidate periodogram peaks must exceed `mean + power_sigma * std`.
+    pub power_sigma: f64,
+    /// Minimum autocorrelation score at the candidate lag for validation.
+    pub acf_threshold: f64,
+    /// Maximum number of periodogram candidates examined.
+    pub max_candidates: usize,
+    /// Two validated periods within this relative tolerance are merged.
+    pub merge_tolerance: f64,
+    /// Minimum number of full cycles the observation window must contain.
+    pub min_cycles: f64,
+}
+
+impl Default for PeriodConfig {
+    fn default() -> Self {
+        Self {
+            min_events: 8,
+            max_bins: 1 << 19,
+            power_sigma: 4.0,
+            acf_threshold: 0.3,
+            max_candidates: 50,
+            merge_tolerance: 0.1,
+            min_cycles: 3.0,
+        }
+    }
+}
+
+/// A validated period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectedPeriod {
+    /// Period in the same unit as the input timestamps (seconds throughout
+    /// BehavIoT).
+    pub period: f64,
+    /// Autocorrelation score at the period lag (validation strength, ≤ 1).
+    pub acf_score: f64,
+    /// Periodogram power of the originating candidate (for ranking).
+    pub power: f64,
+}
+
+/// Detect the periods of an event-timestamp sequence. Returns validated
+/// periods sorted by descending ACF score; an empty vector means the
+/// sequence is aperiodic (or too short to tell).
+///
+/// Timestamps need not be sorted; they are sorted internally.
+pub fn detect_periods(timestamps: &[f64], cfg: &PeriodConfig) -> Vec<DetectedPeriod> {
+    if timestamps.len() < cfg.min_events {
+        return Vec::new();
+    }
+    let mut ts: Vec<f64> = timestamps.to_vec();
+    ts.sort_by(|a, b| a.partial_cmp(b).expect("NaN timestamp"));
+    let span = ts[ts.len() - 1] - ts[0];
+    if span <= 0.0 {
+        return Vec::new();
+    }
+
+    // --- Binning -----------------------------------------------------------
+    let gaps: Vec<f64> = ts.windows(2).map(|w| w[1] - w[0]).collect();
+    let median_gap = stats::median(&gaps).max(1e-9);
+    // Resolution: fine enough to resolve the typical gap, coarse enough to
+    // bound the FFT size and to absorb timing jitter (a few % of the period)
+    // into a single bin so the ACF peak stays sharp.
+    let dt = (median_gap / 8.0).max(span / cfg.max_bins as f64);
+    let n_bins = (span / dt).ceil() as usize + 1;
+    let mut signal = vec![0.0f64; n_bins];
+    for &t in &ts {
+        let idx = (((t - ts[0]) / dt) as usize).min(n_bins - 1);
+        signal[idx] += 1.0;
+    }
+
+    // --- DFT candidate extraction -------------------------------------------
+    let power = periodogram(&signal);
+    if power.len() < 4 {
+        return Vec::new();
+    }
+    let n_pad = (power.len() - 1) * 2;
+    let p_mean = stats::mean(&power[1..]);
+    let p_std = stats::std_dev(&power[1..]);
+    let threshold = p_mean + cfg.power_sigma * p_std;
+
+    let mut candidates: Vec<(usize, f64)> = power
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|&(k, &p)| {
+            if p <= threshold {
+                return false;
+            }
+            let period = n_pad as f64 * dt / k as f64;
+            // Must observe enough full cycles and more than 2 bins/period.
+            span / period >= cfg.min_cycles && period >= 2.0 * dt
+        })
+        .map(|(k, &p)| (k, p))
+        .collect();
+    candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    candidates.truncate(cfg.max_candidates);
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+
+    // --- ACF validation ------------------------------------------------------
+    let max_lag = (n_bins / 2).max(2);
+    let acf = autocorrelation(&signal, max_lag);
+    let mut validated: Vec<DetectedPeriod> = Vec::new();
+    for (k, pw) in candidates {
+        let period = n_pad as f64 * dt / k as f64;
+        let lag = (period / dt).round() as usize;
+        if lag < 2 || lag >= acf.len() {
+            continue;
+        }
+        // Refine the candidate lag to the nearby ACF peak (spectral bins are
+        // coarse for long periods).
+        let lo = ((lag as f64 * 0.8) as usize).max(1);
+        let hi = ((lag as f64 * 1.2).ceil() as usize + 1).min(acf.len());
+        let Some(peak) = refine_peak(&acf, lo, hi) else {
+            continue;
+        };
+        let half_window = (peak / 10).max(2);
+        if acf[peak] < cfg.acf_threshold || !is_acf_hill(&acf, peak, half_window) {
+            continue;
+        }
+        let refined = refine_against_gaps(&gaps, peak as f64 * dt);
+        validated.push(DetectedPeriod {
+            period: refined,
+            acf_score: acf[peak],
+            power: pw,
+        });
+    }
+
+    merge_validated(validated, cfg.merge_tolerance)
+}
+
+/// Convenience predicate: does the sequence exhibit any periodicity?
+pub fn is_periodic(timestamps: &[f64], cfg: &PeriodConfig) -> bool {
+    !detect_periods(timestamps, cfg).is_empty()
+}
+
+/// Refine a coarse (bin-resolution) period against the raw inter-event gaps:
+/// the median of gaps within ±30% of the coarse period. For clean timer
+/// traffic this recovers the period to sub-second precision. Falls back to
+/// the coarse value if too few gaps match (e.g. interleaved noise).
+fn refine_against_gaps(gaps: &[f64], coarse: f64) -> f64 {
+    let matching: Vec<f64> = gaps
+        .iter()
+        .copied()
+        .filter(|&g| g >= 0.7 * coarse && g <= 1.3 * coarse)
+        .collect();
+    if matching.len() >= 3 && matching.len() * 4 >= gaps.len() {
+        stats::median(&matching)
+    } else {
+        coarse
+    }
+}
+
+/// Merge near-duplicate validated periods (keep strongest) and drop
+/// multiples of a stronger shorter period (2T, 3T ACF hills of the same
+/// process). Result sorted by descending ACF score.
+fn merge_validated(mut periods: Vec<DetectedPeriod>, tol: f64) -> Vec<DetectedPeriod> {
+    periods.sort_by(|a, b| b.acf_score.partial_cmp(&a.acf_score).unwrap());
+    let mut kept: Vec<DetectedPeriod> = Vec::new();
+    // First pass: dedup near-equal periods.
+    for p in periods {
+        if kept.iter().any(|k| rel_close(k.period, p.period, tol)) {
+            continue;
+        }
+        kept.push(p);
+    }
+    // Second pass: drop integer multiples of a kept shorter period.
+    let mut by_period = kept.clone();
+    by_period.sort_by(|a, b| a.period.partial_cmp(&b.period).unwrap());
+    let mut final_set: Vec<DetectedPeriod> = Vec::new();
+    for p in by_period {
+        let is_multiple = final_set.iter().any(|base| {
+            let ratio = p.period / base.period;
+            let nearest = ratio.round();
+            nearest >= 2.0 && (ratio - nearest).abs() / nearest < tol
+        });
+        if !is_multiple {
+            final_set.push(p);
+        }
+    }
+    final_set.sort_by(|a, b| b.acf_score.partial_cmp(&a.acf_score).unwrap());
+    final_set
+}
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() / a.max(b).max(1e-12) < tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic LCG so tests don't need `rand`.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next_f64(&mut self) -> f64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (self.0 >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    fn periodic_events(period: f64, span: f64, jitter: f64, seed: u64) -> Vec<f64> {
+        let mut rng = Lcg(seed);
+        let mut ts = Vec::new();
+        let mut t = 0.0;
+        while t < span {
+            ts.push(t + jitter * (rng.next_f64() - 0.5));
+            t += period;
+        }
+        ts
+    }
+
+    fn random_events(n: usize, span: f64, seed: u64) -> Vec<f64> {
+        let mut rng = Lcg(seed);
+        let mut ts: Vec<f64> = (0..n).map(|_| rng.next_f64() * span).collect();
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ts
+    }
+
+    #[test]
+    fn detects_clean_period() {
+        let ts = periodic_events(236.0, 3600.0 * 24.0, 0.0, 1);
+        let out = detect_periods(&ts, &PeriodConfig::default());
+        assert!(!out.is_empty(), "no period found");
+        assert!(
+            (out[0].period - 236.0).abs() < 5.0,
+            "found {} expected 236",
+            out[0].period
+        );
+    }
+
+    #[test]
+    fn detects_period_with_jitter() {
+        let ts = periodic_events(60.0, 3600.0 * 12.0, 6.0, 7);
+        let out = detect_periods(&ts, &PeriodConfig::default());
+        assert!(!out.is_empty());
+        assert!(
+            (out[0].period - 60.0).abs() < 3.0,
+            "found {}",
+            out[0].period
+        );
+    }
+
+    #[test]
+    fn rejects_random_sequence() {
+        for seed in 0..5 {
+            let ts = random_events(600, 3600.0 * 10.0, 1000 + seed);
+            let out = detect_periods(&ts, &PeriodConfig::default());
+            assert!(out.is_empty(), "seed {seed} spurious {:?}", out);
+        }
+    }
+
+    #[test]
+    fn detects_period_buried_in_noise() {
+        // Periodic + uniform background noise at ~50% of the event count.
+        let mut ts = periodic_events(120.0, 3600.0 * 24.0, 2.0, 3);
+        let n_noise = ts.len() / 2;
+        ts.extend(random_events(n_noise, 3600.0 * 24.0, 42));
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let out = detect_periods(&ts, &PeriodConfig::default());
+        assert!(!out.is_empty(), "period lost in noise");
+        assert!(
+            (out[0].period - 120.0).abs() < 6.0,
+            "found {}",
+            out[0].period
+        );
+    }
+
+    #[test]
+    fn too_few_events() {
+        let ts = [0.0, 10.0, 20.0];
+        assert!(detect_periods(&ts, &PeriodConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn zero_span() {
+        let ts = [5.0; 20];
+        assert!(detect_periods(&ts, &PeriodConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn long_period_over_days() {
+        // NTP-style hourly sync over 5 days.
+        let ts = periodic_events(3603.0, 5.0 * 86400.0, 10.0, 11);
+        let out = detect_periods(&ts, &PeriodConfig::default());
+        assert!(!out.is_empty());
+        assert!(
+            (out[0].period - 3603.0).abs() < 120.0,
+            "found {}",
+            out[0].period
+        );
+    }
+
+    #[test]
+    fn two_interleaved_periods() {
+        let mut ts = periodic_events(60.0, 86400.0, 1.0, 5);
+        ts.extend(periodic_events(300.0, 86400.0, 1.0, 6));
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let out = detect_periods(&ts, &PeriodConfig::default());
+        // The dominant 60s component must be found; the 300s one is a
+        // multiple of 60 and may legitimately be merged away.
+        assert!(out.iter().any(|p| (p.period - 60.0).abs() < 3.0), "{out:?}");
+    }
+
+    #[test]
+    fn merge_drops_multiples() {
+        let periods = vec![
+            DetectedPeriod {
+                period: 60.0,
+                acf_score: 0.9,
+                power: 10.0,
+            },
+            DetectedPeriod {
+                period: 120.5,
+                acf_score: 0.8,
+                power: 5.0,
+            },
+            DetectedPeriod {
+                period: 61.0,
+                acf_score: 0.7,
+                power: 4.0,
+            },
+            DetectedPeriod {
+                period: 95.0,
+                acf_score: 0.6,
+                power: 3.0,
+            },
+        ];
+        let merged = merge_validated(periods, 0.1);
+        let vals: Vec<f64> = merged.iter().map(|p| p.period).collect();
+        assert!(vals.contains(&60.0));
+        assert!(vals.contains(&95.0));
+        assert_eq!(merged.len(), 2, "{vals:?}");
+    }
+
+    #[test]
+    fn paper_synthetic_experiment_small() {
+        // Scaled-down version of the §5.1 synthetic check: 20 periodic,
+        // 20 shuffled (aperiodic), 20 noisy periodic. Must be 100% correct.
+        let cfg = PeriodConfig::default();
+        let mut correct = 0;
+        let total = 60;
+        for i in 0..20u64 {
+            let period = 30.0 + 37.0 * i as f64;
+            let span = (period * 120.0).max(43200.0);
+            let ts = periodic_events(period, span, period * 0.02, i);
+            let out = detect_periods(&ts, &cfg);
+            if out
+                .first()
+                .is_some_and(|p| (p.period - period).abs() / period < 0.05)
+            {
+                correct += 1;
+            }
+            // Aperiodic control with the same event count and span.
+            let rnd = random_events(ts.len(), span, 900 + i);
+            if detect_periods(&rnd, &cfg).is_empty() {
+                correct += 1;
+            }
+            // Noisy periodic.
+            let mut noisy = ts.clone();
+            noisy.extend(random_events(ts.len() / 3, span, 1800 + i));
+            noisy.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let out = detect_periods(&noisy, &cfg);
+            if out
+                .iter()
+                .any(|p| (p.period - period).abs() / period < 0.05)
+            {
+                correct += 1;
+            }
+        }
+        assert_eq!(correct, total, "synthetic accuracy {correct}/{total}");
+    }
+}

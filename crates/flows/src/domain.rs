@@ -1,0 +1,121 @@
+//! Destination-domain resolution (§4.1 "Traffic partitioning and
+//! annotation").
+//!
+//! Flows are annotated with a destination domain name derived, in priority
+//! order, from (1) observed DNS answers, (2) TLS SNI, (3) a reverse-DNS
+//! table. If none applies, the domain is left blank and the flow is keyed
+//! by raw IP.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Accumulates `IP → domain` knowledge while a capture is processed.
+#[derive(Debug, Clone, Default)]
+pub struct DomainTable {
+    dns: HashMap<Ipv4Addr, String>,
+    sni: HashMap<Ipv4Addr, String>,
+    rdns: HashMap<Ipv4Addr, String>,
+}
+
+impl DomainTable {
+    /// New empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a DNS answer mapping (latest answer wins, as caches do).
+    pub fn learn_dns(&mut self, ip: Ipv4Addr, domain: &str) {
+        self.dns.insert(ip, domain.to_lowercase());
+    }
+
+    /// Record an SNI sighting for a server address.
+    pub fn learn_sni(&mut self, ip: Ipv4Addr, host: &str) {
+        self.sni.insert(ip, host.to_lowercase());
+    }
+
+    /// Preload reverse-DNS entries (the paper falls back to rDNS lookups
+    /// when in-band naming was missed; the simulator provides this table).
+    pub fn preload_rdns(&mut self, entries: impl IntoIterator<Item = (Ipv4Addr, String)>) {
+        for (ip, name) in entries {
+            self.rdns.insert(ip, name.to_lowercase());
+        }
+    }
+
+    /// Resolve an address to a domain: DNS answers, then SNI, then rDNS.
+    pub fn resolve(&self, ip: Ipv4Addr) -> Option<&str> {
+        self.dns
+            .get(&ip)
+            .or_else(|| self.sni.get(&ip))
+            .or_else(|| self.rdns.get(&ip))
+            .map(String::as_str)
+    }
+
+    /// Number of addresses with any mapping.
+    pub fn len(&self) -> usize {
+        let mut keys: std::collections::HashSet<&Ipv4Addr> = self.dns.keys().collect();
+        keys.extend(self.sni.keys());
+        keys.extend(self.rdns.keys());
+        keys.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.dns.is_empty() && self.sni.is_empty() && self.rdns.is_empty()
+    }
+
+    /// Merge another table into this one (other's DNS/SNI entries win,
+    /// mirroring chronological processing of a later capture slice).
+    pub fn merge(&mut self, other: &DomainTable) {
+        self.dns
+            .extend(other.dns.iter().map(|(k, v)| (*k, v.clone())));
+        self.sni
+            .extend(other.sni.iter().map(|(k, v)| (*k, v.clone())));
+        self.rdns
+            .extend(other.rdns.iter().map(|(k, v)| (*k, v.clone())));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IP: Ipv4Addr = Ipv4Addr::new(52, 0, 0, 1);
+
+    #[test]
+    fn priority_dns_over_sni_over_rdns() {
+        let mut t = DomainTable::new();
+        t.preload_rdns([(IP, "ec2-52-0-0-1.compute.amazonaws.com".to_string())]);
+        assert_eq!(t.resolve(IP), Some("ec2-52-0-0-1.compute.amazonaws.com"));
+        t.learn_sni(IP, "api.Example.com");
+        assert_eq!(t.resolve(IP), Some("api.example.com"));
+        t.learn_dns(IP, "cdn.example.com");
+        assert_eq!(t.resolve(IP), Some("cdn.example.com"));
+    }
+
+    #[test]
+    fn unknown_ip_none() {
+        let t = DomainTable::new();
+        assert_eq!(t.resolve(IP), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn latest_dns_wins() {
+        let mut t = DomainTable::new();
+        t.learn_dns(IP, "old.example.com");
+        t.learn_dns(IP, "new.example.com");
+        assert_eq!(t.resolve(IP), Some("new.example.com"));
+    }
+
+    #[test]
+    fn merge_and_len() {
+        let mut a = DomainTable::new();
+        a.learn_dns(IP, "a.com");
+        let mut b = DomainTable::new();
+        b.learn_dns(IP, "b.com");
+        b.learn_sni(Ipv4Addr::new(52, 0, 0, 2), "c.com");
+        a.merge(&b);
+        assert_eq!(a.resolve(IP), Some("b.com"));
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,196 @@
+//! Gateway packet representation and raw-frame parsing.
+
+use behaviot_net::{dns, ethernet, ipv4, tcp, tls, udp, Proto};
+use std::net::Ipv4Addr;
+
+/// Direction of a packet relative to the device that owns the flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Device → remote.
+    Out,
+    /// Remote → device.
+    In,
+}
+
+/// A packet as the gateway observes it — addresses, ports, protocol, size
+/// and timestamp. This is the pivot type between raw captures, the
+/// simulator, and flow assembly. Sizes are IP total length (headers +
+/// payload), matching what a header-only observer can measure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatewayPacket {
+    /// Capture timestamp, seconds since start of capture.
+    pub ts: f64,
+    /// IP source.
+    pub src: Ipv4Addr,
+    /// IP destination.
+    pub dst: Ipv4Addr,
+    /// Transport source port.
+    pub src_port: u16,
+    /// Transport destination port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// IP total length in bytes.
+    pub bytes: u32,
+}
+
+/// Result of parsing one link-layer frame: the flow-level packet plus any
+/// in-band naming information (DNS answers / TLS SNI) discovered in it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedFrame {
+    /// The flow-level view.
+    pub packet: GatewayPacket,
+    /// `(ip, domain)` pairs from DNS answers in this frame.
+    pub dns_mappings: Vec<(Ipv4Addr, String)>,
+    /// SNI host if the frame carries a TLS ClientHello.
+    pub sni: Option<String>,
+}
+
+/// Parse an Ethernet frame captured at time `ts`. Returns `None` for
+/// non-IPv4 frames or transports other than TCP/UDP (ARP, ICMP, IPv6 — the
+/// paper's pipeline also models only TCP/UDP flows). Malformed IPv4/TCP/UDP
+/// content yields `None` as well: a measurement pipeline skips garbage
+/// rather than aborting the capture.
+pub fn parse_frame(ts: f64, frame: &[u8]) -> Option<ParsedFrame> {
+    let eth = ethernet::parse(frame).ok()?;
+    if eth.ethertype != ethernet::ETHERTYPE_IPV4 {
+        return None;
+    }
+    let ip = ipv4::parse(eth.payload).ok()?;
+    let proto = ip.proto()?;
+    let (src_port, dst_port, payload): (u16, u16, &[u8]) = match proto {
+        Proto::Tcp => {
+            let seg = tcp::parse(ip.src, ip.dst, ip.payload).ok()?;
+            (seg.src_port, seg.dst_port, seg.payload)
+        }
+        Proto::Udp => {
+            let dg = udp::parse(ip.src, ip.dst, ip.payload).ok()?;
+            (dg.src_port, dg.dst_port, dg.payload)
+        }
+    };
+
+    let mut dns_mappings = Vec::new();
+    if proto == Proto::Udp && (src_port == 53 || dst_port == 53) {
+        if let Ok(msg) = dns::parse(payload) {
+            if msg.is_response {
+                for ans in msg.answers {
+                    dns_mappings.push((ans.addr, ans.name));
+                }
+            }
+        }
+    }
+    let sni = if proto == Proto::Tcp && !payload.is_empty() {
+        tls::extract_sni(payload).ok().flatten()
+    } else {
+        None
+    };
+
+    Some(ParsedFrame {
+        packet: GatewayPacket {
+            ts,
+            src: ip.src,
+            dst: ip.dst,
+            src_port,
+            dst_port,
+            proto,
+            bytes: ip.total_len as u32,
+        },
+        dns_mappings,
+        sni,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use behaviot_net::tcp::TcpFlags;
+    use behaviot_net::MacAddr;
+
+    const DEV: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 10);
+    const SRV: Ipv4Addr = Ipv4Addr::new(52, 10, 20, 30);
+
+    fn wrap_ip(ip_payload: Vec<u8>) -> Vec<u8> {
+        ethernet::encode(
+            MacAddr::from_index(0),
+            MacAddr::from_index(1),
+            ethernet::ETHERTYPE_IPV4,
+            &ip_payload,
+        )
+    }
+
+    #[test]
+    fn parses_tcp_frame() {
+        let seg = tcp::encode(DEV, SRV, 40000, 443, 1, 0, TcpFlags::DATA, b"data");
+        let frame = wrap_ip(ipv4::encode(DEV, SRV, 6, 7, &seg));
+        let parsed = parse_frame(3.25, &frame).unwrap();
+        assert_eq!(parsed.packet.ts, 3.25);
+        assert_eq!(parsed.packet.src, DEV);
+        assert_eq!(parsed.packet.dst, SRV);
+        assert_eq!(parsed.packet.src_port, 40000);
+        assert_eq!(parsed.packet.dst_port, 443);
+        assert_eq!(parsed.packet.proto, Proto::Tcp);
+        assert_eq!(parsed.packet.bytes as usize, 20 + 20 + 4);
+        assert!(parsed.dns_mappings.is_empty());
+        assert!(parsed.sni.is_none());
+    }
+
+    #[test]
+    fn extracts_sni_from_client_hello() {
+        let hello = tls::build_client_hello("iot.us-east-1.amazonaws.com", 5);
+        let seg = tcp::encode(DEV, SRV, 40001, 443, 1, 0, TcpFlags::DATA, &hello);
+        let frame = wrap_ip(ipv4::encode(DEV, SRV, 6, 8, &seg));
+        let parsed = parse_frame(0.0, &frame).unwrap();
+        assert_eq!(parsed.sni.as_deref(), Some("iot.us-east-1.amazonaws.com"));
+    }
+
+    #[test]
+    fn extracts_dns_answers() {
+        let resp = dns::build_response(1, "devs.tplinkcloud.com", &[SRV], 300).unwrap();
+        let dg = udp::encode(Ipv4Addr::new(192, 168, 1, 1), DEV, 53, 5353, &resp);
+        let frame = wrap_ip(ipv4::encode(Ipv4Addr::new(192, 168, 1, 1), DEV, 17, 9, &dg));
+        let parsed = parse_frame(0.0, &frame).unwrap();
+        assert_eq!(
+            parsed.dns_mappings,
+            vec![(SRV, "devs.tplinkcloud.com".to_string())]
+        );
+    }
+
+    #[test]
+    fn dns_query_yields_no_mappings() {
+        let q = dns::build_query(2, "example.com").unwrap();
+        let dg = udp::encode(DEV, Ipv4Addr::new(192, 168, 1, 1), 5353, 53, &q);
+        let frame = wrap_ip(ipv4::encode(
+            DEV,
+            Ipv4Addr::new(192, 168, 1, 1),
+            17,
+            10,
+            &dg,
+        ));
+        let parsed = parse_frame(0.0, &frame).unwrap();
+        assert!(parsed.dns_mappings.is_empty());
+    }
+
+    #[test]
+    fn non_ipv4_skipped() {
+        let frame = ethernet::encode(
+            MacAddr::BROADCAST,
+            MacAddr::from_index(1),
+            ethernet::ETHERTYPE_ARP,
+            &[0u8; 28],
+        );
+        assert!(parse_frame(0.0, &frame).is_none());
+    }
+
+    #[test]
+    fn garbage_skipped_without_panic() {
+        assert!(parse_frame(0.0, &[]).is_none());
+        assert!(parse_frame(0.0, &[0xde; 7]).is_none());
+        assert!(parse_frame(0.0, &[0xde; 200]).is_none());
+    }
+
+    #[test]
+    fn icmp_skipped() {
+        let frame = wrap_ip(ipv4::encode(DEV, SRV, 1, 11, &[0u8; 8]));
+        assert!(parse_frame(0.0, &frame).is_none());
+    }
+}

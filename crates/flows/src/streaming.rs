@@ -1,0 +1,309 @@
+//! Streaming flow assembly for live gateway deployments.
+//!
+//! [`assemble_flows`](crate::assemble_flows) is a batch API: it needs the
+//! whole capture in memory. A gateway monitor instead feeds packets as they
+//! arrive and wants completed bursts out as soon as they are known to be
+//! closed (no packet can extend a burst once `now` is more than the burst
+//! gap past its last packet). [`StreamingAssembler`] provides exactly that,
+//! with bounded memory: idle flow state is evicted as bursts close.
+
+use crate::domain::DomainTable;
+use crate::features::{extract, PacketView};
+use crate::flow::{FlowConfig, FlowRecord};
+use crate::packet::GatewayPacket;
+use crate::{is_local, FlowKey};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+#[derive(PartialEq, Eq, Hash, Clone, Copy)]
+struct Unordered {
+    a: (Ipv4Addr, u16),
+    b: (Ipv4Addr, u16),
+    proto: behaviot_net::Proto,
+}
+
+struct OpenBurst {
+    key: FlowKey,
+    packets: Vec<PacketView>,
+    last_ts: f64,
+}
+
+/// Incremental flow/burst assembler. Packets must arrive in (approximately)
+/// chronological order; small reordering within the burst gap is tolerated,
+/// larger reordering splits bursts exactly as a real middlebox observer
+/// would experience it.
+pub struct StreamingAssembler {
+    cfg: FlowConfig,
+    open: HashMap<Unordered, OpenBurst>,
+    clock: f64,
+}
+
+impl StreamingAssembler {
+    /// New assembler with the given configuration.
+    pub fn new(cfg: FlowConfig) -> Self {
+        Self {
+            cfg,
+            open: HashMap::new(),
+            clock: 0.0,
+        }
+    }
+
+    /// Number of currently open (unflushed) bursts.
+    pub fn open_bursts(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Feed one packet; returns any bursts that closed as a consequence of
+    /// time advancing to this packet's timestamp.
+    pub fn push(&mut self, p: &GatewayPacket, domains: &DomainTable) -> Vec<FlowRecord> {
+        self.clock = self.clock.max(p.ts);
+        let mut closed = self.evict(domains);
+
+        let src_local = is_local(p.src, self.cfg.subnet, self.cfg.prefix_len);
+        let dst_local = is_local(p.dst, self.cfg.subnet, self.cfg.prefix_len);
+        if !src_local && !dst_local {
+            return closed;
+        }
+        let x = (p.src, p.src_port);
+        let y = (p.dst, p.dst_port);
+        let uk = if x <= y {
+            Unordered {
+                a: x,
+                b: y,
+                proto: p.proto,
+            }
+        } else {
+            Unordered {
+                a: y,
+                b: x,
+                proto: p.proto,
+            }
+        };
+        // A gap beyond the threshold closes the previous burst of this flow
+        // even before eviction time.
+        if let Some(open) = self.open.get(&uk) {
+            if p.ts - open.last_ts > self.cfg.burst_gap {
+                let b = self.open.remove(&uk).expect("just looked up");
+                closed.push(finish(b, domains, &self.cfg));
+            }
+        }
+        let entry = self.open.entry(uk).or_insert_with(|| {
+            let key = if src_local {
+                FlowKey {
+                    device: p.src,
+                    remote: p.dst,
+                    device_port: p.src_port,
+                    remote_port: p.dst_port,
+                    proto: p.proto,
+                }
+            } else {
+                FlowKey {
+                    device: p.dst,
+                    remote: p.src,
+                    device_port: p.dst_port,
+                    remote_port: p.src_port,
+                    proto: p.proto,
+                }
+            };
+            OpenBurst {
+                key,
+                packets: Vec::new(),
+                last_ts: p.ts,
+            }
+        });
+        entry.packets.push(PacketView {
+            ts: p.ts,
+            bytes: p.bytes,
+            outbound: p.src == entry.key.device && p.src_port == entry.key.device_port,
+            remote_is_local: is_local(entry.key.remote, self.cfg.subnet, self.cfg.prefix_len),
+        });
+        entry.last_ts = entry.last_ts.max(p.ts);
+        closed
+    }
+
+    /// Advance the clock without a packet (e.g. a timer tick) and collect
+    /// bursts that aged out.
+    pub fn tick(&mut self, now: f64, domains: &DomainTable) -> Vec<FlowRecord> {
+        self.clock = self.clock.max(now);
+        self.evict(domains)
+    }
+
+    /// Close and return every remaining burst (end of capture).
+    pub fn finish(&mut self, domains: &DomainTable) -> Vec<FlowRecord> {
+        let mut out: Vec<FlowRecord> = self
+            .open
+            .drain()
+            .map(|(_, b)| finish(b, domains, &self.cfg))
+            .collect();
+        out.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        out
+    }
+
+    fn evict(&mut self, domains: &DomainTable) -> Vec<FlowRecord> {
+        let gap = self.cfg.burst_gap;
+        let clock = self.clock;
+        let expired: Vec<Unordered> = self
+            .open
+            .iter()
+            .filter(|(_, b)| clock - b.last_ts > gap)
+            .map(|(&k, _)| k)
+            .collect();
+        let mut out = Vec::with_capacity(expired.len());
+        for k in expired {
+            let b = self.open.remove(&k).expect("listed above");
+            out.push(finish(b, domains, &self.cfg));
+        }
+        out.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        out
+    }
+}
+
+fn finish(mut b: OpenBurst, domains: &DomainTable, _cfg: &FlowConfig) -> FlowRecord {
+    b.packets
+        .sort_by(|x, y| x.ts.partial_cmp(&y.ts).expect("NaN ts"));
+    let features = extract(&b.packets);
+    FlowRecord {
+        device: b.key.device,
+        remote: b.key.remote,
+        device_port: b.key.device_port,
+        remote_port: b.key.remote_port,
+        proto: b.key.proto,
+        domain: domains.resolve(b.key.remote).map(str::to_string),
+        start: b.packets[0].ts,
+        end: b.packets[b.packets.len() - 1].ts,
+        n_packets: b.packets.len(),
+        total_bytes: b.packets.iter().map(|p| p.bytes as u64).sum(),
+        features,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::assemble_flows;
+    use behaviot_net::Proto;
+
+    const DEV: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 10);
+    const SRV: Ipv4Addr = Ipv4Addr::new(52, 1, 1, 1);
+
+    fn pkt(ts: f64, out: bool, bytes: u32) -> GatewayPacket {
+        GatewayPacket {
+            ts,
+            src: if out { DEV } else { SRV },
+            dst: if out { SRV } else { DEV },
+            src_port: if out { 40000 } else { 443 },
+            dst_port: if out { 443 } else { 40000 },
+            proto: Proto::Tcp,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        // An irregular packet mix over several flows.
+        let mut packets = Vec::new();
+        for i in 0..200 {
+            let t = i as f64 * 0.7;
+            packets.push(pkt(t, i % 2 == 0, 100 + (i * 13 % 900) as u32));
+            if i % 7 == 0 {
+                packets.push(GatewayPacket {
+                    ts: t + 0.1,
+                    src: DEV,
+                    dst: SRV,
+                    src_port: 41000,
+                    dst_port: 443,
+                    proto: Proto::Udp,
+                    bytes: 90,
+                });
+            }
+        }
+        let domains = DomainTable::new();
+        let batch = assemble_flows(&packets, &domains, &FlowConfig::default());
+
+        let mut streaming = StreamingAssembler::new(FlowConfig::default());
+        let mut out = Vec::new();
+        for p in &packets {
+            out.extend(streaming.push(p, &domains));
+        }
+        out.extend(streaming.finish(&domains));
+        out.sort_by(|a, b| {
+            a.start
+                .partial_cmp(&b.start)
+                .unwrap()
+                .then(a.device_port.cmp(&b.device_port))
+        });
+        let mut batch_sorted = batch.clone();
+        batch_sorted.sort_by(|a, b| {
+            a.start
+                .partial_cmp(&b.start)
+                .unwrap()
+                .then(a.device_port.cmp(&b.device_port))
+        });
+        assert_eq!(out.len(), batch_sorted.len());
+        for (s, b) in out.iter().zip(&batch_sorted) {
+            assert_eq!(s.n_packets, b.n_packets);
+            assert_eq!(s.total_bytes, b.total_bytes);
+            assert_eq!(s.device, b.device);
+            assert_eq!(s.start, b.start);
+        }
+    }
+
+    #[test]
+    fn bursts_emitted_incrementally() {
+        let domains = DomainTable::new();
+        let mut s = StreamingAssembler::new(FlowConfig::default());
+        assert!(s.push(&pkt(0.0, true, 100), &domains).is_empty());
+        assert!(s.push(&pkt(0.2, false, 200), &domains).is_empty());
+        assert_eq!(s.open_bursts(), 1);
+        // A packet 10 s later closes the previous burst of the same flow.
+        let closed = s.push(&pkt(10.0, true, 100), &domains);
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].n_packets, 2);
+        assert_eq!(s.open_bursts(), 1);
+        // A tick far in the future drains the rest.
+        let rest = s.tick(100.0, &domains);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(s.open_bursts(), 0);
+    }
+
+    #[test]
+    fn memory_bounded_by_eviction() {
+        let domains = DomainTable::new();
+        let mut s = StreamingAssembler::new(FlowConfig::default());
+        // 1000 one-packet flows spread over time: eviction keeps the map
+        // small.
+        let mut max_open = 0;
+        for i in 0..1000u32 {
+            let p = GatewayPacket {
+                ts: i as f64 * 0.5,
+                src: DEV,
+                dst: SRV,
+                src_port: 10000 + (i % 500) as u16,
+                dst_port: 443,
+                proto: Proto::Tcp,
+                bytes: 100,
+            };
+            s.push(&p, &domains);
+            max_open = max_open.max(s.open_bursts());
+        }
+        assert!(max_open < 10, "open bursts peaked at {max_open}");
+    }
+
+    #[test]
+    fn transit_ignored() {
+        let domains = DomainTable::new();
+        let mut s = StreamingAssembler::new(FlowConfig::default());
+        let foreign = GatewayPacket {
+            ts: 0.0,
+            src: SRV,
+            dst: Ipv4Addr::new(8, 8, 8, 8),
+            src_port: 1,
+            dst_port: 2,
+            proto: Proto::Tcp,
+            bytes: 100,
+        };
+        s.push(&foreign, &domains);
+        assert_eq!(s.open_bursts(), 0);
+        assert!(s.finish(&domains).is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! Bagged random forests over the CART trees of [`crate::tree`].
+
+use crate::tree::{DecisionTree, MaxFeatures, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random forest hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree configuration (feature subsampling defaults to sqrt).
+    pub tree: TreeConfig,
+    /// RNG seed; the same seed and data always produce the same forest.
+    pub seed: u64,
+    /// Train trees on parallel threads.
+    pub parallel: bool,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 50,
+            tree: TreeConfig {
+                max_features: MaxFeatures::Sqrt,
+                ..Default::default()
+            },
+            seed: 0,
+            parallel: true,
+        }
+    }
+}
+
+/// A fitted random forest for binary classification.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    oob_score: Option<f64>,
+}
+
+impl RandomForest {
+    /// Fit on row-major samples with boolean labels. Each tree is trained on
+    /// a bootstrap sample (with replacement); out-of-bag accuracy is
+    /// computed when every sample is left out by at least one tree.
+    ///
+    /// Panics on empty or ragged input (same contract as
+    /// [`DecisionTree::fit`]).
+    pub fn fit(x: &[Vec<f64>], y: &[bool], cfg: &RandomForestConfig) -> Self {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        assert!(!x.is_empty(), "cannot fit on empty data");
+        let n = x.len();
+
+        // Pre-draw bootstrap index sets deterministically so parallel and
+        // serial training produce identical forests.
+        let mut seeder = StdRng::seed_from_u64(cfg.seed);
+        let jobs: Vec<(u64, Vec<usize>)> = (0..cfg.n_trees)
+            .map(|_| {
+                let tree_seed: u64 = seeder.gen();
+                let mut boot_rng = StdRng::seed_from_u64(tree_seed ^ 0x9e37);
+                let idx: Vec<usize> = (0..n).map(|_| boot_rng.gen_range(0..n)).collect();
+                (tree_seed, idx)
+            })
+            .collect();
+
+        let train_one = |(tree_seed, idx): &(u64, Vec<usize>)| -> (DecisionTree, Vec<bool>) {
+            let bx: Vec<Vec<f64>> = idx.iter().map(|&i| x[i].clone()).collect();
+            let by: Vec<bool> = idx.iter().map(|&i| y[i]).collect();
+            let mut rng = StdRng::seed_from_u64(*tree_seed);
+            let tree = DecisionTree::fit(&bx, &by, &cfg.tree, &mut rng);
+            let mut in_bag = vec![false; n];
+            for &i in idx {
+                in_bag[i] = true;
+            }
+            (tree, in_bag)
+        };
+
+        let results: Vec<(DecisionTree, Vec<bool>)> = if cfg.parallel && cfg.n_trees > 1 {
+            let n_threads = std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(4);
+            let chunk = jobs.len().div_ceil(n_threads);
+            let mut out: Vec<Option<(DecisionTree, Vec<bool>)>> = vec![None; jobs.len()];
+            crossbeam::thread::scope(|s| {
+                for (slot_chunk, job_chunk) in out.chunks_mut(chunk).zip(jobs.chunks(chunk)) {
+                    s.spawn(move |_| {
+                        for (slot, job) in slot_chunk.iter_mut().zip(job_chunk) {
+                            *slot = Some(train_one(job));
+                        }
+                    });
+                }
+            })
+            .expect("forest training thread panicked");
+            out.into_iter().map(|o| o.expect("missing tree")).collect()
+        } else {
+            jobs.iter().map(train_one).collect()
+        };
+
+        // Out-of-bag score: majority vote over the trees that did not see
+        // each sample.
+        let mut oob_votes = vec![(0usize, 0usize); n]; // (positive, total)
+        for (tree, in_bag) in &results {
+            for i in 0..n {
+                if !in_bag[i] {
+                    let v = &mut oob_votes[i];
+                    if tree.predict(&x[i]) {
+                        v.0 += 1;
+                    }
+                    v.1 += 1;
+                }
+            }
+        }
+        let scored: Vec<(usize, bool)> = oob_votes
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.1 > 0)
+            .map(|(i, v)| (i, v.0 * 2 >= v.1))
+            .collect();
+        let oob_score = if scored.is_empty() {
+            None
+        } else {
+            let correct = scored.iter().filter(|&&(i, pred)| pred == y[i]).count();
+            Some(correct as f64 / scored.len() as f64)
+        };
+
+        RandomForest {
+            trees: results.into_iter().map(|(t, _)| t).collect(),
+            oob_score,
+        }
+    }
+
+    /// Mean positive probability over the trees.
+    pub fn predict_proba(&self, sample: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        self.trees
+            .iter()
+            .map(|t| t.predict_proba(sample))
+            .sum::<f64>()
+            / self.trees.len() as f64
+    }
+
+    /// Hard classification at the 0.5 threshold.
+    pub fn predict(&self, sample: &[f64]) -> bool {
+        self.predict_proba(sample) >= 0.5
+    }
+
+    /// Out-of-bag accuracy estimate, if computable.
+    pub fn oob_score(&self) -> Option<f64> {
+        self.oob_score
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two noisy Gaussian-ish blobs.
+    fn dataset(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let pos = i % 2 == 0;
+            let (cx, cy) = if pos { (2.0, 2.0) } else { (-2.0, -2.0) };
+            x.push(vec![
+                cx + rng.gen_range(-1.5..1.5),
+                cy + rng.gen_range(-1.5..1.5),
+                rng.gen_range(-1.0..1.0), // irrelevant feature
+            ]);
+            y.push(pos);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn forest_learns_blobs() {
+        let (x, y) = dataset(200, 1);
+        let f = RandomForest::fit(&x, &y, &RandomForestConfig::default());
+        let (tx, ty) = dataset(100, 2);
+        let correct = tx
+            .iter()
+            .zip(&ty)
+            .filter(|(xi, &yi)| f.predict(xi) == yi)
+            .count();
+        assert!(correct >= 95, "accuracy {correct}/100");
+        assert!(f.oob_score().unwrap() > 0.9);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (x, y) = dataset(80, 3);
+        let cfg = RandomForestConfig {
+            n_trees: 10,
+            seed: 7,
+            ..Default::default()
+        };
+        let f1 = RandomForest::fit(&x, &y, &cfg);
+        let f2 = RandomForest::fit(&x, &y, &cfg);
+        let probe = vec![0.5, -0.5, 0.0];
+        assert_eq!(f1.predict_proba(&probe), f2.predict_proba(&probe));
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let (x, y) = dataset(80, 4);
+        let base = RandomForestConfig {
+            n_trees: 8,
+            seed: 9,
+            ..Default::default()
+        };
+        let fp = RandomForest::fit(
+            &x,
+            &y,
+            &RandomForestConfig {
+                parallel: true,
+                ..base
+            },
+        );
+        let fs = RandomForest::fit(
+            &x,
+            &y,
+            &RandomForestConfig {
+                parallel: false,
+                ..base
+            },
+        );
+        for i in 0..20 {
+            let probe = vec![i as f64 / 5.0 - 2.0, 1.0, 0.0];
+            assert_eq!(fp.predict_proba(&probe), fs.predict_proba(&probe));
+        }
+    }
+
+    #[test]
+    fn proba_bounds() {
+        let (x, y) = dataset(60, 5);
+        let f = RandomForest::fit(&x, &y, &RandomForestConfig::default());
+        for xi in &x {
+            let p = f.predict_proba(xi);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn single_class_training() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![true, true, true];
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            &RandomForestConfig {
+                n_trees: 5,
+                ..Default::default()
+            },
+        );
+        assert!(f.predict(&[1.5]));
+        assert_eq!(f.predict_proba(&[1.5]), 1.0);
+    }
+
+    #[test]
+    fn small_sample_does_not_panic() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![false, true];
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            &RandomForestConfig {
+                n_trees: 3,
+                ..Default::default()
+            },
+        );
+        let _ = f.predict(&[0.5]);
+        assert_eq!(f.n_trees(), 3);
+    }
+}

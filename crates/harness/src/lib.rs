@@ -1,0 +1,1 @@
+//! Hosts repo-level integration tests (../../tests) and examples (../../examples).

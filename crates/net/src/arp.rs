@@ -1,0 +1,156 @@
+//! ARP over Ethernet/IPv4 (RFC 826) — request/reply encode and parse.
+//!
+//! A gateway capture of a real smart home is full of ARP chatter; the
+//! byte-level simulator path can emit it, and the frame parser needs to
+//! recognize and skip it (the pipeline models only IP flows, as the paper
+//! scopes in §2).
+
+use crate::{MacAddr, NetError, Result};
+use std::net::Ipv4Addr;
+
+/// ARP payload length for Ethernet/IPv4.
+pub const PACKET_LEN: usize = 28;
+
+/// ARP operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operation {
+    /// Who-has request.
+    Request,
+    /// Is-at reply.
+    Reply,
+}
+
+/// A parsed ARP packet (Ethernet/IPv4 flavor only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Operation.
+    pub op: Operation,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+/// Encode an ARP packet.
+pub fn encode(
+    op: Operation,
+    sender_mac: MacAddr,
+    sender_ip: Ipv4Addr,
+    target_mac: MacAddr,
+    target_ip: Ipv4Addr,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(PACKET_LEN);
+    out.extend_from_slice(&1u16.to_be_bytes()); // HTYPE Ethernet
+    out.extend_from_slice(&0x0800u16.to_be_bytes()); // PTYPE IPv4
+    out.push(6); // HLEN
+    out.push(4); // PLEN
+    out.extend_from_slice(
+        &match op {
+            Operation::Request => 1u16,
+            Operation::Reply => 2u16,
+        }
+        .to_be_bytes(),
+    );
+    out.extend_from_slice(&sender_mac.0);
+    out.extend_from_slice(&sender_ip.octets());
+    out.extend_from_slice(&target_mac.0);
+    out.extend_from_slice(&target_ip.octets());
+    out
+}
+
+/// Parse an ARP packet; only the Ethernet/IPv4 combination is accepted.
+pub fn parse(bytes: &[u8]) -> Result<ArpPacket> {
+    if bytes.len() < PACKET_LEN {
+        return Err(NetError::Truncated {
+            what: "arp",
+            needed: PACKET_LEN,
+            got: bytes.len(),
+        });
+    }
+    if bytes[0..2] != [0, 1] || bytes[2..4] != [8, 0] || bytes[4] != 6 || bytes[5] != 4 {
+        return Err(NetError::Invalid {
+            what: "arp",
+            reason: "not ethernet/ipv4",
+        });
+    }
+    let op = match u16::from_be_bytes([bytes[6], bytes[7]]) {
+        1 => Operation::Request,
+        2 => Operation::Reply,
+        _ => {
+            return Err(NetError::Invalid {
+                what: "arp",
+                reason: "unknown operation",
+            })
+        }
+    };
+    let mac = |o: usize| {
+        let mut m = [0u8; 6];
+        m.copy_from_slice(&bytes[o..o + 6]);
+        MacAddr(m)
+    };
+    let ip = |o: usize| Ipv4Addr::new(bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]);
+    Ok(ArpPacket {
+        op,
+        sender_mac: mac(8),
+        sender_ip: ip(14),
+        target_mac: mac(18),
+        target_ip: ip(24),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IP_A: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 10);
+    const IP_B: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 1);
+
+    #[test]
+    fn request_roundtrip() {
+        let pkt = encode(
+            Operation::Request,
+            MacAddr::from_index(1),
+            IP_A,
+            MacAddr([0; 6]),
+            IP_B,
+        );
+        assert_eq!(pkt.len(), PACKET_LEN);
+        let parsed = parse(&pkt).unwrap();
+        assert_eq!(parsed.op, Operation::Request);
+        assert_eq!(parsed.sender_ip, IP_A);
+        assert_eq!(parsed.target_ip, IP_B);
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let pkt = encode(
+            Operation::Reply,
+            MacAddr::from_index(2),
+            IP_B,
+            MacAddr::from_index(1),
+            IP_A,
+        );
+        let parsed = parse(&pkt).unwrap();
+        assert_eq!(parsed.op, Operation::Reply);
+        assert_eq!(parsed.sender_mac, MacAddr::from_index(2));
+        assert_eq!(parsed.target_mac, MacAddr::from_index(1));
+    }
+
+    #[test]
+    fn rejects_non_ipv4_and_truncation() {
+        let mut pkt = encode(
+            Operation::Request,
+            MacAddr([1; 6]),
+            IP_A,
+            MacAddr([0; 6]),
+            IP_B,
+        );
+        pkt[3] = 0xdd; // PTYPE -> not IPv4
+        assert!(matches!(parse(&pkt), Err(NetError::Invalid { .. })));
+        assert!(matches!(parse(&[0u8; 10]), Err(NetError::Truncated { .. })));
+    }
+}

@@ -1,0 +1,94 @@
+//! Ethernet II frame encoding and parsing.
+
+use crate::{MacAddr, NetError, Result};
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// EtherType for ARP.
+pub const ETHERTYPE_ARP: u16 = 0x0806;
+/// EtherType for IPv6.
+pub const ETHERTYPE_IPV6: u16 = 0x86DD;
+
+/// Length of an Ethernet II header.
+pub const HEADER_LEN: usize = 14;
+
+/// A parsed Ethernet II header plus a view of the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EthernetFrame<'a> {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// EtherType (e.g. [`ETHERTYPE_IPV4`]).
+    pub ethertype: u16,
+    /// The payload bytes following the header.
+    pub payload: &'a [u8],
+}
+
+/// Encode an Ethernet II frame around `payload`.
+pub fn encode(dst: MacAddr, src: MacAddr, ethertype: u16, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&dst.0);
+    out.extend_from_slice(&src.0);
+    out.extend_from_slice(&ethertype.to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parse an Ethernet II frame.
+pub fn parse(bytes: &[u8]) -> Result<EthernetFrame<'_>> {
+    if bytes.len() < HEADER_LEN {
+        return Err(NetError::Truncated {
+            what: "ethernet",
+            needed: HEADER_LEN,
+            got: bytes.len(),
+        });
+    }
+    let mut dst = [0u8; 6];
+    let mut src = [0u8; 6];
+    dst.copy_from_slice(&bytes[0..6]);
+    src.copy_from_slice(&bytes[6..12]);
+    let ethertype = u16::from_be_bytes([bytes[12], bytes[13]]);
+    Ok(EthernetFrame {
+        dst: MacAddr(dst),
+        src: MacAddr(src),
+        ethertype,
+        payload: &bytes[14..],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let dst = MacAddr::from_index(1);
+        let src = MacAddr::from_index(2);
+        let payload = b"hello ethernet";
+        let frame = encode(dst, src, ETHERTYPE_IPV4, payload);
+        let parsed = parse(&frame).unwrap();
+        assert_eq!(parsed.dst, dst);
+        assert_eq!(parsed.src, src);
+        assert_eq!(parsed.ethertype, ETHERTYPE_IPV4);
+        assert_eq!(parsed.payload, payload);
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(matches!(parse(&[0u8; 13]), Err(NetError::Truncated { .. })));
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let frame = encode(
+            MacAddr::BROADCAST,
+            MacAddr::from_index(0),
+            ETHERTYPE_ARP,
+            &[],
+        );
+        let parsed = parse(&frame).unwrap();
+        assert!(parsed.payload.is_empty());
+        assert_eq!(parsed.dst, MacAddr::BROADCAST);
+    }
+}

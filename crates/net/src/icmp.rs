@@ -1,0 +1,127 @@
+//! ICMPv4 echo request/reply (RFC 792) with checksums.
+//!
+//! Consumer gateways ping devices for liveness; parsers must recognize
+//! ICMP to skip it (the pipeline models only TCP/UDP flows per §2 of the
+//! paper).
+
+use crate::ipv4::checksum;
+use crate::{NetError, Result};
+
+/// ICMP echo header length.
+pub const HEADER_LEN: usize = 8;
+
+/// Echo message kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EchoKind {
+    /// Type 8: echo request.
+    Request,
+    /// Type 0: echo reply.
+    Reply,
+}
+
+/// A parsed ICMP echo message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Echo<'a> {
+    /// Request or reply.
+    pub kind: EchoKind,
+    /// Identifier.
+    pub ident: u16,
+    /// Sequence number.
+    pub seq: u16,
+    /// Payload bytes.
+    pub payload: &'a [u8],
+}
+
+/// Encode an echo message with a valid checksum.
+pub fn encode_echo(kind: EchoKind, ident: u16, seq: u16, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.push(match kind {
+        EchoKind::Request => 8,
+        EchoKind::Reply => 0,
+    });
+    out.push(0); // code
+    out.extend_from_slice(&[0, 0]); // checksum placeholder
+    out.extend_from_slice(&ident.to_be_bytes());
+    out.extend_from_slice(&seq.to_be_bytes());
+    out.extend_from_slice(payload);
+    let ck = checksum(&out);
+    out[2..4].copy_from_slice(&ck.to_be_bytes());
+    out
+}
+
+/// Parse an ICMP message; only echo request/reply are returned (other
+/// types yield `Invalid`, matching this crate's modeling scope).
+pub fn parse_echo(bytes: &[u8]) -> Result<Echo<'_>> {
+    if bytes.len() < HEADER_LEN {
+        return Err(NetError::Truncated {
+            what: "icmp",
+            needed: HEADER_LEN,
+            got: bytes.len(),
+        });
+    }
+    if checksum(bytes) != 0 {
+        return Err(NetError::Invalid {
+            what: "icmp",
+            reason: "checksum mismatch",
+        });
+    }
+    let kind = match bytes[0] {
+        8 => EchoKind::Request,
+        0 => EchoKind::Reply,
+        _ => {
+            return Err(NetError::Invalid {
+                what: "icmp",
+                reason: "not an echo message",
+            })
+        }
+    };
+    Ok(Echo {
+        kind,
+        ident: u16::from_be_bytes([bytes[4], bytes[5]]),
+        seq: u16::from_be_bytes([bytes[6], bytes[7]]),
+        payload: &bytes[HEADER_LEN..],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let pkt = encode_echo(EchoKind::Request, 0xBEEF, 7, b"liveness-probe");
+        let parsed = parse_echo(&pkt).unwrap();
+        assert_eq!(parsed.kind, EchoKind::Request);
+        assert_eq!(parsed.ident, 0xBEEF);
+        assert_eq!(parsed.seq, 7);
+        assert_eq!(parsed.payload, b"liveness-probe");
+    }
+
+    #[test]
+    fn reply_and_empty_payload() {
+        let pkt = encode_echo(EchoKind::Reply, 1, 2, b"");
+        let parsed = parse_echo(&pkt).unwrap();
+        assert_eq!(parsed.kind, EchoKind::Reply);
+        assert!(parsed.payload.is_empty());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut pkt = encode_echo(EchoKind::Request, 1, 2, b"abc");
+        *pkt.last_mut().unwrap() ^= 1;
+        assert!(matches!(parse_echo(&pkt), Err(NetError::Invalid { .. })));
+    }
+
+    #[test]
+    fn non_echo_rejected() {
+        // Type 3 (destination unreachable) with a valid checksum.
+        let mut pkt = vec![3u8, 0, 0, 0, 0, 0, 0, 0];
+        let ck = checksum(&pkt);
+        pkt[2..4].copy_from_slice(&ck.to_be_bytes());
+        assert!(matches!(parse_echo(&pkt), Err(NetError::Invalid { .. })));
+        assert!(matches!(
+            parse_echo(&[1, 2]),
+            Err(NetError::Truncated { .. })
+        ));
+    }
+}

@@ -1,0 +1,140 @@
+//! NTPv4 packet encoding/parsing (RFC 5905, header only).
+//!
+//! IoT devices sync clocks constantly — the paper finds 17 distinct NTP
+//! servers across the fleet, some in third-party jurisdictions, and treats
+//! NTP exchanges as one of the standard periodic models (e.g.
+//! `NTP-*.pool.ntp.org-3603`). The byte-level simulator path emits real
+//! NTP packets so downstream tooling (Wireshark, other analyzers) sees
+//! valid traffic.
+
+use crate::{NetError, Result};
+
+/// NTP packet length (no extensions).
+pub const PACKET_LEN: usize = 48;
+
+/// Protocol mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Client request.
+    Client,
+    /// Server response.
+    Server,
+    /// Anything else RFC 5905 defines (broadcast, symmetric, ...).
+    Other(u8),
+}
+
+impl Mode {
+    fn to_bits(self) -> u8 {
+        match self {
+            Mode::Client => 3,
+            Mode::Server => 4,
+            Mode::Other(m) => m & 0x7,
+        }
+    }
+
+    fn from_bits(b: u8) -> Self {
+        match b & 0x7 {
+            3 => Mode::Client,
+            4 => Mode::Server,
+            m => Mode::Other(m),
+        }
+    }
+}
+
+/// A parsed NTP header.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NtpPacket {
+    /// Leap indicator (0..=3).
+    pub leap: u8,
+    /// Version (4 for NTPv4).
+    pub version: u8,
+    /// Mode.
+    pub mode: Mode,
+    /// Stratum (0 = unspecified, 1 = primary, ...).
+    pub stratum: u8,
+    /// Transmit timestamp in NTP 64-bit format (seconds since 1900 in the
+    /// upper 32 bits).
+    pub transmit_ts: u64,
+}
+
+/// Encode an NTP packet. `unix_seconds` fills the transmit timestamp
+/// (converted to the NTP 1900 epoch; fractional part zero).
+pub fn encode(mode: Mode, stratum: u8, unix_seconds: f64) -> Vec<u8> {
+    let mut out = vec![0u8; PACKET_LEN];
+    out[0] = (4 << 3) | mode.to_bits(); // LI=0, VN=4
+    out[1] = stratum;
+    out[2] = 6; // poll
+    out[3] = 0xEC; // precision (~2^-20, typical)
+                   // root delay/dispersion/refid left zero for clients.
+    const NTP_EPOCH_OFFSET: f64 = 2_208_988_800.0; // 1900 -> 1970
+    let ntp_secs = (unix_seconds + NTP_EPOCH_OFFSET).max(0.0);
+    let secs = ntp_secs as u64;
+    let frac = ((ntp_secs - secs as f64) * 4294967296.0) as u64;
+    let ts = (secs << 32) | frac;
+    out[40..48].copy_from_slice(&ts.to_be_bytes());
+    out
+}
+
+/// Parse an NTP header.
+pub fn parse(bytes: &[u8]) -> Result<NtpPacket> {
+    if bytes.len() < PACKET_LEN {
+        return Err(NetError::Truncated {
+            what: "ntp",
+            needed: PACKET_LEN,
+            got: bytes.len(),
+        });
+    }
+    let version = (bytes[0] >> 3) & 0x7;
+    if !(1..=4).contains(&version) {
+        return Err(NetError::Invalid {
+            what: "ntp",
+            reason: "bad version",
+        });
+    }
+    Ok(NtpPacket {
+        leap: bytes[0] >> 6,
+        version,
+        mode: Mode::from_bits(bytes[0]),
+        stratum: bytes[1],
+        transmit_ts: u64::from_be_bytes(bytes[40..48].try_into().expect("bounded above")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let pkt = encode(Mode::Client, 0, 1_700_000_000.5);
+        let parsed = parse(&pkt).unwrap();
+        assert_eq!(parsed.version, 4);
+        assert_eq!(parsed.mode, Mode::Client);
+        assert_eq!(parsed.stratum, 0);
+        // Transmit timestamp converts back to ~the unix time.
+        let secs = (parsed.transmit_ts >> 32) as f64 - 2_208_988_800.0;
+        assert!((secs - 1_700_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn server_mode() {
+        let pkt = encode(Mode::Server, 2, 0.0);
+        let parsed = parse(&pkt).unwrap();
+        assert_eq!(parsed.mode, Mode::Server);
+        assert_eq!(parsed.stratum, 2);
+    }
+
+    #[test]
+    fn truncated_and_invalid() {
+        assert!(parse(&[0u8; 40]).is_err());
+        let mut pkt = encode(Mode::Client, 0, 0.0);
+        pkt[0] = 0b00_111_011; // version 7
+        assert!(matches!(parse(&pkt), Err(NetError::Invalid { .. })));
+    }
+
+    #[test]
+    fn exotic_modes_preserved() {
+        let pkt = encode(Mode::Other(5), 1, 0.0);
+        assert_eq!(parse(&pkt).unwrap().mode, Mode::Other(5));
+    }
+}

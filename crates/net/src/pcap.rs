@@ -1,0 +1,255 @@
+//! Classic libpcap file format reader/writer.
+//!
+//! The simulator can persist generated gateway captures in the standard
+//! `.pcap` format (magic `0xa1b2c3d4`, microsecond resolution, LINKTYPE_ETHERNET)
+//! so traces can be inspected with Wireshark/tcpdump, and the pipeline can
+//! ingest captures from disk.
+
+use crate::{NetError, Result};
+use std::io::{Read, Write};
+
+const MAGIC_US: u32 = 0xa1b2_c3d4;
+const MAGIC_US_SWAPPED: u32 = 0xd4c3_b2a1;
+/// LINKTYPE_ETHERNET.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+
+/// A captured packet record: timestamp plus raw link-layer bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcapRecord {
+    /// Capture timestamp in seconds since the epoch of the capture.
+    pub ts: f64,
+    /// Raw frame bytes (from the Ethernet header on).
+    pub data: Vec<u8>,
+}
+
+/// Writes a pcap stream: global header then one record per packet.
+pub struct PcapWriter<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Create a writer and emit the global header (snaplen 65535,
+    /// Ethernet link type, microsecond timestamps).
+    pub fn new(mut inner: W) -> Result<Self> {
+        inner.write_all(&MAGIC_US.to_le_bytes())?;
+        inner.write_all(&2u16.to_le_bytes())?; // version major
+        inner.write_all(&4u16.to_le_bytes())?; // version minor
+        inner.write_all(&0i32.to_le_bytes())?; // thiszone
+        inner.write_all(&0u32.to_le_bytes())?; // sigfigs
+        inner.write_all(&65535u32.to_le_bytes())?; // snaplen
+        inner.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+        Ok(Self { inner })
+    }
+
+    /// Append one packet record.
+    pub fn write_record(&mut self, rec: &PcapRecord) -> Result<()> {
+        let secs = rec.ts.floor();
+        let usecs = ((rec.ts - secs) * 1e6).round() as u32;
+        // Guard against rounding to a full second.
+        let (secs, usecs) = if usecs >= 1_000_000 {
+            (secs + 1.0, 0)
+        } else {
+            (secs, usecs)
+        };
+        if secs < 0.0 || secs > u32::MAX as f64 {
+            return Err(NetError::Invalid {
+                what: "pcap record",
+                reason: "timestamp out of range",
+            });
+        }
+        self.inner.write_all(&(secs as u32).to_le_bytes())?;
+        self.inner.write_all(&usecs.to_le_bytes())?;
+        self.inner
+            .write_all(&(rec.data.len() as u32).to_le_bytes())?;
+        self.inner
+            .write_all(&(rec.data.len() as u32).to_le_bytes())?;
+        self.inner.write_all(&rec.data)?;
+        Ok(())
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn finish(mut self) -> Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Reads a pcap stream, iterating over records.
+pub struct PcapReader<R: Read> {
+    inner: R,
+    swapped: bool,
+    /// Link type declared by the file (normally [`LINKTYPE_ETHERNET`]).
+    pub linktype: u32,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Open a pcap stream, validating the global header. Both byte orders
+    /// are accepted.
+    pub fn new(mut inner: R) -> Result<Self> {
+        let mut hdr = [0u8; 24];
+        inner.read_exact(&mut hdr)?;
+        let magic = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
+        let swapped = match magic {
+            MAGIC_US => false,
+            MAGIC_US_SWAPPED => true,
+            _ => {
+                return Err(NetError::Invalid {
+                    what: "pcap",
+                    reason: "bad magic",
+                })
+            }
+        };
+        let read_u32 = |b: &[u8]| {
+            let arr = [b[0], b[1], b[2], b[3]];
+            if swapped {
+                u32::from_be_bytes(arr)
+            } else {
+                u32::from_le_bytes(arr)
+            }
+        };
+        let linktype = read_u32(&hdr[20..24]);
+        Ok(Self {
+            inner,
+            swapped,
+            linktype,
+        })
+    }
+
+    /// Read the next record, or `None` at a clean end-of-file.
+    pub fn next_record(&mut self) -> Result<Option<PcapRecord>> {
+        let mut hdr = [0u8; 16];
+        match self.inner.read_exact(&mut hdr) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let rd = |b: &[u8]| {
+            let arr = [b[0], b[1], b[2], b[3]];
+            if self.swapped {
+                u32::from_be_bytes(arr)
+            } else {
+                u32::from_le_bytes(arr)
+            }
+        };
+        let secs = rd(&hdr[0..4]);
+        let usecs = rd(&hdr[4..8]);
+        let incl_len = rd(&hdr[8..12]) as usize;
+        if incl_len > 1 << 26 {
+            return Err(NetError::Invalid {
+                what: "pcap record",
+                reason: "implausible length",
+            });
+        }
+        let mut data = vec![0u8; incl_len];
+        self.inner.read_exact(&mut data)?;
+        Ok(Some(PcapRecord {
+            ts: secs as f64 + usecs as f64 * 1e-6,
+            data,
+        }))
+    }
+
+    /// Collect all remaining records.
+    pub fn read_all(&mut self) -> Result<Vec<PcapRecord>> {
+        let mut out = Vec::new();
+        while let Some(rec) = self.next_record()? {
+            out.push(rec);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_multiple_records() {
+        let recs = vec![
+            PcapRecord {
+                ts: 1.5,
+                data: vec![1, 2, 3],
+            },
+            PcapRecord {
+                ts: 2.000001,
+                data: vec![],
+            },
+            PcapRecord {
+                ts: 1000.999999,
+                data: vec![0xff; 64],
+            },
+        ];
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for r in &recs {
+            w.write_record(r).unwrap();
+        }
+        let buf = w.finish().unwrap();
+        let mut rd = PcapReader::new(Cursor::new(buf)).unwrap();
+        assert_eq!(rd.linktype, LINKTYPE_ETHERNET);
+        let out = rd.read_all().unwrap();
+        assert_eq!(out.len(), 3);
+        for (a, b) in out.iter().zip(recs.iter()) {
+            assert!((a.ts - b.ts).abs() < 2e-6, "{} vs {}", a.ts, b.ts);
+            assert_eq!(a.data, b.data);
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = vec![0u8; 24];
+        assert!(matches!(
+            PcapReader::new(Cursor::new(buf)),
+            Err(NetError::Invalid {
+                reason: "bad magic",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn truncated_header_is_io_error() {
+        let buf = vec![0u8; 10];
+        assert!(matches!(
+            PcapReader::new(Cursor::new(buf)),
+            Err(NetError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_record_is_io_error() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_record(&PcapRecord {
+            ts: 1.0,
+            data: vec![1, 2, 3, 4],
+        })
+        .unwrap();
+        let mut buf = w.finish().unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut rd = PcapReader::new(Cursor::new(buf)).unwrap();
+        assert!(rd.next_record().is_err());
+    }
+
+    #[test]
+    fn negative_timestamp_rejected() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        let res = w.write_record(&PcapRecord {
+            ts: -1.0,
+            data: vec![],
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn microsecond_rounding_never_overflows() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_record(&PcapRecord {
+            ts: 41.9999996,
+            data: vec![],
+        })
+        .unwrap();
+        let buf = w.finish().unwrap();
+        let mut rd = PcapReader::new(Cursor::new(buf)).unwrap();
+        let r = rd.next_record().unwrap().unwrap();
+        assert!((r.ts - 42.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,224 @@
+//! TLS ClientHello building and SNI extraction.
+//!
+//! IoT traffic is mostly TLS; the Server Name Indication extension in the
+//! ClientHello is one of the two in-band sources of destination domain names
+//! (§4.1). We build a syntactically valid TLS 1.2 ClientHello carrying an
+//! SNI extension, and parse SNI out of arbitrary ClientHello records.
+
+use crate::{NetError, Result};
+
+const CONTENT_HANDSHAKE: u8 = 22;
+const HANDSHAKE_CLIENT_HELLO: u8 = 1;
+const EXT_SERVER_NAME: u16 = 0;
+
+/// Build a TLS 1.2 ClientHello record with an SNI extension for `host`.
+/// `random_seed` fills the 32-byte client random deterministically.
+pub fn build_client_hello(host: &str, random_seed: u64) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&[0x03, 0x03]); // client_version TLS1.2
+    let mut rnd = [0u8; 32];
+    let mut state = random_seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    for b in rnd.iter_mut() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *b = (state >> 24) as u8;
+    }
+    body.extend_from_slice(&rnd);
+    body.push(0); // session id length
+    body.extend_from_slice(&4u16.to_be_bytes()); // cipher suites len
+    body.extend_from_slice(&[0x13, 0x01, 0x13, 0x02]); // two suites
+    body.push(1); // compression methods len
+    body.push(0); // null compression
+
+    // Extensions: only server_name.
+    let host_bytes = host.as_bytes();
+    let server_name_list_len = 3 + host_bytes.len();
+    let ext_data_len = 2 + server_name_list_len;
+    let mut exts = Vec::new();
+    exts.extend_from_slice(&EXT_SERVER_NAME.to_be_bytes());
+    exts.extend_from_slice(&(ext_data_len as u16).to_be_bytes());
+    exts.extend_from_slice(&(server_name_list_len as u16).to_be_bytes());
+    exts.push(0); // name_type host_name
+    exts.extend_from_slice(&(host_bytes.len() as u16).to_be_bytes());
+    exts.extend_from_slice(host_bytes);
+    body.extend_from_slice(&(exts.len() as u16).to_be_bytes());
+    body.extend_from_slice(&exts);
+
+    // Handshake header.
+    let mut hs = Vec::with_capacity(4 + body.len());
+    hs.push(HANDSHAKE_CLIENT_HELLO);
+    hs.extend_from_slice(&(body.len() as u32).to_be_bytes()[1..]); // 24-bit length
+    hs.extend_from_slice(&body);
+
+    // Record header.
+    let mut rec = Vec::with_capacity(5 + hs.len());
+    rec.push(CONTENT_HANDSHAKE);
+    rec.extend_from_slice(&[0x03, 0x01]); // record version
+    rec.extend_from_slice(&(hs.len() as u16).to_be_bytes());
+    rec.extend_from_slice(&hs);
+    rec
+}
+
+/// Extract the SNI host name from a TLS record if it is a ClientHello that
+/// carries one. Returns `Ok(None)` when the record is valid TLS but not a
+/// ClientHello-with-SNI; errors only on malformed framing.
+pub fn extract_sni(record: &[u8]) -> Result<Option<String>> {
+    if record.len() < 5 {
+        return Err(NetError::Truncated {
+            what: "tls record",
+            needed: 5,
+            got: record.len(),
+        });
+    }
+    if record[0] != CONTENT_HANDSHAKE {
+        return Ok(None);
+    }
+    let rec_len = u16::from_be_bytes([record[3], record[4]]) as usize;
+    if record.len() < 5 + rec_len {
+        return Err(NetError::Truncated {
+            what: "tls record body",
+            needed: 5 + rec_len,
+            got: record.len(),
+        });
+    }
+    let hs = &record[5..5 + rec_len];
+    if hs.len() < 4 || hs[0] != HANDSHAKE_CLIENT_HELLO {
+        return Ok(None);
+    }
+    let body_len = u32::from_be_bytes([0, hs[1], hs[2], hs[3]]) as usize;
+    if hs.len() < 4 + body_len {
+        return Err(NetError::Truncated {
+            what: "client hello",
+            needed: 4 + body_len,
+            got: hs.len(),
+        });
+    }
+    let b = &hs[4..4 + body_len];
+    // version(2) + random(32)
+    let mut pos = 34usize;
+    let need = |p: usize, n: usize, what: &'static str| -> Result<()> {
+        if p + n > b.len() {
+            Err(NetError::Truncated {
+                what,
+                needed: p + n,
+                got: b.len(),
+            })
+        } else {
+            Ok(())
+        }
+    };
+    need(pos, 1, "session id")?;
+    let sid_len = b[pos] as usize;
+    pos += 1 + sid_len;
+    need(pos, 2, "cipher suites")?;
+    let cs_len = u16::from_be_bytes([b[pos], b[pos + 1]]) as usize;
+    pos += 2 + cs_len;
+    need(pos, 1, "compression")?;
+    let comp_len = b[pos] as usize;
+    pos += 1 + comp_len;
+    if pos == b.len() {
+        return Ok(None); // no extensions
+    }
+    need(pos, 2, "extensions length")?;
+    let ext_total = u16::from_be_bytes([b[pos], b[pos + 1]]) as usize;
+    pos += 2;
+    need(pos, ext_total, "extensions")?;
+    let mut e = pos;
+    let ext_end = pos + ext_total;
+    while e + 4 <= ext_end {
+        let etype = u16::from_be_bytes([b[e], b[e + 1]]);
+        let elen = u16::from_be_bytes([b[e + 2], b[e + 3]]) as usize;
+        e += 4;
+        if e + elen > ext_end {
+            return Err(NetError::Invalid {
+                what: "tls extension",
+                reason: "overruns block",
+            });
+        }
+        if etype == EXT_SERVER_NAME && elen >= 5 {
+            let d = &b[e..e + elen];
+            // server_name_list length (2), then entries: type(1) len(2) name
+            let mut p = 2;
+            while p + 3 <= d.len() {
+                let name_type = d[p];
+                let nlen = u16::from_be_bytes([d[p + 1], d[p + 2]]) as usize;
+                p += 3;
+                if p + nlen > d.len() {
+                    return Err(NetError::Invalid {
+                        what: "sni",
+                        reason: "name overruns",
+                    });
+                }
+                if name_type == 0 {
+                    return Ok(Some(
+                        String::from_utf8_lossy(&d[p..p + nlen]).to_lowercase(),
+                    ));
+                }
+                p += nlen;
+            }
+        }
+        e += elen;
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_sni() {
+        let rec = build_client_hello("device-metrics-us.amazon.com", 42);
+        let sni = extract_sni(&rec).unwrap();
+        assert_eq!(sni.as_deref(), Some("device-metrics-us.amazon.com"));
+    }
+
+    #[test]
+    fn case_normalized() {
+        let rec = build_client_hello("API.Example.COM", 1);
+        assert_eq!(
+            extract_sni(&rec).unwrap().as_deref(),
+            Some("api.example.com")
+        );
+    }
+
+    #[test]
+    fn non_handshake_record_is_none() {
+        let mut rec = build_client_hello("x.io", 2);
+        rec[0] = 23; // application data
+        assert_eq!(extract_sni(&rec).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_record_errors() {
+        let rec = build_client_hello("abc.example.org", 3);
+        assert!(extract_sni(&rec[..rec.len() / 2]).is_err());
+        assert!(extract_sni(&[22, 3]).is_err());
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        assert_eq!(build_client_hello("a.b", 9), build_client_hello("a.b", 9));
+        assert_ne!(build_client_hello("a.b", 9), build_client_hello("a.b", 10));
+    }
+
+    #[test]
+    fn hello_without_extensions_is_none() {
+        // Hand-roll a minimal ClientHello with no extensions.
+        let mut body = vec![0x03, 0x03];
+        body.extend_from_slice(&[0u8; 32]);
+        body.push(0); // session id
+        body.extend_from_slice(&2u16.to_be_bytes());
+        body.extend_from_slice(&[0x13, 0x01]);
+        body.push(1);
+        body.push(0);
+        let mut hs = vec![1];
+        hs.extend_from_slice(&(body.len() as u32).to_be_bytes()[1..]);
+        hs.extend_from_slice(&body);
+        let mut rec = vec![22, 3, 1];
+        rec.extend_from_slice(&(hs.len() as u16).to_be_bytes());
+        rec.extend_from_slice(&hs);
+        assert_eq!(extract_sni(&rec).unwrap(), None);
+    }
+}

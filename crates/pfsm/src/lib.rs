@@ -1,0 +1,164 @@
+//! Probabilistic finite-state-machine inference for BehavIoT system
+//! behavior models (§4.2 of the paper).
+//!
+//! The paper feeds user-event traces to Synoptic \[17\], which produces a
+//! PFSM whose states abstract user activities and whose transition
+//! probabilities capture temporal/causal structure. This crate reimplements
+//! that functionality from scratch:
+//!
+//! * [`EventVocab`] / [`TraceLog`] — interned event labels and trace sets,
+//! * [`invariants`] — mining of the Synoptic temporal invariants
+//!   (AlwaysFollowedBy, NeverFollowedBy, AlwaysPrecedes),
+//! * [`model::Pfsm`] — PFSM inference by partitioning event instances on
+//!   their event type and k-step future (a deterministic variant of kTails
+//!   state merging), transition probabilities with additive smoothing,
+//!   acceptance and Viterbi trace scoring,
+//! * [`seqgraph::SeqGraph`] — the naive "parallel event sequences" baseline
+//!   the paper compares model sizes against in Fig. 3,
+//! * DOT export for visual inspection.
+//!
+//! Properties reproduced from §5.2: the PFSM accepts every trace used to
+//! build it; it also accepts unseen recombinations/permutations of seen
+//! behavior; and it is far more compact than the sequence-graph baseline.
+
+#![warn(missing_docs)]
+
+pub mod invariants;
+pub mod model;
+pub mod seqgraph;
+
+pub use invariants::{mine_invariants, Invariants};
+pub use model::{Pfsm, PfsmConfig, StateId, TraceScore};
+pub use seqgraph::SeqGraph;
+
+use std::collections::HashMap;
+
+/// Interned event label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub u32);
+
+/// Bidirectional event-label interner.
+#[derive(Debug, Clone, Default)]
+pub struct EventVocab {
+    names: Vec<String>,
+    map: HashMap<String, EventId>,
+}
+
+impl EventVocab {
+    /// New empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a label, returning its id (existing id if already present).
+    pub fn intern(&mut self, name: &str) -> EventId {
+        if let Some(&id) = self.map.get(name) {
+            return id;
+        }
+        let id = EventId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.map.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look up an existing label without interning.
+    pub fn get(&self, name: &str) -> Option<EventId> {
+        self.map.get(name).copied()
+    }
+
+    /// The label for an id. Panics on a foreign id.
+    pub fn name(&self, id: EventId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Number of distinct labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Is the vocabulary empty?
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A set of event traces over a shared vocabulary.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    /// Interner shared by all traces.
+    pub vocab: EventVocab,
+    /// The traces (sequences of interned events). Empty traces are skipped
+    /// on insertion.
+    pub traces: Vec<Vec<EventId>>,
+}
+
+impl TraceLog {
+    /// New empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a trace of string labels. Empty traces are ignored.
+    pub fn push_trace<S: AsRef<str>>(&mut self, events: &[S]) {
+        if events.is_empty() {
+            return;
+        }
+        let t: Vec<EventId> = events
+            .iter()
+            .map(|e| self.vocab.intern(e.as_ref()))
+            .collect();
+        self.traces.push(t);
+    }
+
+    /// Total number of event instances across traces.
+    pub fn event_count(&self) -> usize {
+        self.traces.iter().map(|t| t.len()).sum()
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Resolve a string-labeled trace against this log's vocabulary.
+    /// Unknown labels map to `None` (they represent never-seen events).
+    pub fn resolve<S: AsRef<str>>(&self, events: &[S]) -> Vec<Option<EventId>> {
+        events.iter().map(|e| self.vocab.get(e.as_ref())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocab_interning() {
+        let mut v = EventVocab::new();
+        let a = v.intern("bulb:on");
+        let b = v.intern("bulb:off");
+        assert_ne!(a, b);
+        assert_eq!(v.intern("bulb:on"), a);
+        assert_eq!(v.name(a), "bulb:on");
+        assert_eq!(v.get("bulb:off"), Some(b));
+        assert_eq!(v.get("nope"), None);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn trace_log_basics() {
+        let mut log = TraceLog::new();
+        log.push_trace(&["a", "b", "a"]);
+        log.push_trace(&["b"]);
+        log.push_trace::<&str>(&[]);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.event_count(), 4);
+        assert_eq!(log.vocab.len(), 2);
+        let r = log.resolve(&["a", "zzz"]);
+        assert!(r[0].is_some() && r[1].is_none());
+    }
+}

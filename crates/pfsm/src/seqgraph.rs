@@ -1,0 +1,119 @@
+//! The naive "parallel event sequences" baseline model of Fig. 3.
+//!
+//! Instead of abstracting states, every distinct trace becomes a chain of
+//! per-instance nodes between a shared INITIAL and FINAL node. The paper
+//! uses this model to show why the PFSM is preferable: at 18 devices the
+//! sequence graph holds 710 nodes and 910 edges versus the PFSM's 35/211.
+
+use crate::{EventId, TraceLog};
+use std::collections::HashSet;
+
+/// The deterministic sequence-graph model.
+#[derive(Debug, Clone)]
+pub struct SeqGraph {
+    /// The distinct traces retained as chains.
+    chains: Vec<Vec<EventId>>,
+}
+
+impl SeqGraph {
+    /// Build from a log; identical traces are deduplicated (they add no
+    /// nodes or edges).
+    pub fn build(log: &TraceLog) -> Self {
+        let mut seen: HashSet<&[EventId]> = HashSet::new();
+        let mut chains = Vec::new();
+        for t in &log.traces {
+            if seen.insert(t.as_slice()) {
+                chains.push(t.clone());
+            }
+        }
+        SeqGraph { chains }
+    }
+
+    /// Node count: one node per retained event instance, plus INITIAL and
+    /// FINAL.
+    pub fn n_nodes(&self) -> usize {
+        self.chains.iter().map(|c| c.len()).sum::<usize>() + 2
+    }
+
+    /// Edge count: each chain of length L contributes L+1 edges
+    /// (INITIAL → first, consecutive pairs, last → FINAL).
+    pub fn n_edges(&self) -> usize {
+        self.chains.iter().map(|c| c.len() + 1).sum()
+    }
+
+    /// Number of retained (distinct) chains.
+    pub fn n_chains(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// A sequence graph accepts exactly the traces it retains.
+    pub fn accepts(&self, trace: &[Option<EventId>]) -> bool {
+        let Some(resolved): Option<Vec<EventId>> = trace.iter().copied().collect() else {
+            return false;
+        };
+        self.chains.contains(&resolved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log(traces: &[&[&str]]) -> TraceLog {
+        let mut l = TraceLog::new();
+        for t in traces {
+            l.push_trace(t);
+        }
+        l
+    }
+
+    #[test]
+    fn counts() {
+        let l = log(&[&["a", "b", "c"], &["a", "b"]]);
+        let g = SeqGraph::build(&l);
+        assert_eq!(g.n_chains(), 2);
+        assert_eq!(g.n_nodes(), 5 + 2);
+        assert_eq!(g.n_edges(), 4 + 3);
+    }
+
+    #[test]
+    fn duplicates_deduplicated() {
+        let l = log(&[&["a", "b"], &["a", "b"], &["a", "b"]]);
+        let g = SeqGraph::build(&l);
+        assert_eq!(g.n_chains(), 1);
+        assert_eq!(g.n_nodes(), 4);
+    }
+
+    #[test]
+    fn accepts_only_exact_traces() {
+        let l = log(&[&["a", "b"], &["c"]]);
+        let g = SeqGraph::build(&l);
+        assert!(g.accepts(&l.resolve(&["a", "b"])));
+        assert!(g.accepts(&l.resolve(&["c"])));
+        assert!(!g.accepts(&l.resolve(&["a"])));
+        assert!(!g.accepts(&l.resolve(&["a", "b", "c"])));
+        assert!(!g.accepts(&l.resolve(&["zzz"])));
+    }
+
+    #[test]
+    fn empty_log() {
+        let g = SeqGraph::build(&TraceLog::new());
+        assert_eq!(g.n_nodes(), 2);
+        assert_eq!(g.n_edges(), 0);
+        assert!(!g.accepts(&[]));
+    }
+
+    #[test]
+    fn grows_linearly_with_traces_unlike_pfsm() {
+        let mut l = TraceLog::new();
+        for i in 0..50 {
+            // Vary a suffix so traces are distinct.
+            let suffix = format!("e{}", i % 10);
+            l.push_trace(&["a", "b", suffix.as_str()]);
+        }
+        let g = SeqGraph::build(&l);
+        assert_eq!(g.n_chains(), 10);
+        let m = crate::Pfsm::infer(&l, &crate::PfsmConfig::default());
+        assert!(m.n_states() < g.n_nodes());
+    }
+}

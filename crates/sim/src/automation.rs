@@ -1,0 +1,256 @@
+//! The 16 trigger-action automations of Table 7 (Appendix A).
+//!
+//! Each automation expands into a short sequence of user events across
+//! devices, separated by a few seconds — the cross-device correlation the
+//! system behavior model (PFSM) learns.
+
+use crate::catalog::Catalog;
+use crate::gen::ScheduledEvent;
+
+/// One step of an automation: `(device name, activity, delay after the
+/// previous step in seconds)`.
+pub type Step = (&'static str, &'static str, f64);
+
+/// A named automation.
+#[derive(Debug, Clone)]
+pub struct Automation {
+    /// Identifier (R1..R16).
+    pub id: &'static str,
+    /// Short description from Table 7.
+    pub description: &'static str,
+    /// Steps.
+    pub steps: Vec<Step>,
+}
+
+/// All automations of Table 7.
+pub fn all_automations() -> Vec<Automation> {
+    vec![
+        Automation {
+            id: "R1",
+            description: "voice open/close garage -> Meross Dooropener",
+            steps: vec![
+                ("Echo Spot", "voice", 0.0),
+                ("Meross Dooropener", "open_close", 3.0),
+            ],
+        },
+        Automation {
+            id: "R2",
+            description: "voice: turn on all lights",
+            steps: vec![
+                ("Echo Spot", "voice", 0.0),
+                ("TPLink Bulb", "on_off", 2.0),
+                ("Govee Bulb", "on_off", 1.0),
+                ("Smartlife Bulb", "on_off", 1.0),
+                ("Jinvoo Bulb", "on_off", 1.0),
+                ("Gosund Bulb", "on_off", 1.0),
+                ("Magichome Strip", "on_off", 1.0),
+            ],
+        },
+        Automation {
+            id: "R3",
+            description: "voice: turn off all lights",
+            steps: vec![
+                ("Echo Spot", "voice", 0.0),
+                ("Magichome Strip", "on_off", 2.0),
+                ("Gosund Bulb", "on_off", 1.0),
+                ("Jinvoo Bulb", "on_off", 1.0),
+                ("Smartlife Bulb", "on_off", 1.0),
+                ("Govee Bulb", "on_off", 1.0),
+                ("TPLink Bulb", "on_off", 1.0),
+            ],
+        },
+        Automation {
+            id: "R4",
+            description: "voice: turn on TV (SwitchBot), dim strip",
+            steps: vec![
+                ("Echo Spot", "voice", 0.0),
+                ("SwitchBot Hub", "on_off", 3.0),
+                ("Magichome Strip", "on_off", 2.0),
+            ],
+        },
+        Automation {
+            id: "R5",
+            description: "voice: turn off TV (SwitchBot), light strip",
+            steps: vec![
+                ("Echo Spot", "voice", 0.0),
+                ("SwitchBot Hub", "on_off", 3.0),
+                ("Magichome Strip", "on_off", 2.0),
+            ],
+        },
+        Automation {
+            id: "R6",
+            description: "doorbell ring -> Wemo Plug + weather + plug off",
+            steps: vec![
+                ("Ring Doorbell", "ring", 0.0),
+                ("Wemo Plug", "on_off", 2.0),
+                ("Echo Spot", "voice", 2.0),
+                ("Wemo Plug", "on_off", 5.0),
+            ],
+        },
+        Automation {
+            id: "R7",
+            description: "doorbell motion -> blink Smartlife, Jinvoo red",
+            steps: vec![
+                ("Ring Doorbell", "motion", 0.0),
+                ("Smartlife Bulb", "on_off", 2.0),
+                ("Smartlife Bulb", "on_off", 5.0),
+                ("Jinvoo Bulb", "color", 1.0),
+            ],
+        },
+        Automation {
+            id: "R8",
+            description: "Ring Camera motion -> Gosund Bulb on",
+            steps: vec![
+                ("Ring Camera", "motion", 0.0),
+                ("Gosund Bulb", "on_off", 2.0),
+            ],
+        },
+        Automation {
+            id: "R9",
+            description: "D-Link Camera motion -> TPLink Bulb on",
+            steps: vec![
+                ("D-Link Camera", "motion", 0.0),
+                ("TPLink Bulb", "on_off", 2.0),
+            ],
+        },
+        Automation {
+            id: "R10",
+            description: "Nest Thermostat schedule (6AM on / 10PM off)",
+            steps: vec![("Nest Thermostat", "on_off", 0.0)],
+        },
+        Automation {
+            id: "R11",
+            description: "voice: I am leaving -> Nest 72F, garage open, close",
+            steps: vec![
+                ("Echo Spot", "voice", 0.0),
+                ("Nest Thermostat", "set", 2.0),
+                ("Meross Dooropener", "open_close", 3.0),
+                ("Meross Dooropener", "open_close", 300.0),
+            ],
+        },
+        Automation {
+            id: "R12",
+            description: "Wyze motion -> TPLink Plug on, clip, off",
+            steps: vec![
+                ("Wyze Camera", "motion", 0.0),
+                ("TPLink Plug", "on_off", 2.0),
+                ("Wyze Camera", "video", 3.0),
+                ("TPLink Plug", "on_off", 4.0),
+            ],
+        },
+        Automation {
+            id: "R13",
+            description: "good morning -> boil iKettle, Govee on",
+            steps: vec![
+                ("Echo Spot", "voice", 0.0),
+                ("Smarter iKettle", "boil", 3.0),
+                ("Govee Bulb", "on_off", 2.0),
+            ],
+        },
+        Automation {
+            id: "R14",
+            description: "good night -> Govee off",
+            steps: vec![("Echo Spot", "voice", 0.0), ("Govee Bulb", "on_off", 2.0)],
+        },
+        Automation {
+            id: "R15",
+            description: "Meross opens -> TPLink Bulb on, maroon",
+            steps: vec![
+                ("Meross Dooropener", "open_close", 0.0),
+                ("TPLink Bulb", "on_off", 2.0),
+                ("TPLink Bulb", "color", 1.0),
+            ],
+        },
+        Automation {
+            id: "R16",
+            description: "Meross closes -> TPLink Plug off, Bulb green",
+            steps: vec![
+                ("Meross Dooropener", "open_close", 0.0),
+                ("TPLink Plug", "on_off", 2.0),
+                ("TPLink Bulb", "color", 1.0),
+            ],
+        },
+    ]
+}
+
+impl Automation {
+    /// Expand this automation triggered at `t0` into scheduled events.
+    /// Panics if a step references a device or activity missing from the
+    /// catalog (a bug in the automation table, caught by tests).
+    pub fn expand(&self, catalog: &Catalog, t0: f64) -> Vec<ScheduledEvent> {
+        let mut t = t0;
+        self.steps
+            .iter()
+            .map(|&(dev, act, delay)| {
+                t += delay;
+                let device = catalog
+                    .device_index(dev)
+                    .unwrap_or_else(|| panic!("automation {} uses unknown device {dev}", self.id));
+                assert!(
+                    catalog.devices[device].activity(act).is_some(),
+                    "automation {}: device {dev} lacks activity {act}",
+                    self.id
+                );
+                ScheduledEvent {
+                    ts: t,
+                    device,
+                    activity: act.to_string(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_automations() {
+        assert_eq!(all_automations().len(), 16);
+    }
+
+    #[test]
+    fn all_steps_resolve_against_catalog() {
+        let catalog = Catalog::standard();
+        for a in all_automations() {
+            let events = a.expand(&catalog, 1000.0);
+            assert_eq!(events.len(), a.steps.len());
+            // Events are ordered in time.
+            for w in events.windows(2) {
+                assert!(w[1].ts >= w[0].ts);
+            }
+            assert!(events[0].ts >= 1000.0);
+        }
+    }
+
+    #[test]
+    fn automations_cover_all_routine_devices() {
+        use std::collections::HashSet;
+        let catalog = Catalog::standard();
+        let mut used: HashSet<usize> = HashSet::new();
+        for a in all_automations() {
+            for ev in a.expand(&catalog, 0.0) {
+                used.insert(ev.device);
+            }
+        }
+        for &idx in &catalog.routine_device_indices() {
+            // Every routine device appears in at least one automation,
+            // except the Amazon Plug which Table 7 leaves to direct
+            // interactions.
+            if catalog.devices[idx].name == "Amazon Plug" {
+                continue;
+            }
+            assert!(used.contains(&idx), "{} unused", catalog.devices[idx].name);
+        }
+    }
+
+    #[test]
+    fn r11_has_long_gap_splitting_traces() {
+        let a = all_automations()
+            .into_iter()
+            .find(|a| a.id == "R11")
+            .unwrap();
+        assert!(a.steps.iter().any(|s| s.2 > 60.0));
+    }
+}

@@ -1,0 +1,499 @@
+//! The four datasets of §3 plus the §6.2 incident script.
+
+use crate::automation::all_automations;
+use crate::catalog::Catalog;
+use crate::gen::{Capture, GenOptions, Outage, ScheduledEvent, TrafficGenerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Short random per-device connectivity glitches (router hiccups, Wi-Fi
+/// drops). Real idle captures contain them, and they produce the long-gap
+/// tail of the periodic-event deviation CDF (Fig. 4a) whose knee defines
+/// the 1.61 threshold.
+pub fn micro_outages(
+    catalog: &Catalog,
+    seed: u64,
+    start: f64,
+    end: f64,
+    rate_per_device_day: f64,
+) -> Vec<Outage> {
+    let mut out = Vec::new();
+    let days = ((end - start) / 86400.0).ceil() as usize;
+    // Seed by the ABSOLUTE day index so day-by-day streaming draws the same
+    // glitches as one long window would.
+    let day0 = (start / 86400.0).floor() as u64;
+    for di in 0..catalog.devices.len() {
+        for day in 0..days.max(1) {
+            let abs_day = day0 + day as u64;
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ 0x0u64.wrapping_sub(1)
+                    ^ ((di as u64) << 24)
+                    ^ abs_day.wrapping_mul(0x9e3779b97f4a7c15),
+            );
+            if rng.gen::<f64>() < rate_per_device_day {
+                let from = start + day as f64 * 86400.0 + rng.gen::<f64>() * 80000.0;
+                let dur = 600.0 + rng.gen::<f64>() * 4800.0; // 10-90 minutes
+                out.push(Outage {
+                    from,
+                    to: (from + dur).min(end),
+                    device: Some(di),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// §3.2 idle dataset: `days` (5 in the paper) of background-only traffic
+/// from all 49 devices — no user events at all.
+pub fn idle_dataset(catalog: &Catalog, seed: u64, days: f64) -> Capture {
+    let g = TrafficGenerator::new(catalog, seed);
+    let opts = GenOptions {
+        congestion_prob: 0.004,
+        outages: micro_outages(catalog, seed, 0.0, days * 86400.0, 0.05),
+        ..Default::default()
+    };
+    g.generate(0.0, days * 86400.0, &[], &opts)
+}
+
+/// §3.2 activity dataset: controlled experiments interacting with every
+/// device that exposes activities, `reps` times per activity (≥30 in the
+/// paper), with background traffic running concurrently. Interactions are
+/// spaced so each lands in its own event trace.
+pub fn activity_dataset(catalog: &Catalog, seed: u64, reps: usize) -> Capture {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xAC71);
+    let mut events = Vec::new();
+    let mut t = 120.0;
+    for r in 0..reps {
+        for (di, dev) in catalog.devices.iter().enumerate() {
+            for act in &dev.activities {
+                // Small deterministic jitter so repetitions are not on a
+                // perfect grid (which would look periodic).
+                let jitter = rng.gen::<f64>() * 20.0;
+                events.push(ScheduledEvent {
+                    ts: t + jitter,
+                    device: di,
+                    activity: act.name.clone(),
+                });
+                t += 75.0;
+            }
+        }
+        // Idle gap between repetition sweeps.
+        t += 600.0 + r as f64; // keep deterministic but non-uniform
+    }
+    let end = t + 300.0;
+    let g = TrafficGenerator::new(catalog, seed);
+    let opts = GenOptions {
+        congestion_prob: 0.004,
+        ..Default::default()
+    };
+    g.generate(0.0, end, &events, &opts)
+}
+
+/// §3.2 routine dataset: one week of automation-driven behavior over the
+/// 18 routine devices (Tables 6/7), plus direct voice/app interactions.
+pub fn routine_dataset(catalog: &Catalog, seed: u64, days: usize) -> Capture {
+    let events = routine_schedule(catalog, seed, days, 0, 1.0);
+    let g = TrafficGenerator::new(catalog, seed);
+    let opts = GenOptions {
+        congestion_prob: 0.004,
+        ..Default::default()
+    };
+    g.generate(0.0, days as f64 * 86400.0, &events, &opts)
+}
+
+/// Build the user-event schedule of `days` days of routine living starting
+/// at day index `day0` (absolute times), with an activity-rate multiplier.
+pub fn routine_schedule(
+    catalog: &Catalog,
+    seed: u64,
+    days: usize,
+    day0: usize,
+    rate: f64,
+) -> Vec<ScheduledEvent> {
+    let autos = all_automations();
+    let routine_idx = catalog.routine_device_indices();
+    let mut events = Vec::new();
+    for day in day0..day0 + days {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x40u64 ^ (day as u64).wrapping_mul(0x9e37));
+        let base = day as f64 * 86400.0;
+        // R10: thermostat schedule at 6 AM and 10 PM.
+        let nest = &autos[9];
+        events.extend(nest.expand(catalog, base + 6.0 * 3600.0));
+        events.extend(nest.expand(catalog, base + 22.0 * 3600.0));
+        // Triggered automations through the day.
+        let n_autos = ((20.0 + rng.gen::<f64>() * 15.0) * rate).round() as usize;
+        for _ in 0..n_autos {
+            let a = &autos[rng.gen_range(0..autos.len())];
+            let t = base + 7.0 * 3600.0 + rng.gen::<f64>() * 16.0 * 3600.0;
+            events.extend(a.expand(catalog, t));
+        }
+        // Direct interactions (voice commands / companion apps).
+        let n_direct = ((8.0 + rng.gen::<f64>() * 6.0) * rate).round() as usize;
+        for _ in 0..n_direct {
+            let di = routine_idx[rng.gen_range(0..routine_idx.len())];
+            let dev = &catalog.devices[di];
+            if dev.activities.is_empty() {
+                continue;
+            }
+            let act = &dev.activities[rng.gen_range(0..dev.activities.len())];
+            let t = base + 7.0 * 3600.0 + rng.gen::<f64>() * 16.0 * 3600.0;
+            events.push(ScheduledEvent {
+                ts: t,
+                device: di,
+                activity: act.name.clone(),
+            });
+        }
+    }
+    events.sort_by(|a, b| a.ts.partial_cmp(&b.ts).unwrap());
+    events
+}
+
+/// The §6.2 incident script for the uncontrolled experiments.
+#[derive(Debug, Clone, Default)]
+pub struct IncidentScript {
+    /// Camera relocations: `(device, from_day, extra motion events/day)` —
+    /// cases 1, 4, 5.
+    pub relocations: Vec<(usize, usize, f64)>,
+    /// Lab experiments: `(day, device, activity, count, window_hours)` —
+    /// case 2 (50 Echo Spot activations in 30 min).
+    pub lab_experiments: Vec<(usize, usize, String, usize, f64)>,
+    /// Device resets causing repeated events:
+    /// `(day, device, activity, repeats)` — case 3.
+    pub resets: Vec<(usize, usize, String, usize)>,
+    /// Network outages: `(day, start_hour, duration_hours, device)` with
+    /// `None` meaning testbed-wide — cases 6–8.
+    pub outages: Vec<(usize, f64, f64, Option<usize>)>,
+    /// Malfunctioning device turning off repeatedly:
+    /// `(device, day_from, day_to, off_events_per_day, off_minutes)` —
+    /// case 9 (SwitchBot Hub).
+    pub malfunctions: Vec<(usize, usize, usize, f64, f64)>,
+    /// Devices removed for experiments: `(device, day_from, day_to)`.
+    pub removals: Vec<(usize, usize, usize)>,
+}
+
+impl IncidentScript {
+    /// The §6.2 script rescaled to a different horizon: incident days are
+    /// mapped proportionally from the 87-day schedule so short (`--quick`)
+    /// runs still exercise every case.
+    pub fn paper_like_scaled(catalog: &Catalog, days: usize) -> Self {
+        let mut s = Self::paper_like(catalog);
+        if days == 87 {
+            return s;
+        }
+        let map = |d: usize| -> usize { (d * days / 87).min(days.saturating_sub(1)) };
+        for r in s.relocations.iter_mut() {
+            r.1 = map(r.1);
+        }
+        for l in s.lab_experiments.iter_mut() {
+            l.0 = map(l.0);
+        }
+        for r in s.resets.iter_mut() {
+            r.0 = map(r.0);
+        }
+        for o in s.outages.iter_mut() {
+            o.0 = map(o.0);
+        }
+        for m in s.malfunctions.iter_mut() {
+            m.1 = map(m.1);
+            m.2 = if m.2 >= 87 { days } else { map(m.2) };
+        }
+        for r in s.removals.iter_mut() {
+            r.1 = map(r.1);
+            r.2 = if r.2 >= 87 { days } else { map(r.2) };
+        }
+        s
+    }
+
+    /// The script reproducing the §6.2 case studies on an 87-day window.
+    pub fn paper_like(catalog: &Catalog) -> Self {
+        let dev = |n: &str| catalog.device_index(n).expect("device");
+        IncidentScript {
+            relocations: vec![
+                (dev("Wyze Camera"), 4, 12.0), // cases 1/4/5: much more motion
+            ],
+            lab_experiments: vec![(12, dev("Echo Spot"), "voice".into(), 50, 0.5)], // case 2
+            resets: vec![
+                (14, dev("Smartlife Bulb"), "on_off".into(), 25), // case 3
+                (14, dev("SwitchBot Hub"), "on_off".into(), 25),
+            ],
+            outages: vec![
+                (22, 9.0, 3.0, None),  // case 6: testbed-wide outage
+                (41, 14.0, 5.0, None), // case 7
+                (60, 2.0, 8.0, None),  // case 8
+            ],
+            malfunctions: vec![(dev("SwitchBot Hub"), 30, 87, 0.6, 45.0)], // case 9
+            removals: vec![
+                (dev("LeFun Camera"), 50, 64),
+                (dev("Thermopro Sensor"), 70, 87),
+            ],
+        }
+    }
+}
+
+/// Configuration of the uncontrolled experiment (§3.3).
+#[derive(Debug, Clone)]
+pub struct UncontrolledConfig {
+    /// Incident script.
+    pub incidents: IncidentScript,
+    /// Participant activity rate relative to the routine dataset.
+    pub activity_rate: f64,
+    /// Congestion probability.
+    pub congestion_prob: f64,
+}
+
+impl Default for UncontrolledConfig {
+    fn default() -> Self {
+        Self {
+            incidents: IncidentScript::default(),
+            activity_rate: 0.25,
+            congestion_prob: 0.004,
+        }
+    }
+}
+
+/// Generate one day (index `day`) of the uncontrolled dataset. Days are
+/// independent slices of one continuous simulated capture; stream them to
+/// keep memory bounded over the 87-day horizon.
+pub fn uncontrolled_day(
+    catalog: &Catalog,
+    seed: u64,
+    day: usize,
+    cfg: &UncontrolledConfig,
+) -> Capture {
+    let start = day as f64 * 86400.0;
+    let end = start + 86400.0;
+    let mut events = routine_schedule(catalog, seed ^ 0x0C0FFEE, 1, day, cfg.activity_rate);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1C1D ^ (day as u64).wrapping_mul(31));
+    let inc = &cfg.incidents;
+
+    // Relocated cameras produce extra motion events (cases 1/4/5).
+    for &(device, from_day, extra_per_day) in &inc.relocations {
+        if day >= from_day {
+            let n = extra_per_day.round() as usize;
+            for _ in 0..n {
+                let t = start + 7.0 * 3600.0 + rng.gen::<f64>() * 15.0 * 3600.0;
+                events.push(ScheduledEvent {
+                    ts: t,
+                    device,
+                    activity: "motion".into(),
+                });
+            }
+        }
+    }
+    // Lab experiments (case 2): a burst of activations in a short window.
+    for (d, device, activity, count, window_h) in &inc.lab_experiments {
+        if *d == day {
+            let t0 = start + 13.0 * 3600.0;
+            for i in 0..*count {
+                let t = t0 + i as f64 * (window_h * 3600.0 / *count as f64);
+                events.push(ScheduledEvent {
+                    ts: t,
+                    device: *device,
+                    activity: activity.clone(),
+                });
+            }
+        }
+    }
+    // Resets (case 3): repeated on/off in quick succession.
+    for (d, device, activity, repeats) in &inc.resets {
+        if *d == day {
+            let t0 = start + 11.0 * 3600.0;
+            for i in 0..*repeats {
+                events.push(ScheduledEvent {
+                    ts: t0 + i as f64 * 20.0,
+                    device: *device,
+                    activity: activity.clone(),
+                });
+            }
+        }
+    }
+
+    // Outages (cases 6-8) and malfunctions (case 9) become generator
+    // outage windows.
+    let mut outages: Vec<Outage> = Vec::new();
+    for &(d, start_h, dur_h, device) in &inc.outages {
+        if d == day {
+            let from = start + start_h * 3600.0;
+            outages.push(Outage {
+                from,
+                to: from + dur_h * 3600.0,
+                device,
+            });
+        }
+    }
+    for &(device, from_day, to_day, per_day, off_minutes) in &inc.malfunctions {
+        if day >= from_day && day < to_day {
+            let n = poissonish(per_day, &mut rng);
+            for _ in 0..n {
+                let from = start + rng.gen::<f64>() * (86400.0 - off_minutes * 60.0);
+                outages.push(Outage {
+                    from,
+                    to: from + off_minutes * 60.0,
+                    device: Some(device),
+                });
+            }
+        }
+    }
+    outages.extend(micro_outages(catalog, seed ^ 0x3111, start, end, 0.004));
+    let removed: Vec<usize> = inc
+        .removals
+        .iter()
+        .filter(|&&(_, from, to)| day >= from && day < to)
+        .map(|&(d, _, _)| d)
+        .collect();
+
+    let opts = GenOptions {
+        outages,
+        congestion_prob: cfg.congestion_prob,
+        removed_devices: removed,
+    };
+    let g = TrafficGenerator::new(catalog, seed);
+    events.retain(|e| e.ts >= start && e.ts < end);
+    g.generate(start, end, &events, &opts)
+}
+
+fn poissonish(lambda: f64, rng: &mut StdRng) -> usize {
+    // floor + Bernoulli on the fraction: cheap, adequate for small rates.
+    let base = lambda.floor() as usize;
+    base + usize::from(rng.gen::<f64>() < lambda.fract())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TruthLabel;
+
+    fn catalog() -> Catalog {
+        Catalog::standard()
+    }
+
+    #[test]
+    fn idle_has_no_user_events() {
+        let c = catalog();
+        let cap = idle_dataset(&c, 1, 0.1);
+        assert!(!cap.packets.is_empty());
+        assert!(cap
+            .truth
+            .iter()
+            .all(|t| !matches!(t.label, TruthLabel::User(_))));
+    }
+
+    #[test]
+    fn activity_dataset_covers_every_activity() {
+        use std::collections::HashSet;
+        let c = catalog();
+        let cap = activity_dataset(&c, 2, 2);
+        let mut seen: HashSet<(usize, String)> = HashSet::new();
+        for t in &cap.truth {
+            if let TruthLabel::User(a) = &t.label {
+                seen.insert((t.device, a.clone()));
+            }
+        }
+        for (di, dev) in c.devices.iter().enumerate() {
+            for act in &dev.activities {
+                assert!(
+                    seen.contains(&(di, act.name.clone())),
+                    "{} {}",
+                    dev.name,
+                    act.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn routine_dataset_has_automation_sequences() {
+        let c = catalog();
+        let cap = routine_dataset(&c, 3, 1);
+        let users: Vec<_> = cap
+            .truth
+            .iter()
+            .filter(|t| matches!(t.label, TruthLabel::User(_)))
+            .collect();
+        assert!(users.len() > 30, "{} user events", users.len());
+        // R8 pairing must appear: Ring Camera motion closely followed by
+        // Gosund Bulb on_off.
+        let ring = c.device_index("Ring Camera").unwrap();
+        let gosund = c.device_index("Gosund Bulb").unwrap();
+        let mut found = false;
+        for w in users.windows(2) {
+            if w[0].device == ring && w[1].device == gosund && w[1].ts - w[0].ts < 10.0 {
+                found = true;
+            }
+        }
+        assert!(found, "R8 sequence absent");
+    }
+
+    #[test]
+    fn uncontrolled_outage_day_silences_testbed() {
+        let c = catalog();
+        let mut cfg = UncontrolledConfig::default();
+        cfg.incidents.outages.push((0, 0.0, 24.0, None));
+        let cap = uncontrolled_day(&c, 5, 0, &cfg);
+        assert!(cap.packets.is_empty());
+    }
+
+    #[test]
+    fn uncontrolled_relocation_boosts_motion() {
+        let c = catalog();
+        let wyze = c.device_index("Wyze Camera").unwrap();
+        let mut cfg = UncontrolledConfig::default();
+        cfg.incidents.relocations.push((wyze, 3, 40.0));
+        let count_motion = |cap: &Capture| {
+            cap.truth
+                .iter()
+                .filter(|t| {
+                    t.device == wyze && matches!(&t.label, TruthLabel::User(a) if a == "motion")
+                })
+                .count()
+        };
+        let before = count_motion(&uncontrolled_day(&c, 5, 2, &cfg));
+        let after = count_motion(&uncontrolled_day(&c, 5, 4, &cfg));
+        assert!(after >= before + 20, "before {before} after {after}");
+    }
+
+    #[test]
+    fn uncontrolled_removal_silences_device() {
+        let c = catalog();
+        let gone = c.device_index("LeFun Camera").unwrap();
+        let mut cfg = UncontrolledConfig::default();
+        cfg.incidents.removals.push((gone, 1, 3));
+        let ip = c.device_ip(gone);
+        let day1 = uncontrolled_day(&c, 5, 1, &cfg);
+        assert!(day1.packets.iter().all(|p| p.src != ip && p.dst != ip));
+        let day3 = uncontrolled_day(&c, 5, 3, &cfg);
+        assert!(day3.packets.iter().any(|p| p.src == ip));
+    }
+
+    #[test]
+    fn paper_like_script_builds() {
+        let c = catalog();
+        let s = IncidentScript::paper_like(&c);
+        assert_eq!(s.outages.len(), 3);
+        assert!(!s.relocations.is_empty());
+        assert!(!s.malfunctions.is_empty());
+    }
+
+    #[test]
+    fn lab_experiment_injects_burst() {
+        let c = catalog();
+        let spot = c.device_index("Echo Spot").unwrap();
+        let mut cfg = UncontrolledConfig::default();
+        cfg.incidents
+            .lab_experiments
+            .push((2, spot, "voice".into(), 50, 0.5));
+        let cap = uncontrolled_day(&c, 9, 2, &cfg);
+        let bursts = cap
+            .truth
+            .iter()
+            .filter(|t| {
+                t.device == spot
+                    && matches!(&t.label, TruthLabel::User(a) if a == "voice")
+                    && t.ts >= 2.0 * 86400.0 + 13.0 * 3600.0
+                    && t.ts <= 2.0 * 86400.0 + 13.5 * 3600.0 + 60.0
+            })
+            .count();
+        assert!(bursts >= 50, "{bursts}");
+    }
+}

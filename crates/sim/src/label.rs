@@ -1,0 +1,169 @@
+//! Attaching ground-truth labels to assembled flows.
+//!
+//! The simulator knows *when* each event happened; after the pipeline
+//! assembles packets into flow bursts, this module matches bursts back to
+//! truth events by `(device, time)` proximity, preferring the most specific
+//! match (user > periodic > aperiodic). Training/evaluation code consumes
+//! the result.
+
+use crate::catalog::Catalog;
+use crate::gen::Capture;
+use crate::types::{TruthEvent, TruthLabel};
+use behaviot_flows::FlowRecord;
+
+/// A flow together with its catalog device index and ground truth.
+#[derive(Debug, Clone)]
+pub struct LabeledFlow {
+    /// The assembled flow burst.
+    pub flow: FlowRecord,
+    /// Device index in the catalog.
+    pub device: usize,
+    /// Ground truth, when a generator event matches. `None` means the
+    /// burst was a continuation (e.g. the tail of a congested burst split
+    /// in two) with no originating event of its own.
+    pub label: Option<TruthLabel>,
+}
+
+/// Match flows against the capture's ground truth. `tolerance` bounds
+/// `|flow.start - event.ts|` (0.75 s works for the generator's burst
+/// shapes).
+pub fn label_flows(
+    flows: &[FlowRecord],
+    capture: &Capture,
+    catalog: &Catalog,
+    tolerance: f64,
+) -> Vec<LabeledFlow> {
+    // Truth events sorted per device for binary search.
+    let mut per_device: Vec<Vec<&TruthEvent>> = vec![Vec::new(); catalog.devices.len()];
+    for t in &capture.truth {
+        per_device[t.device].push(t);
+    }
+    for v in per_device.iter_mut() {
+        v.sort_by(|a, b| a.ts.partial_cmp(&b.ts).unwrap());
+    }
+
+    let specificity = |l: &TruthLabel| match l {
+        TruthLabel::User(_) => 2,
+        TruthLabel::Periodic(..) => 1,
+        TruthLabel::Aperiodic => 0,
+    };
+
+    flows
+        .iter()
+        .map(|f| {
+            let Some(device) = catalog.device_of_ip(f.device) else {
+                return LabeledFlow {
+                    flow: f.clone(),
+                    device: usize::MAX,
+                    label: None,
+                };
+            };
+            let events = &per_device[device];
+            let lo = events.partition_point(|e| e.ts < f.start - tolerance);
+            let mut best: Option<(&TruthEvent, i32, f64)> = None;
+            for e in &events[lo..] {
+                if e.ts > f.start + tolerance {
+                    break;
+                }
+                // Periodic truth must match the flow's destination group;
+                // user/aperiodic match on time alone (their destinations
+                // vary with hiding/mimicking pathologies).
+                if let TruthLabel::Periodic(domain, proto) = &e.label {
+                    let (fd, fp) = f.group_key();
+                    if fd != *domain || fp != *proto {
+                        continue;
+                    }
+                }
+                let spec = specificity(&e.label);
+                let dist = (e.ts - f.start).abs();
+                // Closest event wins; specificity only breaks ties. A
+                // heartbeat that happens to fire within the tolerance of a
+                // user interaction must keep its own (closer) periodic
+                // truth, not inherit the user label.
+                let better = match &best {
+                    None => true,
+                    Some((_, bs, bd)) => {
+                        dist + 1e-9 < *bd || ((dist - *bd).abs() <= 1e-9 && spec > *bs)
+                    }
+                };
+                if better {
+                    best = Some((e, spec, dist));
+                }
+            }
+            LabeledFlow {
+                flow: f.clone(),
+                device,
+                label: best.map(|(e, _, _)| e.label.clone()),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::activity_dataset;
+    use crate::gen::{GenOptions, ScheduledEvent, TrafficGenerator};
+    use behaviot_flows::{assemble_flows, FlowConfig};
+
+    #[test]
+    fn periodic_flows_labeled_periodic() {
+        let c = Catalog::standard();
+        let g = TrafficGenerator::new(&c, 4);
+        let cap = g.generate(0.0, 3600.0, &[], &GenOptions::default());
+        let flows = assemble_flows(&cap.packets, &cap.domains, &FlowConfig::default());
+        let labeled = label_flows(&flows, &cap, &c, 0.75);
+        assert!(!labeled.is_empty());
+        let frac_labeled =
+            labeled.iter().filter(|l| l.label.is_some()).count() as f64 / labeled.len() as f64;
+        assert!(frac_labeled > 0.95, "labeled fraction {frac_labeled}");
+        // No user labels in idle traffic.
+        assert!(labeled
+            .iter()
+            .all(|l| !matches!(l.label, Some(TruthLabel::User(_)))));
+    }
+
+    #[test]
+    fn user_flows_labeled_user() {
+        let c = Catalog::standard();
+        let g = TrafficGenerator::new(&c, 4);
+        let dev = c.device_index("Wemo Plug").unwrap();
+        let events = vec![ScheduledEvent {
+            ts: 500.0,
+            device: dev,
+            activity: "on_off".into(),
+        }];
+        let cap = g.generate(0.0, 1000.0, &events, &GenOptions::default());
+        let flows = assemble_flows(&cap.packets, &cap.domains, &FlowConfig::default());
+        let labeled = label_flows(&flows, &cap, &c, 0.75);
+        let user: Vec<_> = labeled
+            .iter()
+            .filter(|l| matches!(l.label, Some(TruthLabel::User(_))))
+            .collect();
+        assert_eq!(user.len(), 1);
+        assert_eq!(user[0].device, dev);
+    }
+
+    #[test]
+    fn activity_dataset_label_coverage() {
+        let c = Catalog::standard();
+        let cap = activity_dataset(&c, 8, 1);
+        let flows = assemble_flows(&cap.packets, &cap.domains, &FlowConfig::default());
+        let labeled = label_flows(&flows, &cap, &c, 0.75);
+        let n_user_truth = cap
+            .truth
+            .iter()
+            .filter(|t| matches!(t.label, TruthLabel::User(_)))
+            .count();
+        let n_user_flows = labeled
+            .iter()
+            .filter(|l| matches!(l.label, Some(TruthLabel::User(_))))
+            .count();
+        // Nearly every truth user event must surface as a labeled flow
+        // (SmartThings hiding can merge two events into one burst).
+        assert!(
+            n_user_flows as f64 >= 0.9 * n_user_truth as f64,
+            "{n_user_flows} flows vs {n_user_truth} events"
+        );
+    }
+}

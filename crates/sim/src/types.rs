@@ -1,0 +1,224 @@
+//! Core simulator types: device specifications, traffic patterns, ground
+//! truth.
+
+use behaviot_net::Proto;
+
+/// Destination-party classification used by the Table 5 analysis:
+/// first party (device vendor or affiliate), support party (clouds/CDNs the
+/// vendor builds on), third party (everyone else).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Party {
+    /// Vendor or affiliate.
+    First,
+    /// Cloud/CDN provider supporting the device function.
+    Support,
+    /// Unrelated third party.
+    Third,
+}
+
+impl Party {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Party::First => "first",
+            Party::Support => "support",
+            Party::Third => "third",
+        }
+    }
+}
+
+/// Device category (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Cameras and doorbells.
+    Camera,
+    /// Voice assistants / smart speakers.
+    SmartSpeaker,
+    /// Home automation devices and sensors (plugs, bulbs, thermostats...).
+    HomeAuto,
+    /// Large appliances (fridge, kettle, microwave...).
+    Appliance,
+    /// Protocol hubs.
+    Hub,
+}
+
+impl Category {
+    /// All categories in Table 1 column order.
+    pub const ALL: [Category; 5] = [
+        Category::Camera,
+        Category::SmartSpeaker,
+        Category::HomeAuto,
+        Category::Appliance,
+        Category::Hub,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Camera => "Camera",
+            Category::SmartSpeaker => "Smart Speaker",
+            Category::HomeAuto => "Home Auto",
+            Category::Appliance => "Appliance",
+            Category::Hub => "Hub",
+        }
+    }
+}
+
+/// The packet-level shape of one traffic event (a burst): alternating
+/// request/response packets. Sizes are IP total lengths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketPattern {
+    /// Sizes of device→server packets.
+    pub out_sizes: Vec<u32>,
+    /// Sizes of server→device packets (interleaved after the outbound
+    /// ones; if shorter, remaining outbound packets go unanswered).
+    pub in_sizes: Vec<u32>,
+    /// Gap between consecutive packets within the burst, in seconds. Must
+    /// stay below the 1 s burst threshold for the event to remain one flow
+    /// burst.
+    pub intra_gap: f64,
+}
+
+impl PacketPattern {
+    /// A simple request/response pattern with `n` exchanges of the given
+    /// sizes.
+    pub fn request_response(out: u32, inn: u32, n: usize) -> Self {
+        PacketPattern {
+            out_sizes: vec![out; n],
+            in_sizes: vec![inn; n],
+            intra_gap: 0.02,
+        }
+    }
+
+    /// Total number of packets.
+    pub fn n_packets(&self) -> usize {
+        self.out_sizes.len() + self.in_sizes.len()
+    }
+}
+
+/// A periodic traffic model of one device: the ground-truth generator for
+/// what the pipeline should rediscover as a periodic model.
+#[derive(Debug, Clone)]
+pub struct PeriodicSpec {
+    /// Destination domain.
+    pub domain: String,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Server port (443 for TLS heartbeats, 53 DNS, 123 NTP...).
+    pub port: u16,
+    /// Period in seconds.
+    pub period: f64,
+    /// Uniform timing jitter as a fraction of the period.
+    pub jitter_frac: f64,
+    /// Who operates the destination.
+    pub party: Party,
+    /// Whether blocking this destination breaks device function (§6.1
+    /// non-essential destination analysis).
+    pub essential: bool,
+    /// Packet shape of each occurrence.
+    pub pattern: PacketPattern,
+}
+
+/// A user activity of one device (e.g. "on_off", "motion", "voice").
+#[derive(Debug, Clone)]
+pub struct ActivitySpec {
+    /// Activity label used for ground truth and classifier training.
+    pub name: String,
+    /// Destination domain the activity talks to.
+    pub domain: String,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Server port.
+    pub port: u16,
+    /// Who operates the destination.
+    pub party: Party,
+    /// Whether the destination is essential.
+    pub essential: bool,
+    /// Packet signature. Distinct activities of a device get distinct
+    /// signatures unless the real devices are reported indistinguishable.
+    pub pattern: PacketPattern,
+    /// Standard deviation of size noise added per packet (captures
+    /// encryption padding variation; larger values make classification
+    /// harder, as for the TP-Link Bulb in Table 3).
+    pub size_noise: f64,
+    /// If true, the activity reuses the device's background connection
+    /// (same 5-tuple and sizes as the heartbeat) — the SmartThings Hub
+    /// pathology that produces its 71.88 % FNR in §5.1.
+    pub hides_in_background: bool,
+}
+
+/// A device specification.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    /// Human-readable name (Table 1).
+    pub name: String,
+    /// Category.
+    pub category: Category,
+    /// Periodic endpoints.
+    pub periodic: Vec<PeriodicSpec>,
+    /// User activities (empty for devices never interacted with).
+    pub activities: Vec<ActivitySpec>,
+    /// Mean aperiodic background events per day (updates, telemetry
+    /// without schedule).
+    pub aperiodic_per_day: f64,
+    /// Domains used by aperiodic events: `(domain, party, essential)`.
+    pub aperiodic_domains: Vec<(String, Party, bool)>,
+    /// If set, a fraction of this device's aperiodic idle traffic mimics
+    /// the named activity's signature — the Echo Show 5 pathology behind
+    /// ~80 % of the false positives reported in §5.1.
+    pub aperiodic_mimic: Option<String>,
+    /// Periodic LAN polling of paired devices (hub ↔ device chatter):
+    /// `(peer device name, period seconds, pattern)`. This is the traffic
+    /// behind Table 8's `network_local` features.
+    pub local_peers: Vec<(String, f64, PacketPattern)>,
+}
+
+impl DeviceSpec {
+    /// Does this device expose a given activity?
+    pub fn activity(&self, name: &str) -> Option<&ActivitySpec> {
+        self.activities.iter().find(|a| a.name == name)
+    }
+}
+
+/// What a generated traffic event actually was (ground truth).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TruthLabel {
+    /// A user event with its activity label.
+    User(String),
+    /// An occurrence of a periodic model, identified by `(domain, proto)`.
+    Periodic(String, Proto),
+    /// Unscheduled background traffic.
+    Aperiodic,
+}
+
+/// One ground-truth event emitted by the generator.
+#[derive(Debug, Clone)]
+pub struct TruthEvent {
+    /// Event time (burst start).
+    pub ts: f64,
+    /// Index of the device in the catalog.
+    pub device: usize,
+    /// What the event was.
+    pub label: TruthLabel,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_constructor() {
+        let p = PacketPattern::request_response(120, 300, 3);
+        assert_eq!(p.out_sizes.len(), 3);
+        assert_eq!(p.in_sizes.len(), 3);
+        assert_eq!(p.n_packets(), 6);
+        assert!(p.intra_gap < 1.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Party::Support.label(), "support");
+        assert_eq!(Category::HomeAuto.label(), "Home Auto");
+        assert_eq!(Category::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,88 @@
+//! Generate MUD-style device profiles (RFC 8520 flavored) from learned
+//! behavior models — the §7.2 "Informing IoT profiles" application.
+//!
+//! ```sh
+//! cargo run --release --example mud_profile
+//! ```
+
+use behaviot::profile::mud_profile;
+use behaviot::{BehavIoT, TrainConfig, TrainingData};
+use behaviot_flows::{assemble_flows, FlowConfig};
+use behaviot_sim::{self as sim, Catalog, TruthLabel};
+use std::collections::HashMap;
+
+fn main() {
+    let catalog = Catalog::standard();
+    let idle = sim::idle_dataset(&catalog, 1, 0.75);
+    let activity = sim::activity_dataset(&catalog, 2, 6);
+    let fc = FlowConfig::default();
+    let idle_flows = assemble_flows(&idle.packets, &idle.domains, &fc);
+    let act_flows = assemble_flows(&activity.packets, &activity.domains, &fc);
+    let labeled = sim::label_flows(&act_flows, &activity, &catalog, 0.75);
+    let samples = labeled.iter().map(|l| {
+        let act = match &l.label {
+            Some(TruthLabel::User(a)) => Some(a.as_str()),
+            _ => None,
+        };
+        (&l.flow, act)
+    });
+    let names: HashMap<_, _> = (0..catalog.devices.len())
+        .map(|i| (catalog.device_ip(i), catalog.devices[i].name.clone()))
+        .collect();
+    let models = BehavIoT::train(
+        &TrainingData::from_flows(idle_flows, samples, names),
+        &TrainConfig::default(),
+    );
+
+    // The paper's worked example is the TP-Link Plug: PFSM states on/off;
+    // periodic models TCP-tplinkcloud-236 s, DNS-3603 s, NTP-3603 s.
+    for name in ["TPLink Plug", "Wemo Plug", "Ring Doorbell"] {
+        let ip = catalog.device_ip(catalog.device_index(name).unwrap());
+        println!("--- {name} ---");
+        println!("{}\n", pretty(&mud_profile(&models, ip)));
+    }
+}
+
+/// Tiny JSON pretty-printer (the profile emitter produces compact JSON).
+fn pretty(json: &str) -> String {
+    let mut out = String::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut prev = '\0';
+    for c in json.chars() {
+        if in_str {
+            out.push(c);
+            if c == '"' && prev != '\\' {
+                in_str = false;
+            }
+        } else {
+            match c {
+                '"' => {
+                    in_str = true;
+                    out.push(c);
+                }
+                '{' | '[' => {
+                    depth += 1;
+                    out.push(c);
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(depth));
+                }
+                '}' | ']' => {
+                    depth = depth.saturating_sub(1);
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(depth));
+                    out.push(c);
+                }
+                ',' => {
+                    out.push(c);
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(depth));
+                }
+                ':' => out.push_str(": "),
+                c => out.push(c),
+            }
+        }
+        prev = c;
+    }
+    out
+}
