@@ -81,7 +81,7 @@ fn bench_forest(c: &mut Criterion) {
                 &y,
                 &RandomForestConfig {
                     n_trees: 30,
-                    parallel: false,
+                    parallelism: behaviot_par::Parallelism::Off,
                     ..Default::default()
                 },
             )

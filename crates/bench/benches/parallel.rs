@@ -1,0 +1,142 @@
+//! Serial-vs-parallel benchmarks over the three dominant pipeline loops
+//! (periodic-model training, random-forest training/scoring, batch period
+//! detection) plus the end-to-end 49-device training run.
+//!
+//! Every pair runs the same workload under `Parallelism::Off` and
+//! `Parallelism::Auto`; the outputs are identical by construction (see the
+//! determinism tests), so the ratio of the two timings is the speedup.
+//! `scripts/bench_pipeline.sh` runs this bench with `CRITERION_JSON` set to
+//! produce `BENCH_pipeline.json`.
+
+use behaviot::periodic::{PeriodicModelSet, PeriodicTrainConfig};
+use behaviot::{BehavIoT, TrainConfig, TrainingData};
+use behaviot_dsp::{detect_periods_batch, PeriodConfig};
+use behaviot_flows::{assemble_flows, FlowConfig, FlowRecord};
+use behaviot_forest::{RandomForest, RandomForestConfig};
+use behaviot_par::Parallelism;
+use behaviot_sim::{self as sim, Catalog};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// The two policies every bench compares. `Auto` resolves to the machine's
+/// core count; on a single-core runner the pair measures executor overhead
+/// instead of speedup.
+const POLICIES: [(&str, Parallelism); 2] =
+    [("serial", Parallelism::Off), ("parallel", Parallelism::Auto)];
+
+fn idle_flows(days: f64) -> Vec<FlowRecord> {
+    let catalog = Catalog::standard();
+    let cap = sim::idle_dataset(&catalog, 7, days);
+    assemble_flows(&cap.packets, &cap.domains, &FlowConfig::default())
+}
+
+fn bench_periodic_train(c: &mut Criterion) {
+    let flows = idle_flows(1.0);
+    let cfg = PeriodicTrainConfig::default();
+    let mut g = c.benchmark_group("periodic_train");
+    g.sample_size(10);
+    for (name, par) in POLICIES {
+        g.bench_function(name, |b| {
+            b.iter(|| PeriodicModelSet::train_with(&flows, &cfg, par))
+        });
+    }
+    g.finish();
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let x: Vec<Vec<f64>> = (0..800)
+        .map(|i| {
+            let base = if i % 2 == 0 { 150.0 } else { 700.0 };
+            (0..21).map(|_| base + rng.gen_range(-25.0..25.0)).collect()
+        })
+        .collect();
+    let y: Vec<bool> = (0..800).map(|i| i % 2 == 0).collect();
+    let mut g = c.benchmark_group("forest_fit_60trees_800x21");
+    g.sample_size(10);
+    for (name, par) in POLICIES {
+        let cfg = RandomForestConfig {
+            n_trees: 60,
+            parallelism: par,
+            ..Default::default()
+        };
+        g.bench_function(name, |b| b.iter(|| RandomForest::fit(&x, &y, &cfg)));
+    }
+    g.finish();
+
+    let forest = RandomForest::fit(
+        &x,
+        &y,
+        &RandomForestConfig {
+            n_trees: 60,
+            ..Default::default()
+        },
+    );
+    let mut g = c.benchmark_group("forest_predict_batch_800");
+    g.sample_size(10);
+    for (name, par) in POLICIES {
+        g.bench_function(name, |b| b.iter(|| forest.predict_proba_batch(&x, par)));
+    }
+    g.finish();
+}
+
+fn bench_period_batch(c: &mut Criterion) {
+    // 64 event-timestamp series of mixed period/length, like the per-group
+    // series periodic training feeds the detector.
+    let series: Vec<Vec<f64>> = (0..64)
+        .map(|s| {
+            let period = 30.0 + (s % 9) as f64 * 40.0;
+            let n = 400 + (s % 5) * 150;
+            (0..n).map(|k| k as f64 * period).collect()
+        })
+        .collect();
+    let cfg = PeriodConfig::default();
+    let mut g = c.benchmark_group("period_detect_batch_64series");
+    g.sample_size(10);
+    for (name, par) in POLICIES {
+        g.bench_function(name, |b| b.iter(|| detect_periods_batch(&series, &cfg, par)));
+    }
+    g.finish();
+}
+
+fn bench_end_to_end_train(c: &mut Criterion) {
+    let catalog = Catalog::standard();
+    let idle_cap = sim::idle_dataset(&catalog, 1, 0.5);
+    let activity_cap = sim::activity_dataset(&catalog, 2, 6);
+    let fc = FlowConfig::default();
+    let idle = assemble_flows(&idle_cap.packets, &idle_cap.domains, &fc);
+    let act = assemble_flows(&activity_cap.packets, &activity_cap.domains, &fc);
+    let labeled = sim::label_flows(&act, &activity_cap, &catalog, 0.75);
+    let names: HashMap<_, _> = (0..catalog.devices.len())
+        .map(|i| (catalog.device_ip(i), catalog.devices[i].name.clone()))
+        .collect();
+    let samples = labeled.iter().map(|l| {
+        let a = match &l.label {
+            Some(sim::TruthLabel::User(a)) => Some(a.as_str()),
+            _ => None,
+        };
+        (&l.flow, a)
+    });
+    let data = TrainingData::from_flows(idle, samples, names);
+    let mut g = c.benchmark_group("train_49_devices");
+    g.sample_size(10);
+    for (name, par) in POLICIES {
+        let cfg = TrainConfig {
+            parallelism: par,
+            ..Default::default()
+        };
+        g.bench_function(name, |b| b.iter(|| BehavIoT::train(&data, &cfg)));
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_periodic_train,
+    bench_forest,
+    bench_period_batch,
+    bench_end_to_end_train
+);
+criterion_main!(benches);

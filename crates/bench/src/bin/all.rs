@@ -1,14 +1,16 @@
 //! Runs every table/figure experiment in one pass (shared dataset prep).
-//! Pass --quick for reduced scale.
-use behaviot_bench::{experiments as e, scale_from_args, Prepared};
+//! Pass --quick for reduced scale, --threads auto|off|N for the thread
+//! policy (results are identical under every policy).
+use behaviot_bench::{experiments as e, parallelism_from_args, scale_from_args, Prepared};
 
 type Section<'a> = (&'a str, Box<dyn Fn() -> String + 'a>);
 
 fn main() {
     let scale = scale_from_args();
-    eprintln!("[all] building datasets + models ({scale:?})...");
+    let parallelism = parallelism_from_args();
+    eprintln!("[all] building datasets + models ({scale:?}, threads {parallelism})...");
     let t0 = std::time::Instant::now();
-    let p = Prepared::build(scale);
+    let p = Prepared::build_with(scale, parallelism);
     eprintln!("[all] prepared in {:.1?}", t0.elapsed());
     let sections: Vec<Section> = vec![
         ("exp_periodicity", Box::new(|| e::exp_periodicity(0x5EED))),

@@ -1,7 +1,7 @@
 //! Table 2 (event inference per device category) and the §5.1 FNR/FPR
 //! analysis.
 
-use crate::prep::{train_on, truth_activity, Prepared};
+use crate::prep::{train_on_with, truth_activity, Prepared};
 use crate::report::{pct, table};
 use behaviot::event::EventKind;
 use behaviot::BehavIoT;
@@ -72,7 +72,7 @@ impl EventInferenceEval {
     pub fn run(p: &Prepared) -> Self {
         let (idle_train, idle_test) = split_idle(&p.idle, 0.6);
         let (act_train, act_test) = split_activity(&p.activity);
-        let models = train_on(&idle_train, &act_train, &p.names);
+        let models = train_on_with(&idle_train, &act_train, &p.names, p.parallelism);
         EventInferenceEval {
             models,
             idle_train,

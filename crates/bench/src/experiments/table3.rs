@@ -1,7 +1,7 @@
 //! Table 3: user-event classification accuracy, BehavIoT vs PingPong, on
 //! the six devices the two studies share.
 
-use crate::prep::{train_on, truth_activity, Prepared};
+use crate::prep::{train_on_with, truth_activity, Prepared};
 use crate::report::{pct, table};
 use behaviot::event::EventKind;
 use behaviot_baseline::{burst_sequences, PingPong, PingPongConfig};
@@ -33,7 +33,7 @@ pub fn table3(p: &Prepared) -> String {
         }
         *c += 1;
     }
-    let models = train_on(&p.idle, &train, &p.names);
+    let models = train_on_with(&p.idle, &train, &p.names, p.parallelism);
     let test_flows: Vec<_> = test.iter().map(|l| l.flow.clone()).collect();
     let events = models.infer_events(&test_flows);
     let mut behaviot_acc: HashMap<String, (usize, usize)> = HashMap::new();

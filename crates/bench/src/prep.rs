@@ -2,6 +2,7 @@
 
 use behaviot::{BehavIoT, TrainConfig, TrainingData};
 use behaviot_flows::{assemble_flows, FlowConfig, FlowRecord};
+use behaviot_par::Parallelism;
 use behaviot_sim::{self as sim, Catalog, LabeledFlow, TruthLabel};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -62,6 +63,9 @@ pub struct Prepared {
     pub names: HashMap<Ipv4Addr, String>,
     /// Models trained on the full idle + activity datasets.
     pub models: BehavIoT,
+    /// Thread policy used for training; experiments that retrain on folds
+    /// reuse it so a whole run honors one setting.
+    pub parallelism: Parallelism,
 }
 
 fn assemble_labeled(cap: &sim::Capture, catalog: &Catalog) -> Vec<LabeledFlow> {
@@ -70,8 +74,15 @@ fn assemble_labeled(cap: &sim::Capture, catalog: &Catalog) -> Vec<LabeledFlow> {
 }
 
 impl Prepared {
-    /// Generate datasets and train the models.
+    /// Generate datasets and train the models with the environment's
+    /// thread policy (`BEHAVIOT_THREADS`, default `auto`).
     pub fn build(scale: Scale) -> Self {
+        Self::build_with(scale, Parallelism::from_env())
+    }
+
+    /// Generate datasets and train the models under an explicit thread
+    /// policy. The trained models are identical for every policy.
+    pub fn build_with(scale: Scale, parallelism: Parallelism) -> Self {
         let catalog = Catalog::standard();
         let idle_cap = sim::idle_dataset(&catalog, scale.seed, scale.idle_days);
         let activity_cap = sim::activity_dataset(&catalog, scale.seed + 1, scale.activity_reps);
@@ -85,7 +96,7 @@ impl Prepared {
             .map(|i| (catalog.device_ip(i), catalog.devices[i].name.clone()))
             .collect();
 
-        let models = train_on(&idle, &activity, &names);
+        let models = train_on_with(&idle, &activity, &names, parallelism);
         Prepared {
             catalog,
             scale,
@@ -94,6 +105,7 @@ impl Prepared {
             routine,
             names,
             models,
+            parallelism,
         }
     }
 
@@ -114,11 +126,22 @@ impl Prepared {
     }
 }
 
-/// Train device models from labeled idle + activity flows.
+/// Train device models from labeled idle + activity flows with the
+/// environment's thread policy.
 pub fn train_on(
     idle: &[LabeledFlow],
     activity: &[LabeledFlow],
     names: &HashMap<Ipv4Addr, String>,
+) -> BehavIoT {
+    train_on_with(idle, activity, names, Parallelism::from_env())
+}
+
+/// Train device models under an explicit thread policy.
+pub fn train_on_with(
+    idle: &[LabeledFlow],
+    activity: &[LabeledFlow],
+    names: &HashMap<Ipv4Addr, String>,
+    parallelism: Parallelism,
 ) -> BehavIoT {
     let idle_flows: Vec<FlowRecord> = idle.iter().map(|l| l.flow.clone()).collect();
     let samples = activity.iter().map(|l| {
@@ -129,7 +152,13 @@ pub fn train_on(
         (&l.flow, act)
     });
     let data = TrainingData::from_flows(idle_flows, samples, names.clone());
-    BehavIoT::train(&data, &TrainConfig::default())
+    BehavIoT::train(
+        &data,
+        &TrainConfig {
+            parallelism,
+            ..Default::default()
+        },
+    )
 }
 
 /// Ground-truth activity of a labeled flow, if it is a user event.

@@ -65,7 +65,7 @@ impl EventKind {
 }
 
 /// One inferred event: a classified flow burst.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InferredEvent {
     /// Burst start time.
     pub ts: f64,

@@ -6,6 +6,7 @@ use crate::event::{EventKind, InferredEvent};
 use crate::periodic::{PeriodicClassifier, PeriodicModelSet, PeriodicTrainConfig};
 use crate::user_action::{TrainingSample, UserActionModels, UserActionTrainConfig};
 use behaviot_flows::FlowRecord;
+use behaviot_par::{par_map, Parallelism};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -58,6 +59,10 @@ pub struct TrainConfig {
     /// traffic is guaranteed non-user, so it sharpens the user/background
     /// boundary and keeps the §5.1 false-positive rate low.
     pub idle_negatives_per_device: usize,
+    /// Thread policy for every pipeline stage (`auto`/`off`/fixed count).
+    /// Results are identical under every setting; `off` is the
+    /// debugging/equivalence mode.
+    pub parallelism: Parallelism,
 }
 
 impl Default for TrainConfig {
@@ -66,6 +71,7 @@ impl Default for TrainConfig {
             periodic: PeriodicTrainConfig::default(),
             user: UserActionTrainConfig::default(),
             idle_negatives_per_device: 400,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -107,9 +113,13 @@ impl BehavIoT {
                 }
             }
         }
+        // The per-(device, activity) forests honor the pipeline-wide thread
+        // policy.
+        let mut user_cfg = cfg.user.clone();
+        user_cfg.forest.parallelism = cfg.parallelism;
         BehavIoT {
-            periodic: PeriodicModelSet::train(&data.idle_flows, &cfg.periodic),
-            user: UserActionModels::train(&samples, &cfg.user),
+            periodic: PeriodicModelSet::train_with(&data.idle_flows, &cfg.periodic, cfg.parallelism),
+            user: UserActionModels::train(&samples, &user_cfg),
             names: data.names.clone(),
         }
     }
@@ -119,37 +129,50 @@ impl BehavIoT {
     /// ("small changes over time mean that periodically updating models
     /// will result in better long-term detection performance").
     pub fn retrain_periodic(&mut self, idle_flows: &[FlowRecord], cfg: &TrainConfig) {
-        self.periodic = PeriodicModelSet::train(idle_flows, &cfg.periodic);
+        self.periodic =
+            PeriodicModelSet::train_with(idle_flows, &cfg.periodic, cfg.parallelism);
+    }
+
+    /// Partition flows into events with the default thread policy. See
+    /// [`Self::infer_events_with`].
+    pub fn infer_events(&self, flows: &[FlowRecord]) -> Vec<InferredEvent> {
+        self.infer_events_with(flows, Parallelism::Auto)
     }
 
     /// Partition flows into events. Flows are processed in chronological
     /// order; the user-action models run first (they are the only
     /// supervised signal), the periodic timer+cluster stage second, and
     /// whatever matches neither is aperiodic.
-    pub fn infer_events(&self, flows: &[FlowRecord]) -> Vec<InferredEvent> {
+    ///
+    /// Runs in two phases: per-flow user-action classification is pure, so
+    /// it fans out over worker threads; the timer/cluster pass is stateful
+    /// (count-up timers advance in flow order) and stays serial. The result
+    /// is identical for every thread policy.
+    pub fn infer_events_with(&self, flows: &[FlowRecord], par: Parallelism) -> Vec<InferredEvent> {
         let mut ordered: Vec<&FlowRecord> = flows.iter().collect();
         ordered.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("NaN flow start"));
+        let user_hits: Vec<Option<(String, f64)>> =
+            par_map(par, &ordered, |f| self.user.classify(f.device, &f.features));
         let mut periodic_clf = PeriodicClassifier::new(&self.periodic);
         let mut out = Vec::with_capacity(flows.len());
-        for f in ordered {
+        for (f, user_hit) in ordered.into_iter().zip(user_hits) {
             let (destination, proto) = f.group_key();
-            let kind =
-                if let Some((activity, confidence)) = self.user.classify(f.device, &f.features) {
-                    // Still advance the periodic timer for this group: the flow
-                    // occupies the wire whatever we call it.
-                    let _ = periodic_clf.classify(f);
-                    EventKind::User {
-                        activity,
-                        confidence,
-                    }
-                } else if periodic_clf.classify(f) {
-                    EventKind::Periodic {
-                        destination: destination.clone(),
-                        proto,
-                    }
-                } else {
-                    EventKind::Aperiodic
-                };
+            let kind = if let Some((activity, confidence)) = user_hit {
+                // Still advance the periodic timer for this group: the flow
+                // occupies the wire whatever we call it.
+                let _ = periodic_clf.classify(f);
+                EventKind::User {
+                    activity,
+                    confidence,
+                }
+            } else if periodic_clf.classify(f) {
+                EventKind::Periodic {
+                    destination: destination.clone(),
+                    proto,
+                }
+            } else {
+                EventKind::Aperiodic
+            };
             out.push(InferredEvent {
                 ts: f.start,
                 device: f.device,

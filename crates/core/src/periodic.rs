@@ -13,14 +13,22 @@
 //! stage, ablated in `bench`).
 
 use behaviot_cluster::{Dbscan, DbscanModel, Standardizer};
-use behaviot_dsp::period::{detect_periods, PeriodConfig};
+use behaviot_dsp::period::{PeriodConfig, PeriodDetector};
 use behaviot_flows::FlowRecord;
 use behaviot_net::Proto;
+use behaviot_par::{par_map_init, Parallelism};
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::net::Ipv4Addr;
 
 /// Key of one traffic group: device + destination + protocol.
 pub type GroupKey = (Ipv4Addr, String, Proto);
+
+/// The coarse shard of a group key — storing models and timers as
+/// `(device, proto) -> destination -> value` two-level maps lets the
+/// classifier hot path look groups up with a borrowed `&str` destination
+/// instead of building an owned `GroupKey` per flow.
+type Shard = (Ipv4Addr, Proto);
 
 /// Configuration for periodic-model training.
 #[derive(Debug, Clone)]
@@ -102,7 +110,8 @@ impl PeriodicModel {
 /// The set of periodic models of a deployment, keyed by traffic group.
 #[derive(Debug, Clone)]
 pub struct PeriodicModelSet {
-    models: HashMap<GroupKey, PeriodicModel>,
+    models: HashMap<Shard, HashMap<String, PeriodicModel>>,
+    n_models: usize,
     cfg: PeriodicTrainConfig,
     /// Fraction of training flows whose group exhibited periodicity
     /// ("Periodic Coverage" in Table 2).
@@ -110,46 +119,49 @@ pub struct PeriodicModelSet {
 }
 
 impl PeriodicModelSet {
-    /// Train periodic models from idle-dataset flows.
+    /// Train periodic models from idle-dataset flows with the default
+    /// thread policy ([`Parallelism::Auto`]).
     pub fn train(idle_flows: &[FlowRecord], cfg: &PeriodicTrainConfig) -> Self {
+        Self::train_with(idle_flows, cfg, Parallelism::Auto)
+    }
+
+    /// Train periodic models from idle-dataset flows.
+    ///
+    /// Traffic groups are independent, so each group's period detection and
+    /// DBSCAN fit runs as one unit of work on the executor; groups are
+    /// processed in sorted-key order and joined back in that order, making
+    /// the result identical for every thread policy.
+    pub fn train_with(
+        idle_flows: &[FlowRecord],
+        cfg: &PeriodicTrainConfig,
+        par: Parallelism,
+    ) -> Self {
         let mut groups: HashMap<GroupKey, Vec<&FlowRecord>> = HashMap::new();
         for f in idle_flows {
             let (dest, proto) = f.group_key();
             groups.entry((f.device, dest, proto)).or_default().push(f);
         }
-        let mut models = HashMap::new();
+        let mut jobs: Vec<(GroupKey, Vec<&FlowRecord>)> = groups.into_iter().collect();
+        jobs.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let trained: Vec<Option<PeriodicModel>> = par_map_init(
+            par,
+            &jobs,
+            || PeriodDetector::new(cfg.detector.clone()),
+            |detector, _, (key, flows)| train_group(key, flows, cfg, detector),
+        );
+
+        let mut models: HashMap<Shard, HashMap<String, PeriodicModel>> = HashMap::new();
+        let mut n_models = 0usize;
         let mut covered = 0usize;
-        for (key, flows) in groups {
-            let times: Vec<f64> = flows.iter().map(|f| f.start).collect();
-            let periods = detect_periods(&times, &cfg.detector);
-            if periods.is_empty() {
-                continue;
-            }
+        for (model, (key, flows)) in trained.into_iter().zip(&jobs) {
+            let Some(model) = model else { continue };
             covered += flows.len();
-            let mut feats: Vec<Vec<f64>> = flows.iter().map(|f| f.features.to_vec()).collect();
-            if feats.len() > cfg.dbscan_max_train {
-                let stride = feats.len() / cfg.dbscan_max_train + 1;
-                feats = feats.into_iter().step_by(stride).collect();
-            }
-            let standardizer = Standardizer::fit(&feats).expect("non-empty group");
-            let transformed = standardizer.transform_all(&feats);
-            let (_, cluster) = Dbscan {
-                eps: cfg.dbscan_eps,
-                min_pts: cfg.dbscan_min_pts,
-            }
-            .fit(&transformed);
-            models.insert(
-                key.clone(),
-                PeriodicModel {
-                    device: key.0,
-                    destination: key.1,
-                    proto: key.2,
-                    periods: periods.iter().map(|p| p.period).collect(),
-                    n_train: flows.len(),
-                    standardizer,
-                    cluster,
-                },
-            );
+            n_models += 1;
+            models
+                .entry((key.0, key.2))
+                .or_default()
+                .insert(key.1.clone(), model);
         }
         let train_coverage = if idle_flows.is_empty() {
             0.0
@@ -158,6 +170,7 @@ impl PeriodicModelSet {
         };
         PeriodicModelSet {
             models,
+            n_models,
             cfg: cfg.clone(),
             train_coverage,
         }
@@ -165,28 +178,33 @@ impl PeriodicModelSet {
 
     /// Number of periodic models (the quantity of Table 4).
     pub fn len(&self) -> usize {
-        self.models.len()
+        self.n_models
     }
 
     /// Is the set empty?
     pub fn is_empty(&self) -> bool {
-        self.models.is_empty()
+        self.n_models == 0
     }
 
     /// Look up the model of a group.
     pub fn get(&self, key: &GroupKey) -> Option<&PeriodicModel> {
-        self.models.get(key)
+        self.get_borrowed(key.0, &key.1, key.2)
+    }
+
+    /// Borrow-key variant of [`Self::get`] — no owned `GroupKey` needed.
+    pub fn get_borrowed(&self, device: Ipv4Addr, dest: &str, proto: Proto) -> Option<&PeriodicModel> {
+        self.models.get(&(device, proto))?.get(dest)
     }
 
     /// Iterate over all models.
     pub fn iter(&self) -> impl Iterator<Item = &PeriodicModel> {
-        self.models.values()
+        self.models.values().flat_map(|by_dest| by_dest.values())
     }
 
     /// Models per device.
     pub fn per_device(&self) -> HashMap<Ipv4Addr, usize> {
         let mut out: HashMap<Ipv4Addr, usize> = HashMap::new();
-        for m in self.models.values() {
+        for m in self.iter() {
             *out.entry(m.device).or_insert(0) += 1;
         }
         out
@@ -206,10 +224,53 @@ impl PeriodicModelSet {
     }
 }
 
+/// Train one traffic group: detect periods; if any validate, fit the
+/// standardizer + DBSCAN second stage. Pure function of its inputs (the
+/// detector is reusable scratch), so groups can run on any thread.
+fn train_group(
+    key: &GroupKey,
+    flows: &[&FlowRecord],
+    cfg: &PeriodicTrainConfig,
+    detector: &mut PeriodDetector,
+) -> Option<PeriodicModel> {
+    let times: Vec<f64> = flows.iter().map(|f| f.start).collect();
+    let periods = detector.detect(&times);
+    if periods.is_empty() {
+        return None;
+    }
+    let mut feats: Vec<Vec<f64>> = flows.iter().map(|f| f.features.to_vec()).collect();
+    if feats.len() > cfg.dbscan_max_train {
+        let stride = feats.len() / cfg.dbscan_max_train + 1;
+        feats = feats.into_iter().step_by(stride).collect();
+    }
+    let standardizer = Standardizer::fit(&feats).expect("non-empty group");
+    let transformed = standardizer.transform_all(&feats);
+    let (_, cluster) = Dbscan {
+        eps: cfg.dbscan_eps,
+        min_pts: cfg.dbscan_min_pts,
+    }
+    .fit(&transformed);
+    Some(PeriodicModel {
+        device: key.0,
+        destination: key.1.clone(),
+        proto: key.2,
+        periods: periods.iter().map(|p| p.period).collect(),
+        n_train: flows.len(),
+        standardizer,
+        cluster,
+    })
+}
+
 /// Streaming classifier holding per-group count-up timers.
+///
+/// The per-flow path is allocation-free for modeled groups: destinations
+/// are borrowed from the flow (or formatted into a reused buffer for
+/// unresolved IPs), and timer keys are owned only the first time a group
+/// is seen.
 pub struct PeriodicClassifier<'a> {
     set: &'a PeriodicModelSet,
-    last_seen: HashMap<GroupKey, f64>,
+    last_seen: HashMap<Shard, HashMap<String, f64>>,
+    ip_buf: String,
     /// Disable the DBSCAN second stage (timer-only ablation).
     pub timer_only: bool,
 }
@@ -220,18 +281,38 @@ impl<'a> PeriodicClassifier<'a> {
         Self {
             set,
             last_seen: HashMap::new(),
+            ip_buf: String::new(),
             timer_only: false,
         }
     }
 
     /// Classify one flow (flows must arrive in chronological order).
     pub fn classify(&mut self, flow: &FlowRecord) -> bool {
-        let (dest, proto) = flow.group_key();
-        let key = (flow.device, dest, proto);
-        let Some(model) = self.set.models.get(&key) else {
+        let dest: &str = match flow.domain.as_deref() {
+            Some(d) => d,
+            None => {
+                self.ip_buf.clear();
+                write!(self.ip_buf, "{}", flow.remote).expect("infallible write");
+                &self.ip_buf
+            }
+        };
+        let shard = (flow.device, flow.proto);
+        let Some(model) = self
+            .set
+            .models
+            .get(&shard)
+            .and_then(|by_dest| by_dest.get(dest))
+        else {
             return false;
         };
-        let prev = self.last_seen.insert(key, flow.start);
+        let timers = self.last_seen.entry(shard).or_default();
+        let prev = match timers.get_mut(dest) {
+            Some(slot) => Some(std::mem::replace(slot, flow.start)),
+            None => {
+                timers.insert(dest.to_string(), flow.start);
+                None
+            }
+        };
         let timer_hit = match prev {
             Some(last) => model.timer_matches(flow.start - last, &self.set.cfg),
             // First sighting in this stream: the timer has no reference
@@ -250,7 +331,10 @@ impl<'a> PeriodicClassifier<'a> {
     /// Current elapsed-time (`T0`) of a group relative to `now`, if the
     /// group has been seen.
     pub fn elapsed(&self, key: &GroupKey, now: f64) -> Option<f64> {
-        self.last_seen.get(key).map(|&t| now - t)
+        self.last_seen
+            .get(&(key.0, key.2))
+            .and_then(|timers| timers.get(&key.1))
+            .map(|&t| now - t)
     }
 }
 
@@ -394,5 +478,67 @@ mod tests {
         let set = PeriodicModelSet::train(&[], &PeriodicTrainConfig::default());
         assert!(set.is_empty());
         assert_eq!(set.train_coverage, 0.0);
+    }
+
+    #[test]
+    fn parallel_train_equals_serial() {
+        // Many groups with mixed periodic/aperiodic behavior.
+        let mut flows = Vec::new();
+        for d in 0..6u8 {
+            flows.extend(periodic_flows(10 + d, "a.com", 60.0 + d as f64 * 13.0, 300));
+            flows.extend(periodic_flows(10 + d, "b.com", 240.0, 120));
+            let mut t = 0.0;
+            flows.extend((0..150).map(|i| {
+                t += 29.0 + ((i * 7919 + d as usize * 37) % 431) as f64;
+                flow(10 + d, "noise.com", t, 300.0)
+            }));
+        }
+        let cfg = PeriodicTrainConfig::default();
+        let serial = PeriodicModelSet::train_with(&flows, &cfg, Parallelism::Off);
+        for par in [Parallelism::Fixed(2), Parallelism::Fixed(7), Parallelism::Auto] {
+            let p = PeriodicModelSet::train_with(&flows, &cfg, par);
+            assert_eq!(p.len(), serial.len());
+            assert_eq!(p.train_coverage, serial.train_coverage);
+            for m in serial.iter() {
+                let key = (m.device, m.destination.clone(), m.proto);
+                let pm = p.get(&key).expect("model missing in parallel train");
+                assert_eq!(pm.periods, m.periods);
+                assert_eq!(pm.n_train, m.n_train);
+            }
+            // Classification behavior must match exactly too.
+            let labels_s = serial.classify(&flows);
+            let labels_p = p.classify(&flows);
+            assert_eq!(labels_s, labels_p);
+        }
+    }
+
+    #[test]
+    fn borrowed_lookup_matches_owned() {
+        let flows = periodic_flows(10, "devs.cloud.com", 120.0, 400);
+        let set = PeriodicModelSet::train(&flows, &PeriodicTrainConfig::default());
+        let key = (
+            Ipv4Addr::new(192, 168, 1, 10),
+            "devs.cloud.com".to_string(),
+            Proto::Tcp,
+        );
+        assert!(set.get(&key).is_some());
+        assert!(set
+            .get_borrowed(key.0, "devs.cloud.com", Proto::Tcp)
+            .is_some());
+        assert!(set.get_borrowed(key.0, "other.com", Proto::Tcp).is_none());
+    }
+
+    #[test]
+    fn classifier_handles_ip_fallback_groups() {
+        // Flows without DNS resolution group by raw IP string; the
+        // classifier's reusable IP buffer must produce the same keys.
+        let mut flows = periodic_flows(10, "ignored", 90.0, 400);
+        for f in &mut flows {
+            f.domain = None;
+        }
+        let set = PeriodicModelSet::train(&flows, &PeriodicTrainConfig::default());
+        assert_eq!(set.len(), 1);
+        let labels = set.classify(&flows);
+        assert!(labels.iter().filter(|&&b| b).count() >= flows.len() - 1);
     }
 }

@@ -1,42 +1,55 @@
 //! Autocorrelation, used to validate candidate periods extracted from the
 //! periodogram (§4.1 of the paper, following Vlachos et al. \[71\]).
 
-use crate::fft::{fft, ifft, next_pow2, Complex};
+use crate::fft::{fft, ifft, next_pow2, Complex, FftScratch};
 
-/// Normalized autocorrelation function of a real signal, computed via FFT in
-/// `O(N log N)`: `acf[k] = sum_t (x_t - m)(x_{t+k} - m) / sum_t (x_t - m)²`.
+/// Normalized autocorrelation computed via FFT in `O(N log N)`, appended to
+/// `out` after clearing it. `scratch` provides the transform buffer so
+/// repeated calls allocate nothing once warmed up.
 ///
 /// `acf\[0\]` is `1.0` by construction; a constant signal yields all-zero lags
 /// (its variance is zero, so correlation is undefined and reported as 0).
-/// Returns lags `0..max_lag` (clamped to the signal length).
-pub fn autocorrelation(signal: &[f64], max_lag: usize) -> Vec<f64> {
+/// Produces lags `0..max_lag` (clamped to the signal length):
+/// `acf[k] = sum_t (x_t - m)(x_{t+k} - m) / sum_t (x_t - m)²`.
+pub fn autocorrelation_into(
+    signal: &[f64],
+    max_lag: usize,
+    scratch: &mut FftScratch,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
     let n = signal.len();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     let max_lag = max_lag.min(n);
     let m = crate::stats::mean(signal);
     // Zero-pad to 2N to make the circular convolution linear.
     let size = next_pow2(2 * n);
-    let mut buf = vec![Complex::default(); size];
+    let buf = scratch.zeroed(size);
     for (i, &x) in signal.iter().enumerate() {
         buf[i] = Complex::real(x - m);
     }
-    fft(&mut buf);
+    fft(buf);
     for v in buf.iter_mut() {
         let p = v.norm_sq();
         *v = Complex::real(p);
     }
-    ifft(&mut buf);
+    ifft(buf);
     let denom = buf[0].re;
     if denom <= 1e-12 {
-        let mut out = vec![0.0; max_lag];
-        if max_lag > 0 {
-            out[0] = 0.0;
-        }
-        return out;
+        out.resize(max_lag, 0.0);
+        return;
     }
-    (0..max_lag).map(|k| buf[k].re / denom).collect()
+    out.extend((0..max_lag).map(|k| buf[k].re / denom));
+}
+
+/// Allocating convenience wrapper around [`autocorrelation_into`].
+pub fn autocorrelation(signal: &[f64], max_lag: usize) -> Vec<f64> {
+    let mut scratch = FftScratch::new();
+    let mut out = Vec::new();
+    autocorrelation_into(signal, max_lag, &mut scratch, &mut out);
+    out
 }
 
 /// Returns `true` if `acf` has a local maximum at `lag` (within a window of

@@ -131,27 +131,58 @@ fn fft_dir(buf: &mut [Complex], inverse: bool) {
     }
 }
 
+/// Reusable FFT working memory. The period-detection hot loop runs one
+/// periodogram and one autocorrelation per `(device, group)` signal; holding
+/// a scratch per worker thread removes every per-call heap allocation from
+/// that path. A scratch grows to the largest transform it has seen and never
+/// shrinks.
+#[derive(Debug, Default)]
+pub struct FftScratch {
+    buf: Vec<Complex>,
+}
+
+impl FftScratch {
+    /// An empty scratch; buffers are grown lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Borrow the complex buffer resized to `n` slots, zero-initialized.
+    pub(crate) fn zeroed(&mut self, n: usize) -> &mut [Complex] {
+        self.buf.clear();
+        self.buf.resize(n, Complex::default());
+        &mut self.buf
+    }
+}
+
 /// Periodogram of a real signal: power spectral density estimate at the
 /// `N/2 + 1` non-negative frequencies, where `N` is the padded length.
 ///
 /// The signal is mean-removed (so the DC bin reflects only residual padding
-/// effects) and zero-padded to the next power of two. Returned powers are
-/// `|X_k|² / N`.
-pub fn periodogram(signal: &[f64]) -> Vec<f64> {
+/// effects) and zero-padded to the next power of two. Powers are
+/// `|X_k|² / N`, appended to `out` after clearing it; `scratch` provides the
+/// transform buffer so repeated calls allocate nothing once warmed up.
+pub fn periodogram_into(signal: &[f64], scratch: &mut FftScratch, out: &mut Vec<f64>) {
+    out.clear();
     if signal.is_empty() {
-        return Vec::new();
+        return;
     }
     let m = crate::stats::mean(signal);
     let n = next_pow2(signal.len());
-    let mut buf = vec![Complex::default(); n];
+    let buf = scratch.zeroed(n);
     for (i, &x) in signal.iter().enumerate() {
         buf[i] = Complex::real(x - m);
     }
-    fft(&mut buf);
-    buf[..n / 2 + 1]
-        .iter()
-        .map(|c| c.norm_sq() / n as f64)
-        .collect()
+    fft(buf);
+    out.extend(buf[..n / 2 + 1].iter().map(|c| c.norm_sq() / n as f64));
+}
+
+/// Allocating convenience wrapper around [`periodogram_into`].
+pub fn periodogram(signal: &[f64]) -> Vec<f64> {
+    let mut scratch = FftScratch::new();
+    let mut out = Vec::new();
+    periodogram_into(signal, &mut scratch, &mut out);
+    out
 }
 
 #[cfg(test)]

@@ -23,5 +23,7 @@ pub mod period;
 pub mod stats;
 
 pub use cdf::{additive_smoothing, Ecdf};
-pub use fft::Complex;
-pub use period::{detect_periods, DetectedPeriod, PeriodConfig};
+pub use fft::{Complex, FftScratch};
+pub use period::{
+    detect_periods, detect_periods_batch, DetectedPeriod, PeriodConfig, PeriodDetector,
+};

@@ -16,9 +16,10 @@
 //! experiment is reproduced in `behaviot-bench --bin exp_periodicity` and in
 //! this module's tests.
 
-use crate::autocorr::{autocorrelation, is_acf_hill, refine_peak};
-use crate::fft::periodogram;
+use crate::autocorr::{autocorrelation_into, is_acf_hill, refine_peak};
+use crate::fft::{periodogram_into, FftScratch};
 use crate::stats;
+use behaviot_par::{par_map_init, Parallelism};
 
 /// Tunable parameters of the period detector. `Default` matches the values
 /// used throughout the reproduction.
@@ -66,96 +67,170 @@ pub struct DetectedPeriod {
     pub power: f64,
 }
 
-/// Detect the periods of an event-timestamp sequence. Returns validated
-/// periods sorted by descending ACF score; an empty vector means the
-/// sequence is aperiodic (or too short to tell).
-///
-/// Timestamps need not be sorted; they are sorted internally.
-pub fn detect_periods(timestamps: &[f64], cfg: &PeriodConfig) -> Vec<DetectedPeriod> {
-    if timestamps.len() < cfg.min_events {
-        return Vec::new();
-    }
-    let mut ts: Vec<f64> = timestamps.to_vec();
-    ts.sort_by(|a, b| a.partial_cmp(b).expect("NaN timestamp"));
-    let span = ts[ts.len() - 1] - ts[0];
-    if span <= 0.0 {
-        return Vec::new();
+/// Reusable period-detection state: configuration plus every intermediate
+/// buffer of the pipeline (sorted timestamps, gaps, binned signal,
+/// periodogram, ACF, FFT scratch). One detector per worker thread turns the
+/// per-group hot path — the dominant cost of `PeriodicModelSet::train` —
+/// into an allocation-free loop after warm-up.
+#[derive(Debug)]
+pub struct PeriodDetector {
+    cfg: PeriodConfig,
+    fft: FftScratch,
+    ts: Vec<f64>,
+    gaps: Vec<f64>,
+    signal: Vec<f64>,
+    power: Vec<f64>,
+    acf: Vec<f64>,
+    matching: Vec<f64>,
+}
+
+impl PeriodDetector {
+    /// Build a detector; buffers grow lazily to the largest group seen.
+    pub fn new(cfg: PeriodConfig) -> Self {
+        Self {
+            cfg,
+            fft: FftScratch::new(),
+            ts: Vec::new(),
+            gaps: Vec::new(),
+            signal: Vec::new(),
+            power: Vec::new(),
+            acf: Vec::new(),
+            matching: Vec::new(),
+        }
     }
 
-    // --- Binning -----------------------------------------------------------
-    let gaps: Vec<f64> = ts.windows(2).map(|w| w[1] - w[0]).collect();
-    let median_gap = stats::median(&gaps).max(1e-9);
-    // Resolution: fine enough to resolve the typical gap, coarse enough to
-    // bound the FFT size and to absorb timing jitter (a few % of the period)
-    // into a single bin so the ACF peak stays sharp.
-    let dt = (median_gap / 8.0).max(span / cfg.max_bins as f64);
-    let n_bins = (span / dt).ceil() as usize + 1;
-    let mut signal = vec![0.0f64; n_bins];
-    for &t in &ts {
-        let idx = (((t - ts[0]) / dt) as usize).min(n_bins - 1);
-        signal[idx] += 1.0;
+    /// The detector's configuration.
+    pub fn config(&self) -> &PeriodConfig {
+        &self.cfg
     }
 
-    // --- DFT candidate extraction -------------------------------------------
-    let power = periodogram(&signal);
-    if power.len() < 4 {
-        return Vec::new();
-    }
-    let n_pad = (power.len() - 1) * 2;
-    let p_mean = stats::mean(&power[1..]);
-    let p_std = stats::std_dev(&power[1..]);
-    let threshold = p_mean + cfg.power_sigma * p_std;
+    /// Detect the periods of an event-timestamp sequence. Returns validated
+    /// periods sorted by descending ACF score; an empty vector means the
+    /// sequence is aperiodic (or too short to tell).
+    ///
+    /// Timestamps need not be sorted; they are sorted internally (into a
+    /// scratch buffer — the input is untouched).
+    pub fn detect(&mut self, timestamps: &[f64]) -> Vec<DetectedPeriod> {
+        let cfg = &self.cfg;
+        if timestamps.len() < cfg.min_events {
+            return Vec::new();
+        }
+        self.ts.clear();
+        self.ts.extend_from_slice(timestamps);
+        let ts = &mut self.ts;
+        ts.sort_by(|a, b| a.partial_cmp(b).expect("NaN timestamp"));
+        let span = ts[ts.len() - 1] - ts[0];
+        if span <= 0.0 {
+            return Vec::new();
+        }
 
-    let mut candidates: Vec<(usize, f64)> = power
-        .iter()
-        .enumerate()
-        .skip(1)
-        .filter(|&(k, &p)| {
-            if p <= threshold {
-                return false;
-            }
+        // --- Binning -------------------------------------------------------
+        self.gaps.clear();
+        self.gaps.extend(ts.windows(2).map(|w| w[1] - w[0]));
+        let gaps = &self.gaps;
+        self.matching.clear();
+        self.matching.extend_from_slice(gaps);
+        let median_gap = stats::median_in_place(&mut self.matching).max(1e-9);
+        // Resolution: fine enough to resolve the typical gap, coarse enough
+        // to bound the FFT size and to absorb timing jitter (a few % of the
+        // period) into a single bin so the ACF peak stays sharp.
+        let dt = (median_gap / 8.0).max(span / cfg.max_bins as f64);
+        let n_bins = (span / dt).ceil() as usize + 1;
+        self.signal.clear();
+        self.signal.resize(n_bins, 0.0);
+        for &t in ts.iter() {
+            let idx = (((t - ts[0]) / dt) as usize).min(n_bins - 1);
+            self.signal[idx] += 1.0;
+        }
+
+        // --- DFT candidate extraction ---------------------------------------
+        periodogram_into(&self.signal, &mut self.fft, &mut self.power);
+        let power = &self.power;
+        if power.len() < 4 {
+            return Vec::new();
+        }
+        let n_pad = (power.len() - 1) * 2;
+        let p_mean = stats::mean(&power[1..]);
+        let p_std = stats::std_dev(&power[1..]);
+        let threshold = p_mean + cfg.power_sigma * p_std;
+
+        let mut candidates: Vec<(usize, f64)> = power
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|&(k, &p)| {
+                if p <= threshold {
+                    return false;
+                }
+                let period = n_pad as f64 * dt / k as f64;
+                // Must observe enough full cycles and more than 2 bins/period.
+                span / period >= cfg.min_cycles && period >= 2.0 * dt
+            })
+            .map(|(k, &p)| (k, p))
+            .collect();
+        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        candidates.truncate(cfg.max_candidates);
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+
+        // --- ACF validation --------------------------------------------------
+        let max_lag = (n_bins / 2).max(2);
+        autocorrelation_into(&self.signal, max_lag, &mut self.fft, &mut self.acf);
+        let acf = &self.acf;
+        let mut validated: Vec<DetectedPeriod> = Vec::new();
+        for (k, pw) in candidates {
             let period = n_pad as f64 * dt / k as f64;
-            // Must observe enough full cycles and more than 2 bins/period.
-            span / period >= cfg.min_cycles && period >= 2.0 * dt
-        })
-        .map(|(k, &p)| (k, p))
-        .collect();
-    candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    candidates.truncate(cfg.max_candidates);
-    if candidates.is_empty() {
-        return Vec::new();
-    }
-
-    // --- ACF validation ------------------------------------------------------
-    let max_lag = (n_bins / 2).max(2);
-    let acf = autocorrelation(&signal, max_lag);
-    let mut validated: Vec<DetectedPeriod> = Vec::new();
-    for (k, pw) in candidates {
-        let period = n_pad as f64 * dt / k as f64;
-        let lag = (period / dt).round() as usize;
-        if lag < 2 || lag >= acf.len() {
-            continue;
+            let lag = (period / dt).round() as usize;
+            if lag < 2 || lag >= acf.len() {
+                continue;
+            }
+            // Refine the candidate lag to the nearby ACF peak (spectral bins
+            // are coarse for long periods).
+            let lo = ((lag as f64 * 0.8) as usize).max(1);
+            let hi = ((lag as f64 * 1.2).ceil() as usize + 1).min(acf.len());
+            let Some(peak) = refine_peak(acf, lo, hi) else {
+                continue;
+            };
+            let half_window = (peak / 10).max(2);
+            if acf[peak] < cfg.acf_threshold || !is_acf_hill(acf, peak, half_window) {
+                continue;
+            }
+            let refined = refine_against_gaps(gaps, peak as f64 * dt, &mut self.matching);
+            validated.push(DetectedPeriod {
+                period: refined,
+                acf_score: acf[peak],
+                power: pw,
+            });
         }
-        // Refine the candidate lag to the nearby ACF peak (spectral bins are
-        // coarse for long periods).
-        let lo = ((lag as f64 * 0.8) as usize).max(1);
-        let hi = ((lag as f64 * 1.2).ceil() as usize + 1).min(acf.len());
-        let Some(peak) = refine_peak(&acf, lo, hi) else {
-            continue;
-        };
-        let half_window = (peak / 10).max(2);
-        if acf[peak] < cfg.acf_threshold || !is_acf_hill(&acf, peak, half_window) {
-            continue;
-        }
-        let refined = refine_against_gaps(&gaps, peak as f64 * dt);
-        validated.push(DetectedPeriod {
-            period: refined,
-            acf_score: acf[peak],
-            power: pw,
-        });
-    }
 
-    merge_validated(validated, cfg.merge_tolerance)
+        merge_validated(validated, cfg.merge_tolerance)
+    }
+}
+
+/// Detect the periods of one event-timestamp sequence. Allocating
+/// convenience wrapper around [`PeriodDetector::detect`]; batch callers
+/// should hold a detector (or use [`detect_periods_batch`]) to reuse its
+/// buffers.
+pub fn detect_periods(timestamps: &[f64], cfg: &PeriodConfig) -> Vec<DetectedPeriod> {
+    PeriodDetector::new(cfg.clone()).detect(timestamps)
+}
+
+/// Detect periods for many independent timestamp sequences, fanned out over
+/// worker threads with one reused [`PeriodDetector`] per worker. Output
+/// order matches input order exactly, and every entry is identical to a
+/// serial [`detect_periods`] call on the same sequence.
+pub fn detect_periods_batch<S: AsRef<[f64]> + Sync>(
+    series: &[S],
+    cfg: &PeriodConfig,
+    par: Parallelism,
+) -> Vec<Vec<DetectedPeriod>> {
+    par_map_init(
+        par,
+        series,
+        || PeriodDetector::new(cfg.clone()),
+        |det, _, ts| det.detect(ts.as_ref()),
+    )
 }
 
 /// Convenience predicate: does the sequence exhibit any periodicity?
@@ -167,14 +242,15 @@ pub fn is_periodic(timestamps: &[f64], cfg: &PeriodConfig) -> bool {
 /// the median of gaps within ±30% of the coarse period. For clean timer
 /// traffic this recovers the period to sub-second precision. Falls back to
 /// the coarse value if too few gaps match (e.g. interleaved noise).
-fn refine_against_gaps(gaps: &[f64], coarse: f64) -> f64 {
-    let matching: Vec<f64> = gaps
-        .iter()
-        .copied()
-        .filter(|&g| g >= 0.7 * coarse && g <= 1.3 * coarse)
-        .collect();
+fn refine_against_gaps(gaps: &[f64], coarse: f64, matching: &mut Vec<f64>) -> f64 {
+    matching.clear();
+    matching.extend(
+        gaps.iter()
+            .copied()
+            .filter(|&g| g >= 0.7 * coarse && g <= 1.3 * coarse),
+    );
     if matching.len() >= 3 && matching.len() * 4 >= gaps.len() {
-        stats::median(&matching)
+        stats::median_in_place(matching)
     } else {
         coarse
     }
@@ -332,6 +408,47 @@ mod tests {
         // The dominant 60s component must be found; the 300s one is a
         // multiple of 60 and may legitimately be merged away.
         assert!(out.iter().any(|p| (p.period - 60.0).abs() < 3.0), "{out:?}");
+    }
+
+    #[test]
+    fn detector_reuse_matches_fresh() {
+        // One detector across many heterogeneous inputs must give the same
+        // answers as a fresh detector per input (buffer reuse is inert).
+        let cfg = PeriodConfig::default();
+        let inputs: Vec<Vec<f64>> = vec![
+            periodic_events(236.0, 3600.0 * 24.0, 0.0, 1),
+            random_events(600, 3600.0 * 10.0, 1001),
+            periodic_events(60.0, 3600.0 * 12.0, 6.0, 7),
+            vec![0.0, 10.0, 20.0],
+            vec![5.0; 20],
+            periodic_events(3603.0, 5.0 * 86400.0, 10.0, 11),
+        ];
+        let mut shared = PeriodDetector::new(cfg.clone());
+        for ts in &inputs {
+            assert_eq!(shared.detect(ts), detect_periods(ts, &cfg));
+        }
+    }
+
+    #[test]
+    fn batch_matches_serial_per_thread_count() {
+        let cfg = PeriodConfig::default();
+        let inputs: Vec<Vec<f64>> = (0..8)
+            .map(|i| {
+                if i % 2 == 0 {
+                    periodic_events(45.0 + 20.0 * i as f64, 3600.0 * 24.0, 1.0, i)
+                } else {
+                    random_events(400, 3600.0 * 8.0, 77 + i)
+                }
+            })
+            .collect();
+        let serial: Vec<_> = inputs.iter().map(|ts| detect_periods(ts, &cfg)).collect();
+        for par in [
+            behaviot_par::Parallelism::Off,
+            behaviot_par::Parallelism::Fixed(3),
+            behaviot_par::Parallelism::Auto,
+        ] {
+            assert_eq!(detect_periods_batch(&inputs, &cfg, par), serial, "{par}");
+        }
     }
 
     #[test]

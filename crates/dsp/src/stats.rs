@@ -23,30 +23,47 @@ pub fn std_dev(xs: &[f64]) -> f64 {
     variance(xs).sqrt()
 }
 
-/// Median of a slice (linear-time selection not needed at our sizes; sorts a
-/// copy). Returns `0.0` for an empty slice.
-pub fn median(xs: &[f64]) -> f64 {
+/// Median of a mutable slice, sorting it in place — the allocation-free
+/// primitive behind [`median`] for hot loops that own scratch buffers.
+/// Returns `0.0` for an empty slice.
+pub fn median_in_place(xs: &mut [f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
-    let n = v.len();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = xs.len();
     if n % 2 == 1 {
-        v[n / 2]
+        xs[n / 2]
     } else {
-        0.5 * (v[n / 2 - 1] + v[n / 2])
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
     }
+}
+
+/// Median of a slice (linear-time selection not needed at our sizes; sorts a
+/// copy). Returns `0.0` for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    let mut v: Vec<f64> = xs.to_vec();
+    median_in_place(&mut v)
+}
+
+/// Median absolute deviation computed destructively: `xs` is sorted and then
+/// overwritten with absolute deviations. Allocation-free counterpart of
+/// [`median_abs_dev`].
+pub fn median_abs_dev_in_place(xs: &mut [f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let med = median_in_place(xs);
+    for x in xs.iter_mut() {
+        *x = (*x - med).abs();
+    }
+    median_in_place(xs)
 }
 
 /// Median absolute deviation: `median(|x_i - median(x)|)`.
 pub fn median_abs_dev(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
-    }
-    let med = median(xs);
-    let devs: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
-    median(&devs)
+    let mut v: Vec<f64> = xs.to_vec();
+    median_abs_dev_in_place(&mut v)
 }
 
 /// Sample skewness (Fisher-Pearson, population form). Returns `0.0` when the

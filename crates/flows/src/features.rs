@@ -52,28 +52,54 @@ pub struct PacketView {
     pub remote_is_local: bool,
 }
 
+/// Reusable working memory for [`extract_with`]: the size and
+/// inter-packet-gap columns of the burst under extraction. Assembling the
+/// testbed traces runs one extraction per burst — hundreds of thousands of
+/// calls — so reusing these two columns removes the only allocations on
+/// that path.
+#[derive(Debug, Default)]
+pub struct FeatureScratch {
+    sizes: Vec<f64>,
+    tbp: Vec<f64>,
+}
+
+impl FeatureScratch {
+    /// An empty scratch; columns grow lazily to the largest burst seen.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Compute the 21 features over the packets of one burst (assumed sorted by
-/// time; empty input yields the zero vector).
-pub fn extract(packets: &[PacketView]) -> FeatureVector {
+/// time; empty input yields the zero vector). Allocation-free once
+/// `scratch` has warmed up to the largest burst size.
+pub fn extract_with(packets: &[PacketView], scratch: &mut FeatureScratch) -> FeatureVector {
     let mut f = [0.0f64; N_FEATURES];
     if packets.is_empty() {
         return f;
     }
-    let sizes: Vec<f64> = packets.iter().map(|p| p.bytes as f64).collect();
-    f[0] = stats::mean(&sizes);
+    let sizes = &mut scratch.sizes;
+    sizes.clear();
+    sizes.extend(packets.iter().map(|p| p.bytes as f64));
+    f[0] = stats::mean(sizes);
     f[1] = sizes.iter().cloned().fold(f64::INFINITY, f64::min);
     f[2] = sizes.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    f[3] = stats::median_abs_dev(&sizes);
-    f[4] = stats::skewness(&sizes);
-    f[5] = stats::kurtosis(&sizes);
+    f[4] = stats::skewness(sizes);
+    f[5] = stats::kurtosis(sizes);
+    // Destructive (overwrites the size column) — keep it after the moment
+    // stats above.
+    f[3] = stats::median_abs_dev_in_place(sizes);
 
-    let tbp: Vec<f64> = packets.windows(2).map(|w| w[1].ts - w[0].ts).collect();
+    let tbp = &mut scratch.tbp;
+    tbp.clear();
+    tbp.extend(packets.windows(2).map(|w| w[1].ts - w[0].ts));
     if !tbp.is_empty() {
-        f[6] = stats::mean(&tbp);
-        f[7] = stats::variance(&tbp);
-        f[8] = stats::median(&tbp);
-        f[9] = stats::kurtosis(&tbp);
-        f[10] = stats::skewness(&tbp);
+        f[6] = stats::mean(tbp);
+        f[7] = stats::variance(tbp);
+        f[9] = stats::kurtosis(tbp);
+        f[10] = stats::skewness(tbp);
+        // Sorts the gap column in place; order is no longer needed.
+        f[8] = stats::median_in_place(tbp);
     }
 
     let mut out_ext = 0u32;
@@ -131,6 +157,12 @@ pub fn extract(packets: &[PacketView]) -> FeatureVector {
         0.0
     };
     f
+}
+
+/// Allocating convenience wrapper around [`extract_with`]; burst-assembly
+/// loops should hold a [`FeatureScratch`] instead.
+pub fn extract(packets: &[PacketView]) -> FeatureVector {
+    extract_with(packets, &mut FeatureScratch::new())
 }
 
 #[cfg(test)]
@@ -203,6 +235,23 @@ mod tests {
         assert_eq!(f[18], 250.0);
         assert_eq!(f[19], 50.0);
         assert_eq!(f[20], 60.0);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh() {
+        let bursts: Vec<Vec<PacketView>> = vec![
+            vec![pkt(0.0, 100, true, false), pkt(0.1, 300, false, false)],
+            vec![pkt(5.0, 64, true, true)],
+            vec![],
+            (0..50)
+                .map(|i| pkt(i as f64 * 0.2, 60 + i * 17, i % 2 == 0, i % 3 == 0))
+                .collect(),
+            vec![pkt(9.0, 1500, false, false)],
+        ];
+        let mut scratch = FeatureScratch::new();
+        for b in &bursts {
+            assert_eq!(extract_with(b, &mut scratch), extract(b));
+        }
     }
 
     #[test]

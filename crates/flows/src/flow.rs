@@ -1,7 +1,7 @@
 //! Flow assembly and burst splitting.
 
 use crate::domain::DomainTable;
-use crate::features::{extract, FeatureVector, PacketView};
+use crate::features::{extract_with, FeatureScratch, FeatureVector, PacketView};
 use crate::packet::GatewayPacket;
 use crate::{is_local, FlowKey};
 use behaviot_net::Proto;
@@ -160,7 +160,9 @@ pub fn assemble_flows(
         });
     }
 
-    // Split each flow into bursts and annotate.
+    // Split each flow into bursts and annotate. One scratch serves every
+    // extraction — this loop runs once per burst over the whole capture.
+    let mut scratch = FeatureScratch::new();
     let mut out = Vec::new();
     for uk in order {
         let (key, pkts) = &flows[&uk];
@@ -175,7 +177,7 @@ pub fn assemble_flows(
             if burst.is_empty() {
                 continue;
             }
-            let features = extract(burst);
+            let features = extract_with(burst, &mut scratch);
             out.push(FlowRecord {
                 device: key.device,
                 remote: key.remote,

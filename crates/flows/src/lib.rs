@@ -24,7 +24,7 @@ pub mod packet;
 pub mod streaming;
 
 pub use domain::DomainTable;
-pub use features::{FeatureVector, FEATURE_NAMES, N_FEATURES};
+pub use features::{FeatureScratch, FeatureVector, FEATURE_NAMES, N_FEATURES};
 pub use flow::{assemble_flows, FlowConfig, FlowRecord};
 pub use packet::{parse_frame, Direction, GatewayPacket, ParsedFrame};
 pub use streaming::StreamingAssembler;

@@ -8,7 +8,7 @@
 //! with bounded memory: idle flow state is evicted as bursts close.
 
 use crate::domain::DomainTable;
-use crate::features::{extract, PacketView};
+use crate::features::{extract_with, FeatureScratch, PacketView};
 use crate::flow::{FlowConfig, FlowRecord};
 use crate::packet::GatewayPacket;
 use crate::{is_local, FlowKey};
@@ -36,6 +36,7 @@ pub struct StreamingAssembler {
     cfg: FlowConfig,
     open: HashMap<Unordered, OpenBurst>,
     clock: f64,
+    scratch: FeatureScratch,
 }
 
 impl StreamingAssembler {
@@ -45,6 +46,7 @@ impl StreamingAssembler {
             cfg,
             open: HashMap::new(),
             clock: 0.0,
+            scratch: FeatureScratch::new(),
         }
     }
 
@@ -84,7 +86,7 @@ impl StreamingAssembler {
         if let Some(open) = self.open.get(&uk) {
             if p.ts - open.last_ts > self.cfg.burst_gap {
                 let b = self.open.remove(&uk).expect("just looked up");
-                closed.push(finish(b, domains, &self.cfg));
+                closed.push(finish(b, domains, &mut self.scratch));
             }
         }
         let entry = self.open.entry(uk).or_insert_with(|| {
@@ -130,10 +132,11 @@ impl StreamingAssembler {
 
     /// Close and return every remaining burst (end of capture).
     pub fn finish(&mut self, domains: &DomainTable) -> Vec<FlowRecord> {
+        let scratch = &mut self.scratch;
         let mut out: Vec<FlowRecord> = self
             .open
             .drain()
-            .map(|(_, b)| finish(b, domains, &self.cfg))
+            .map(|(_, b)| finish(b, domains, scratch))
             .collect();
         out.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
         out
@@ -151,17 +154,17 @@ impl StreamingAssembler {
         let mut out = Vec::with_capacity(expired.len());
         for k in expired {
             let b = self.open.remove(&k).expect("listed above");
-            out.push(finish(b, domains, &self.cfg));
+            out.push(finish(b, domains, &mut self.scratch));
         }
         out.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
         out
     }
 }
 
-fn finish(mut b: OpenBurst, domains: &DomainTable, _cfg: &FlowConfig) -> FlowRecord {
+fn finish(mut b: OpenBurst, domains: &DomainTable, scratch: &mut FeatureScratch) -> FlowRecord {
     b.packets
         .sort_by(|x, y| x.ts.partial_cmp(&y.ts).expect("NaN ts"));
-    let features = extract(&b.packets);
+    let features = extract_with(&b.packets, scratch);
     FlowRecord {
         device: b.key.device,
         remote: b.key.remote,

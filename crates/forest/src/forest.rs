@@ -1,6 +1,7 @@
 //! Bagged random forests over the CART trees of [`crate::tree`].
 
 use crate::tree::{DecisionTree, MaxFeatures, TreeConfig};
+use behaviot_par::{par_map, Parallelism};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -13,8 +14,9 @@ pub struct RandomForestConfig {
     pub tree: TreeConfig,
     /// RNG seed; the same seed and data always produce the same forest.
     pub seed: u64,
-    /// Train trees on parallel threads.
-    pub parallel: bool,
+    /// Thread policy for training trees (`auto`/`off`/fixed). Per-seed
+    /// results are identical under every setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for RandomForestConfig {
@@ -26,7 +28,7 @@ impl Default for RandomForestConfig {
                 ..Default::default()
             },
             seed: 0,
-            parallel: true,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -74,26 +76,10 @@ impl RandomForest {
             (tree, in_bag)
         };
 
-        let results: Vec<(DecisionTree, Vec<bool>)> = if cfg.parallel && cfg.n_trees > 1 {
-            let n_threads = std::thread::available_parallelism()
-                .map(|v| v.get())
-                .unwrap_or(4);
-            let chunk = jobs.len().div_ceil(n_threads);
-            let mut out: Vec<Option<(DecisionTree, Vec<bool>)>> = vec![None; jobs.len()];
-            crossbeam::thread::scope(|s| {
-                for (slot_chunk, job_chunk) in out.chunks_mut(chunk).zip(jobs.chunks(chunk)) {
-                    s.spawn(move |_| {
-                        for (slot, job) in slot_chunk.iter_mut().zip(job_chunk) {
-                            *slot = Some(train_one(job));
-                        }
-                    });
-                }
-            })
-            .expect("forest training thread panicked");
-            out.into_iter().map(|o| o.expect("missing tree")).collect()
-        } else {
-            jobs.iter().map(train_one).collect()
-        };
+        // Trees are independent given their pre-drawn seeds, so the
+        // work-stealing map joins them back in job order and parallel
+        // training is byte-identical to serial.
+        let results: Vec<(DecisionTree, Vec<bool>)> = par_map(cfg.parallelism, &jobs, train_one);
 
         // Out-of-bag score: majority vote over the trees that did not see
         // each sample.
@@ -138,6 +124,16 @@ impl RandomForest {
             .map(|t| t.predict_proba(sample))
             .sum::<f64>()
             / self.trees.len() as f64
+    }
+
+    /// [`Self::predict_proba`] over many samples at once, fanned out over
+    /// worker threads. Output order matches input order exactly.
+    pub fn predict_proba_batch<S: AsRef<[f64]> + Sync>(
+        &self,
+        samples: &[S],
+        par: Parallelism,
+    ) -> Vec<f64> {
+        par_map(par, samples, |s| self.predict_proba(s.as_ref()))
     }
 
     /// Hard classification at the 0.5 threshold.
@@ -214,25 +210,29 @@ mod tests {
             seed: 9,
             ..Default::default()
         };
-        let fp = RandomForest::fit(
-            &x,
-            &y,
-            &RandomForestConfig {
-                parallel: true,
-                ..base
-            },
-        );
         let fs = RandomForest::fit(
             &x,
             &y,
             &RandomForestConfig {
-                parallel: false,
+                parallelism: Parallelism::Off,
                 ..base
             },
         );
-        for i in 0..20 {
-            let probe = vec![i as f64 / 5.0 - 2.0, 1.0, 0.0];
-            assert_eq!(fp.predict_proba(&probe), fs.predict_proba(&probe));
+        for par in [Parallelism::Fixed(2), Parallelism::Fixed(5), Parallelism::Auto] {
+            let fp = RandomForest::fit(
+                &x,
+                &y,
+                &RandomForestConfig {
+                    parallelism: par,
+                    ..base
+                },
+            );
+            let probes: Vec<Vec<f64>> = (0..20)
+                .map(|i| vec![i as f64 / 5.0 - 2.0, 1.0, 0.0])
+                .collect();
+            let pp = fp.predict_proba_batch(&probes, par);
+            let ps: Vec<f64> = probes.iter().map(|p| fs.predict_proba(p)).collect();
+            assert_eq!(pp, ps, "{par}");
         }
     }
 

@@ -1,0 +1,14 @@
+# Recipes mirror scripts/; `just` is optional, the scripts are the source
+# of truth for CI-less environments.
+
+# Build + full tests + determinism (threads 2 and off) + clippy -D warnings
+verify:
+    scripts/verify.sh
+
+# Serial-vs-parallel pipeline benches -> BENCH_pipeline.json
+bench-pipeline:
+    scripts/bench_pipeline.sh
+
+# Tier-1 gate only
+test:
+    cargo build --release && cargo test -q

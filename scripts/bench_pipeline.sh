@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Run the serial-vs-parallel pipeline benches and write the machine-readable
+# results to BENCH_pipeline.json (see the criterion shim's CRITERION_JSON
+# support). Compare the `*/serial` and `*/parallel` entries of one group to
+# read off the speedup on this machine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pipeline.json}"
+CRITERION_JSON="$out" cargo bench -p behaviot-bench --bench parallel
+echo "wrote $out"

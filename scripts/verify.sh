@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Repo verification gate: build, full test suite, the parallel-determinism
+# contract under an explicit thread count and under `off`, and clippy with
+# warnings denied on the crates the parallel pipeline touches.
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --all-targets
+
+echo "==> cargo test (full suite)"
+cargo test --release -q
+
+echo "==> determinism: BEHAVIOT_THREADS=2"
+BEHAVIOT_THREADS=2 cargo test --release -q -p behaviot-harness --test parallel_determinism
+
+echo "==> determinism: BEHAVIOT_THREADS=off"
+BEHAVIOT_THREADS=off cargo test --release -q -p behaviot-harness --test parallel_determinism
+
+echo "==> clippy -D warnings (parallel-pipeline crates)"
+cargo clippy --release -q \
+  -p behaviot-par -p behaviot-dsp -p behaviot-forest -p behaviot-flows \
+  -p behaviot -p behaviot-bench -p behaviot-harness \
+  --all-targets -- -D warnings
+
+echo "verify: OK"

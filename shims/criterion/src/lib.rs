@@ -1,0 +1,381 @@
+//! Minimal in-tree stand-in for the `criterion` crate.
+//!
+//! Supports the subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`/`iter_batched`,
+//! `Throughput`, `BatchSize`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! warmup-then-sample timing loop instead of upstream's statistical
+//! machinery.
+//!
+//! Machine-readable output: when the `CRITERION_JSON` environment variable
+//! names a file, every measured benchmark is appended to it as a JSON array
+//! of `{id, mean_ns, median_ns, min_ns, samples, iters_per_sample,
+//! throughput_elems}` records when the process finishes its groups. This is
+//! how the repo's `BENCH_*.json` trajectories are produced (see
+//! `scripts/bench_pipeline.sh`).
+
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// Re-export-compatible opaque value barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (recorded in the JSON output, not otherwise used).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored: the shim
+/// always runs one setup per measured batch).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier for parameterized benchmarks.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The flattened string id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// One measured result.
+#[derive(Debug, Clone)]
+struct Measurement {
+    id: String,
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+    throughput_elems: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct Recorder {
+    results: Vec<Measurement>,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    recorder: Rc<RefCell<Recorder>>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            recorder: Rc::new(RefCell::new(Recorder::default())),
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builder-style sample-size override (compat).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(2);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Measure one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(id.into_id(), sample_size, None, f);
+        self
+    }
+
+    fn run_one<F>(
+        &mut self,
+        id: String,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target_sample_time: Duration::from_millis(
+                std::env::var("CRITERION_SAMPLE_MS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(60),
+            ),
+            sample_count: sample_size.max(2),
+            iters_per_sample: 0,
+        };
+        f(&mut b);
+        let mut ns: Vec<f64> = b.samples.clone();
+        if ns.is_empty() {
+            return;
+        }
+        ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+        let median = ns[ns.len() / 2];
+        let min = ns[0];
+        let m = Measurement {
+            id: id.clone(),
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: min,
+            samples: ns.len(),
+            iters_per_sample: b.iters_per_sample,
+            throughput_elems: match throughput {
+                Some(Throughput::Elements(e)) => Some(e),
+                _ => None,
+            },
+        };
+        println!(
+            "{:<48} time: [{} {} {}]  ({} samples x {} iters)",
+            m.id,
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            m.samples,
+            m.iters_per_sample,
+        );
+        self.recorder.borrow_mut().results.push(m);
+    }
+
+    /// Write collected results as JSON to `CRITERION_JSON` (if set). Called
+    /// automatically by [`criterion_main!`].
+    pub fn finalize(&self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let rec = self.recorder.borrow();
+        let mut out = String::from("[\n");
+        for (i, m) in rec.results.iter().enumerate() {
+            let _ = write!(
+                out,
+                "  {{\"id\": {:?}, \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
+                 \"samples\": {}, \"iters_per_sample\": {}, \"throughput_elems\": {}}}{}",
+                m.id,
+                m.mean_ns,
+                m.median_ns,
+                m.min_ns,
+                m.samples,
+                m.iters_per_sample,
+                m.throughput_elems
+                    .map_or("null".to_string(), |e| e.to_string()),
+                if i + 1 == rec.results.len() { "\n" } else { ",\n" }
+            );
+        }
+        out.push_str("]\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("criterion shim: failed to write {path}: {e}");
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A group of related benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion
+            .run_one(full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Measure a benchmark with an auxiliary input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion
+            .run_one(full, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+pub struct Bencher {
+    samples: Vec<f64>,
+    target_sample_time: Duration,
+    sample_count: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, calling it many times per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: find an iteration count that makes one
+        // sample take roughly `target_sample_time`.
+        let mut iters: u64 = 1;
+        let per_iter_ns = loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(10) || iters >= 1 << 24 {
+                break (dt.as_nanos() as f64 / iters as f64).max(0.1);
+            }
+            iters *= 4;
+        };
+        let per_sample =
+            ((self.target_sample_time.as_nanos() as f64 / per_iter_ns).ceil() as u64).max(1);
+        self.iters_per_sample = per_sample;
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(t0.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+    }
+
+    /// Time `routine` over inputs produced by `setup` (setup excluded from
+    /// the measurement; one setup per measured call).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.iters_per_sample = 1;
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Group several bench functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($fun:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($fun(c);)+
+        }
+    };
+}
+
+/// Entry point running every group and finalizing JSON output.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.finalize();
+        }
+    };
+}
