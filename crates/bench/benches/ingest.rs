@@ -1,0 +1,372 @@
+//! Ingest-path benchmark: the pre-PR string-keyed, owned-buffer pipeline
+//! versus the interned + zero-copy path.
+//!
+//! Both sides run the same end-to-end gateway loop over an in-memory pcap:
+//! read record -> parse frame -> learn DNS/SNI -> streaming flow assembly
+//! -> per-group tally (the hot keying pattern of the periodic pipeline).
+//!
+//! * `string_owned` is the pre-intern repo state (PR 1, commit `f4289d9`),
+//!   vendored into the [`baseline`] module below: owned `Vec<u8>` pcap
+//!   records, a SipHash `HashMap<Ipv4Addr, String>` domain table that
+//!   lowercases every learned name, a SipHash open-burst map that scans all
+//!   open bursts on every push and allocates fresh packet buffers and
+//!   result `Vec`s, an owned `String` domain clone per closed flow, and
+//!   `String`-keyed SipHash group tallies.
+//! * `interned_zero_copy` is the current path: borrowed pcap records from
+//!   the reader's reusable buffer, the interned `DomainTable`,
+//!   `push_into` draining into one reused `Vec` with pooled burst buffers
+//!   and deadline-gated eviction scans, and `(device, Symbol, proto)`
+//!   tallies in an `FxHashMap`.
+//!
+//! The two paths must produce identical flow/group/event counts before the
+//! timing runs; the assertion in [`bench_ingest`] enforces it.
+//!
+//! `scripts/bench_ingest.sh` runs this with `CRITERION_JSON` set to
+//! produce `BENCH_ingest.json`; throughput is recorded in packets/sec.
+
+use behaviot_flows::{
+    parse_frame, DomainTable, FlowConfig, FlowRecord, FxHashMap, StreamingAssembler, Symbol,
+};
+use behaviot_net::pcap::{PcapReader, PcapWriter};
+use behaviot_net::Proto;
+use behaviot_sim::gen::{capture_to_frames, GenOptions, TrafficGenerator};
+use behaviot_sim::Catalog;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::collections::HashMap;
+use std::io::Cursor;
+use std::net::Ipv4Addr;
+
+/// The pre-intern (PR 1) ingest implementation, vendored verbatim from
+/// commit `f4289d9` so the benchmark's baseline pays exactly the costs the
+/// repo paid before this PR, rather than a watered-down emulation built
+/// from the already-optimized components.
+mod baseline {
+    use behaviot_flows::features::{extract_with, FeatureScratch, PacketView};
+    use behaviot_flows::{is_local, FlowConfig, FlowKey, GatewayPacket};
+    use std::collections::HashMap;
+    use std::net::Ipv4Addr;
+
+    /// Pre-intern domain table: SipHash maps with one owned lowercased
+    /// `String` per learned name.
+    #[derive(Default)]
+    pub struct DomainTable {
+        dns: HashMap<Ipv4Addr, String>,
+        sni: HashMap<Ipv4Addr, String>,
+    }
+
+    impl DomainTable {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        pub fn learn_dns(&mut self, ip: Ipv4Addr, domain: &str) {
+            self.dns.insert(ip, domain.to_lowercase());
+        }
+
+        pub fn learn_sni(&mut self, ip: Ipv4Addr, host: &str) {
+            self.sni.insert(ip, host.to_lowercase());
+        }
+
+        pub fn resolve(&self, ip: Ipv4Addr) -> Option<&str> {
+            self.dns
+                .get(&ip)
+                .or_else(|| self.sni.get(&ip))
+                .map(String::as_str)
+        }
+    }
+
+    /// Pre-intern flow record: the `domain` is an owned `String` cloned out
+    /// of the table when the burst closes. Some fields exist only so the
+    /// baseline pays the same construction cost the old pipeline did.
+    #[allow(dead_code)]
+    pub struct OldFlowRecord {
+        pub device: Ipv4Addr,
+        pub remote: Ipv4Addr,
+        pub proto: behaviot_net::Proto,
+        pub domain: Option<String>,
+        pub start: f64,
+        pub n_packets: usize,
+        pub total_bytes: u64,
+    }
+
+    impl OldFlowRecord {
+        /// Pre-intern `group_key`: an owned `String` per call.
+        pub fn group_key(&self) -> (String, behaviot_net::Proto) {
+            let dest = self
+                .domain
+                .clone()
+                .unwrap_or_else(|| self.remote.to_string());
+            (dest, self.proto)
+        }
+    }
+
+    #[derive(PartialEq, Eq, Hash, Clone, Copy)]
+    struct Unordered {
+        a: (Ipv4Addr, u16),
+        b: (Ipv4Addr, u16),
+        proto: behaviot_net::Proto,
+    }
+
+    struct OpenBurst {
+        key: FlowKey,
+        packets: Vec<PacketView>,
+        last_ts: f64,
+    }
+
+    /// Pre-intern streaming assembler: SipHash open map, full eviction scan
+    /// on every push, fresh `Vec` allocations for burst buffers and for
+    /// every batch of closed flows.
+    pub struct StreamingAssembler {
+        cfg: FlowConfig,
+        open: HashMap<Unordered, OpenBurst>,
+        clock: f64,
+        scratch: FeatureScratch,
+    }
+
+    impl StreamingAssembler {
+        pub fn new(cfg: FlowConfig) -> Self {
+            Self {
+                cfg,
+                open: HashMap::new(),
+                clock: 0.0,
+                scratch: FeatureScratch::new(),
+            }
+        }
+
+        pub fn push(&mut self, p: &GatewayPacket, domains: &DomainTable) -> Vec<OldFlowRecord> {
+            self.clock = self.clock.max(p.ts);
+            let mut closed = self.evict(domains);
+
+            let src_local = is_local(p.src, self.cfg.subnet, self.cfg.prefix_len);
+            let dst_local = is_local(p.dst, self.cfg.subnet, self.cfg.prefix_len);
+            if !src_local && !dst_local {
+                return closed;
+            }
+            let x = (p.src, p.src_port);
+            let y = (p.dst, p.dst_port);
+            let uk = if x <= y {
+                Unordered {
+                    a: x,
+                    b: y,
+                    proto: p.proto,
+                }
+            } else {
+                Unordered {
+                    a: y,
+                    b: x,
+                    proto: p.proto,
+                }
+            };
+            if let Some(open) = self.open.get(&uk) {
+                if p.ts - open.last_ts > self.cfg.burst_gap {
+                    let b = self.open.remove(&uk).expect("just looked up");
+                    closed.push(finish(b, domains, &mut self.scratch));
+                }
+            }
+            let entry = self.open.entry(uk).or_insert_with(|| {
+                let key = if src_local {
+                    FlowKey {
+                        device: p.src,
+                        remote: p.dst,
+                        device_port: p.src_port,
+                        remote_port: p.dst_port,
+                        proto: p.proto,
+                    }
+                } else {
+                    FlowKey {
+                        device: p.dst,
+                        remote: p.src,
+                        device_port: p.dst_port,
+                        remote_port: p.src_port,
+                        proto: p.proto,
+                    }
+                };
+                OpenBurst {
+                    key,
+                    packets: Vec::new(),
+                    last_ts: p.ts,
+                }
+            });
+            entry.packets.push(PacketView {
+                ts: p.ts,
+                bytes: p.bytes,
+                outbound: p.src == entry.key.device && p.src_port == entry.key.device_port,
+                remote_is_local: is_local(entry.key.remote, self.cfg.subnet, self.cfg.prefix_len),
+            });
+            entry.last_ts = entry.last_ts.max(p.ts);
+            closed
+        }
+
+        pub fn finish(&mut self, domains: &DomainTable) -> Vec<OldFlowRecord> {
+            let scratch = &mut self.scratch;
+            let mut out: Vec<OldFlowRecord> = self
+                .open
+                .drain()
+                .map(|(_, b)| finish(b, domains, scratch))
+                .collect();
+            out.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+            out
+        }
+
+        fn evict(&mut self, domains: &DomainTable) -> Vec<OldFlowRecord> {
+            let gap = self.cfg.burst_gap;
+            let clock = self.clock;
+            let expired: Vec<Unordered> = self
+                .open
+                .iter()
+                .filter(|(_, b)| clock - b.last_ts > gap)
+                .map(|(&k, _)| k)
+                .collect();
+            let mut out = Vec::with_capacity(expired.len());
+            for k in expired {
+                let b = self.open.remove(&k).expect("listed above");
+                out.push(finish(b, domains, &mut self.scratch));
+            }
+            out.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+            out
+        }
+    }
+
+    fn finish(
+        mut b: OpenBurst,
+        domains: &DomainTable,
+        scratch: &mut FeatureScratch,
+    ) -> OldFlowRecord {
+        b.packets
+            .sort_by(|x, y| x.ts.partial_cmp(&y.ts).expect("NaN ts"));
+        let _features = extract_with(&b.packets, scratch);
+        OldFlowRecord {
+            device: b.key.device,
+            remote: b.key.remote,
+            proto: b.key.proto,
+            domain: domains.resolve(b.key.remote).map(str::to_string),
+            start: b.packets[0].ts,
+            n_packets: b.packets.len(),
+            total_bytes: b.packets.iter().map(|p| p.bytes as u64).sum(),
+        }
+    }
+}
+
+/// Simulate a capture and render it as an in-memory pcap byte stream.
+fn pcap_bytes() -> (Vec<u8>, u64) {
+    let catalog = Catalog::standard();
+    let generator = TrafficGenerator::new(&catalog, 42);
+    let capture = generator.generate(0.0, 1800.0, &[], &GenOptions::default());
+    let frames = capture_to_frames(&capture, &catalog);
+    let n = frames.len() as u64;
+    let mut w = PcapWriter::new(Vec::new()).expect("pcap header");
+    for f in &frames {
+        w.write_record(f).expect("pcap record");
+    }
+    (w.finish().expect("flush"), n)
+}
+
+/// Summary of one ingest run, used to check the two paths agree.
+#[derive(Debug, PartialEq, Eq)]
+struct IngestResult {
+    flows: usize,
+    groups: usize,
+    events: u64,
+}
+
+/// Pre-PR path: owned records, `String` domain table, per-push `Vec`s,
+/// `String` group keys in a SipHash tally.
+fn ingest_string_owned(bytes: &[u8]) -> IngestResult {
+    let mut reader = PcapReader::new(Cursor::new(bytes)).expect("pcap magic");
+    let mut domains = baseline::DomainTable::new();
+    let mut asm = baseline::StreamingAssembler::new(FlowConfig::default());
+    let mut tally: HashMap<(Ipv4Addr, String, Proto), u64> = HashMap::new();
+    let mut flows = 0usize;
+    let record =
+        |f: &baseline::OldFlowRecord, tally: &mut HashMap<(Ipv4Addr, String, Proto), u64>| {
+            let (dest, proto) = f.group_key();
+            *tally.entry((f.device, dest, proto)).or_insert(0) += 1;
+        };
+    while let Some(rec) = reader.next_record().expect("record") {
+        let Some(parsed) = parse_frame(rec.ts, &rec.data) else {
+            continue;
+        };
+        for (ip, name) in &parsed.dns_mappings {
+            domains.learn_dns(*ip, name);
+        }
+        if let Some(host) = &parsed.sni {
+            domains.learn_sni(parsed.packet.dst, host);
+        }
+        let closed = asm.push(&parsed.packet, &domains);
+        for f in &closed {
+            flows += 1;
+            record(f, &mut tally);
+        }
+    }
+    let rest = asm.finish(&domains);
+    for f in &rest {
+        flows += 1;
+        record(f, &mut tally);
+    }
+    IngestResult {
+        flows,
+        groups: tally.len(),
+        events: tally.values().sum(),
+    }
+}
+
+/// Current path: borrowed records, drain-into assembly, `Symbol` keys.
+fn ingest_interned_zero_copy(bytes: &[u8]) -> IngestResult {
+    let mut reader =
+        PcapReader::with_input_len(Cursor::new(bytes), bytes.len() as u64).expect("pcap magic");
+    let mut domains = DomainTable::new();
+    let mut asm = StreamingAssembler::new(FlowConfig::default());
+    let mut closed: Vec<FlowRecord> = Vec::new();
+    let mut tally: FxHashMap<(Ipv4Addr, Symbol, Proto), u64> = FxHashMap::default();
+    let mut flows = 0usize;
+    while let Some(rec) = reader.next_record_borrowed().expect("record") {
+        let Some(parsed) = parse_frame(rec.ts, rec.data) else {
+            continue;
+        };
+        for (ip, name) in &parsed.dns_mappings {
+            domains.learn_dns(*ip, name);
+        }
+        if let Some(host) = &parsed.sni {
+            domains.learn_sni(parsed.packet.dst, host);
+        }
+        asm.push_into(&parsed.packet, &domains, &mut closed);
+        for f in closed.drain(..) {
+            flows += 1;
+            let (dest, proto) = f.group_key();
+            *tally.entry((f.device, dest, proto)).or_insert(0) += 1;
+        }
+    }
+    asm.flush_into(&domains, &mut closed);
+    for f in closed.drain(..) {
+        flows += 1;
+        let (dest, proto) = f.group_key();
+        *tally.entry((f.device, dest, proto)).or_insert(0) += 1;
+    }
+    IngestResult {
+        flows,
+        groups: tally.len(),
+        events: tally.values().sum(),
+    }
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let (bytes, n_packets) = pcap_bytes();
+    // Both paths must agree before their timings mean anything.
+    let a = ingest_string_owned(&bytes);
+    let b = ingest_interned_zero_copy(&bytes);
+    assert_eq!(a, b, "ingest paths disagree");
+
+    let mut g = c.benchmark_group("ingest");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n_packets));
+    g.bench_function("string_owned", |bch| {
+        bch.iter(|| ingest_string_owned(&bytes))
+    });
+    g.bench_function("interned_zero_copy", |bch| {
+        bch.iter(|| ingest_interned_zero_copy(&bytes))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

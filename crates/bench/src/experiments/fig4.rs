@@ -16,7 +16,7 @@ use std::collections::HashMap;
 /// per traffic group, each inter-event gap scores 0 when the timer matches
 /// and `Mp` otherwise (§4.3).
 fn periodic_metric_samples(models: &PeriodicModelSet, flows: &[LabeledFlow]) -> Vec<f64> {
-    let mut last: HashMap<(std::net::Ipv4Addr, String, behaviot_net::Proto), f64> = HashMap::new();
+    let mut last: HashMap<behaviot::periodic::GroupKey, f64> = HashMap::new();
     let mut samples = Vec::new();
     let cfg = models.config();
     for l in flows {

@@ -62,7 +62,7 @@ pub fn table3(p: &Prepared) -> String {
             .iter()
             .take_while(|e| e.ts <= ts + 0.75)
             .find_map(|e| match (&e.label, e.device == device) {
-                (TruthLabel::User(a), true) => Some(a.clone()),
+                (TruthLabel::User(a), true) => Some(a.to_string()),
                 _ => None,
             })
     };

@@ -2,7 +2,8 @@
 //! and how events correlate with destination essentiality.
 
 use crate::event::InferredEvent;
-use std::collections::{HashMap, HashSet};
+use behaviot_intern::{FxHashMap, FxHashSet, Symbol};
+use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
 /// Destination party, as in Table 5. The caller supplies the mapping
@@ -34,7 +35,7 @@ impl Party {
 /// shows up once per device in the paper's accounting.
 #[derive(Debug, Clone, Default)]
 pub struct PartyTable {
-    counts: HashMap<(String, String, Party), usize>,
+    counts: FxHashMap<(Symbol, Symbol, Party), usize>,
 }
 
 impl PartyTable {
@@ -47,17 +48,17 @@ impl PartyTable {
         party_of: impl Fn(&str) -> Option<Party>,
         category_of: impl Fn(Ipv4Addr) -> String,
     ) -> Self {
-        let mut seen: HashSet<(String, Ipv4Addr, String)> = HashSet::new();
-        let mut counts: HashMap<(String, String, Party), usize> = HashMap::new();
+        let mut seen: FxHashSet<(Symbol, Ipv4Addr, Symbol)> = FxHashSet::default();
+        let mut counts: FxHashMap<(Symbol, Symbol, Party), usize> = FxHashMap::default();
         for e in events {
-            let class = e.kind.class().to_string();
-            if !seen.insert((class.clone(), e.device, e.destination.clone())) {
+            let class = Symbol::intern(e.kind.class());
+            if !seen.insert((class, e.device, e.destination)) {
                 continue;
             }
-            let Some(party) = party_of(&e.destination) else {
+            let Some(party) = party_of(e.destination.as_str()) else {
                 continue;
             };
-            let cat = category_of(e.device);
+            let cat = Symbol::intern(&category_of(e.device));
             *counts.entry((class, cat, party)).or_insert(0) += 1;
         }
         PartyTable { counts }
@@ -65,17 +66,24 @@ impl PartyTable {
 
     /// Count for one cell.
     pub fn get(&self, class: &str, category: &str, party: Party) -> usize {
+        let (Some(class), Some(category)) = (Symbol::lookup(class), Symbol::lookup(category))
+        else {
+            return 0;
+        };
         self.counts
-            .get(&(class.to_string(), category.to_string(), party))
+            .get(&(class, category, party))
             .copied()
             .unwrap_or(0)
     }
 
     /// Total destinations of a class per party (the "Total" rows).
     pub fn class_total(&self, class: &str, party: Party) -> usize {
+        let Some(class) = Symbol::lookup(class) else {
+            return 0;
+        };
         self.counts
             .iter()
-            .filter(|((c, _, p), _)| c == class && *p == party)
+            .filter(|((c, _, p), _)| *c == class && *p == party)
             .map(|(_, n)| n)
             .sum()
     }
@@ -99,7 +107,7 @@ impl PartyTable {
         let mut v: Vec<String> = self
             .counts
             .keys()
-            .map(|(_, c, _)| c.clone())
+            .map(|(_, c, _)| c.as_str().to_string())
             .collect::<HashSet<_>>()
             .into_iter()
             .collect();
@@ -114,7 +122,7 @@ impl PartyTable {
 #[derive(Debug, Clone, Default)]
 pub struct EssentialBreakdown {
     /// `(class, essential?) -> distinct destinations`.
-    pub counts: HashMap<(String, bool), usize>,
+    pub counts: FxHashMap<(Symbol, bool), usize>,
 }
 
 impl EssentialBreakdown {
@@ -122,14 +130,14 @@ impl EssentialBreakdown {
     /// skipped (the paper could match only a subset against IoTrim's
     /// lists).
     pub fn build(events: &[InferredEvent], essential_of: impl Fn(&str) -> Option<bool>) -> Self {
-        let mut seen: HashSet<(String, Ipv4Addr, String)> = HashSet::new();
-        let mut counts: HashMap<(String, bool), usize> = HashMap::new();
+        let mut seen: FxHashSet<(Symbol, Ipv4Addr, Symbol)> = FxHashSet::default();
+        let mut counts: FxHashMap<(Symbol, bool), usize> = FxHashMap::default();
         for e in events {
-            let class = e.kind.class().to_string();
-            if !seen.insert((class.clone(), e.device, e.destination.clone())) {
+            let class = Symbol::intern(e.kind.class());
+            if !seen.insert((class, e.device, e.destination)) {
                 continue;
             }
-            if let Some(ess) = essential_of(&e.destination) {
+            if let Some(ess) = essential_of(e.destination.as_str()) {
                 *counts.entry((class, ess)).or_insert(0) += 1;
             }
         }
@@ -138,10 +146,10 @@ impl EssentialBreakdown {
 
     /// Count for a class/flag.
     pub fn get(&self, class: &str, essential: bool) -> usize {
-        self.counts
-            .get(&(class.to_string(), essential))
-            .copied()
-            .unwrap_or(0)
+        let Some(class) = Symbol::lookup(class) else {
+            return 0;
+        };
+        self.counts.get(&(class, essential)).copied().unwrap_or(0)
     }
 
     /// Fraction of a class's (matched) destinations that are non-essential.
@@ -166,7 +174,7 @@ mod tests {
         InferredEvent {
             ts: 0.0,
             device: Ipv4Addr::new(192, 168, 1, dev),
-            destination: dest.to_string(),
+            destination: dest.into(),
             proto: Proto::Tcp,
             kind,
         }

@@ -331,7 +331,7 @@ mod tests {
                     device_port: 30000,
                     remote_port: 443,
                     proto: Proto::Tcp,
-                    domain: Some(dest.to_string()),
+                    domain: Some(dest.into()),
                     start: i as f64 * period,
                     end: i as f64 * period + 0.1,
                     n_packets: 4,

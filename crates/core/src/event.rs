@@ -1,5 +1,6 @@
 //! Inferred event types — the output of the device-behavior inference step.
 
+use behaviot_intern::Symbol;
 use behaviot_net::Proto;
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -33,19 +34,22 @@ impl fmt::Display for DeviceKey {
 }
 
 /// The three disjoint event classes of §4.1.
+///
+/// Labels are interned [`Symbol`]s: event construction on the per-flow hot
+/// path is allocation-free, and the strings resolve at report boundaries.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EventKind {
     /// A user event: activity label plus classifier confidence.
     User {
-        /// Activity name (e.g. `"on_off"`).
-        activity: String,
+        /// Activity name (e.g. `"on_off"`), interned.
+        activity: Symbol,
         /// Positive-classifier confidence in `[0, 1]`.
         confidence: f64,
     },
     /// A periodic event of the traffic group `(destination, proto)`.
     Periodic {
-        /// Destination domain (or raw IP when unresolved).
-        destination: String,
+        /// Destination domain (or raw IP when unresolved), interned.
+        destination: Symbol,
         /// Transport protocol.
         proto: Proto,
     },
@@ -71,8 +75,8 @@ pub struct InferredEvent {
     pub ts: f64,
     /// Owning device.
     pub device: Ipv4Addr,
-    /// Destination domain (or raw IP).
-    pub destination: String,
+    /// Destination domain (or raw IP), interned.
+    pub destination: Symbol,
     /// Transport protocol.
     pub proto: Proto,
     /// The inferred class.

@@ -6,6 +6,7 @@ use crate::event::{EventKind, InferredEvent};
 use crate::periodic::{PeriodicClassifier, PeriodicModelSet, PeriodicTrainConfig};
 use crate::user_action::{TrainingSample, UserActionModels, UserActionTrainConfig};
 use behaviot_flows::FlowRecord;
+use behaviot_intern::Symbol;
 use behaviot_par::{par_map, Parallelism};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -35,7 +36,7 @@ impl TrainingData {
             .into_iter()
             .map(|(f, label)| TrainingSample {
                 device: f.device,
-                activity: label.map(str::to_string),
+                activity: label.map(Symbol::intern),
                 features: f.features,
             })
             .collect();
@@ -151,7 +152,7 @@ impl BehavIoT {
     pub fn infer_events_with(&self, flows: &[FlowRecord], par: Parallelism) -> Vec<InferredEvent> {
         let mut ordered: Vec<&FlowRecord> = flows.iter().collect();
         ordered.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("NaN flow start"));
-        let user_hits: Vec<Option<(String, f64)>> =
+        let user_hits: Vec<Option<(Symbol, f64)>> =
             par_map(par, &ordered, |f| self.user.classify(f.device, &f.features));
         let mut periodic_clf = PeriodicClassifier::new(&self.periodic);
         let mut out = Vec::with_capacity(flows.len());
@@ -166,10 +167,7 @@ impl BehavIoT {
                     confidence,
                 }
             } else if periodic_clf.classify(f) {
-                EventKind::Periodic {
-                    destination: destination.clone(),
-                    proto,
-                }
+                EventKind::Periodic { destination, proto }
             } else {
                 EventKind::Aperiodic
             };
@@ -254,7 +252,7 @@ mod tests {
             device_port: 30000,
             remote_port: 443,
             proto: Proto::Tcp,
-            domain: Some(dest.to_string()),
+            domain: Some(dest.into()),
             start,
             end: start + 0.1,
             n_packets: 4,

@@ -8,7 +8,7 @@ use crate::events::BehavIoT;
 use crate::periodic::GroupKey;
 use crate::system::{traces_from_events, SystemModel};
 use behaviot_flows::FlowRecord;
-use std::collections::HashMap;
+use behaviot_intern::{FxHashMap, FxHashSet, Symbol};
 use std::net::Ipv4Addr;
 
 /// Which metric raised a deviation.
@@ -92,15 +92,17 @@ pub struct Monitor {
     system: SystemModel,
     cfg: MonitorConfig,
     /// Last event time per periodic traffic group (persists across
-    /// windows — this is the count-up timer of §4.3).
-    last_seen: HashMap<GroupKey, f64>,
+    /// windows — this is the count-up timer of §4.3). `GroupKey` is `Copy`
+    /// now that destinations are interned, so timer upkeep allocates
+    /// nothing.
+    last_seen: FxHashMap<GroupKey, f64>,
     /// Devices whose silence has already been reported (cleared when the
     /// device produces traffic again) — a multi-day outage is one
     /// deviation, not one per window.
-    absence_flagged: std::collections::HashSet<Ipv4Addr>,
+    absence_flagged: FxHashSet<Ipv4Addr>,
     /// Long-term transitions currently in the deviating state; only the
     /// transition *entering* that state is reported.
-    long_flagged: std::collections::HashSet<(String, String)>,
+    long_flagged: FxHashSet<(Symbol, Symbol)>,
 }
 
 impl Monitor {
@@ -110,9 +112,9 @@ impl Monitor {
             models,
             system,
             cfg,
-            last_seen: HashMap::new(),
-            absence_flagged: std::collections::HashSet::new(),
-            long_flagged: std::collections::HashSet::new(),
+            last_seen: FxHashMap::default(),
+            absence_flagged: FxHashSet::default(),
+            long_flagged: FxHashSet::default(),
         }
     }
 
@@ -152,10 +154,10 @@ impl Monitor {
         // deviation. At window end, silent groups are checked too
         // (absence = outage/malfunction; cases 6-9 of §6.2). Both paths
         // are aggregated per device to keep reports readable.
-        let mut worst_gap: HashMap<Ipv4Addr, (f64, f64, String)> = HashMap::new(); // device -> (score, ts, dest)
-        let mut worst_absent: HashMap<Ipv4Addr, (f64, String)> = HashMap::new();
+        let mut worst_gap: FxHashMap<Ipv4Addr, (f64, f64, Symbol)> = FxHashMap::default(); // device -> (score, ts, dest)
+        let mut worst_absent: FxHashMap<Ipv4Addr, (f64, Symbol)> = FxHashMap::default();
         for e in &events {
-            let key: GroupKey = (e.device, e.destination.clone(), e.proto);
+            let key: GroupKey = (e.device, e.destination, e.proto);
             let Some(model) = self.models.periodic.get(&key) else {
                 continue;
             };
@@ -172,15 +174,15 @@ impl Monitor {
                 if score > self.cfg.periodic_threshold {
                     let entry = worst_gap
                         .entry(e.device)
-                        .or_insert((0.0, e.ts, String::new()));
+                        .or_insert((0.0, e.ts, e.destination));
                     if score > entry.0 {
-                        *entry = (score, e.ts, e.destination.clone());
+                        *entry = (score, e.ts, e.destination);
                     }
                 }
             }
         }
         for model in self.models.periodic.iter() {
-            let key: GroupKey = (model.device, model.destination.clone(), model.proto);
+            let key: GroupKey = (model.device, model.destination, model.proto);
             let Some(&last) = self.last_seen.get(&key) else {
                 continue;
             };
@@ -198,9 +200,9 @@ impl Monitor {
             {
                 let entry = worst_absent
                     .entry(model.device)
-                    .or_insert((0.0, String::new()));
+                    .or_insert((0.0, model.destination));
                 if score > entry.0 {
-                    *entry = (score, model.destination.clone());
+                    *entry = (score, model.destination);
                 }
             }
         }
@@ -280,16 +282,15 @@ impl Monitor {
 
         // ---- long-term system deviations --------------------------------
         let crit = long_term_threshold(self.cfg.long_confidence);
-        let mut still_deviating: std::collections::HashSet<(String, String)> =
-            std::collections::HashSet::new();
+        let mut still_deviating: FxHashSet<(Symbol, Symbol)> = FxHashSet::default();
         for r in long_term_deviations(&self.system, &traces) {
             if r.n < self.cfg.long_min_n {
                 continue;
             }
             let count_diff = (r.observed_p - r.model_p).abs() * r.n as f64;
             if r.z > crit && count_diff >= self.cfg.long_min_count_diff {
-                let key = (r.from.clone(), r.to.clone());
-                still_deviating.insert(key.clone());
+                let key = (Symbol::intern(&r.from), Symbol::intern(&r.to));
+                still_deviating.insert(key);
                 // A persistent frequency shift (e.g. a relocated camera's
                 // permanently elevated motion rate) is one deviation at
                 // onset, not one per window.
@@ -336,7 +337,7 @@ mod tests {
             device_port: 30000,
             remote_port: 443,
             proto: Proto::Tcp,
-            domain: Some(dest.to_string()),
+            domain: Some(dest.into()),
             start,
             end: start + 0.1,
             n_packets: 4,

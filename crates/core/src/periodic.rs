@@ -15,19 +15,21 @@
 use behaviot_cluster::{Dbscan, DbscanModel, Standardizer};
 use behaviot_dsp::period::{PeriodConfig, PeriodDetector};
 use behaviot_flows::FlowRecord;
+use behaviot_intern::{FxHashMap, Symbol};
 use behaviot_net::Proto;
 use behaviot_par::{par_map_init, Parallelism};
 use std::collections::HashMap;
-use std::fmt::Write as _;
 use std::net::Ipv4Addr;
 
-/// Key of one traffic group: device + destination + protocol.
-pub type GroupKey = (Ipv4Addr, String, Proto);
+/// Key of one traffic group: device + destination + protocol. The
+/// destination is an interned [`Symbol`], so the key is `Copy` and hashes
+/// in O(1).
+pub type GroupKey = (Ipv4Addr, Symbol, Proto);
 
 /// The coarse shard of a group key — storing models and timers as
-/// `(device, proto) -> destination -> value` two-level maps lets the
-/// classifier hot path look groups up with a borrowed `&str` destination
-/// instead of building an owned `GroupKey` per flow.
+/// `(device, proto) -> destination -> value` two-level maps keeps the
+/// per-destination maps small and lets the classifier hot path reuse the
+/// shard lookup across stages.
 type Shard = (Ipv4Addr, Proto);
 
 /// Configuration for periodic-model training.
@@ -67,8 +69,8 @@ impl Default for PeriodicTrainConfig {
 pub struct PeriodicModel {
     /// Device address.
     pub device: Ipv4Addr,
-    /// Destination domain (or raw IP).
-    pub destination: String,
+    /// Destination domain (or raw IP), interned.
+    pub destination: Symbol,
     /// Transport protocol.
     pub proto: Proto,
     /// Validated periods, strongest first.
@@ -110,7 +112,7 @@ impl PeriodicModel {
 /// The set of periodic models of a deployment, keyed by traffic group.
 #[derive(Debug, Clone)]
 pub struct PeriodicModelSet {
-    models: HashMap<Shard, HashMap<String, PeriodicModel>>,
+    models: FxHashMap<Shard, FxHashMap<Symbol, PeriodicModel>>,
     n_models: usize,
     cfg: PeriodicTrainConfig,
     /// Fraction of training flows whose group exhibited periodicity
@@ -136,13 +138,16 @@ impl PeriodicModelSet {
         cfg: &PeriodicTrainConfig,
         par: Parallelism,
     ) -> Self {
-        let mut groups: HashMap<GroupKey, Vec<&FlowRecord>> = HashMap::new();
+        let mut groups: FxHashMap<GroupKey, Vec<&FlowRecord>> = FxHashMap::default();
         for f in idle_flows {
             let (dest, proto) = f.group_key();
             groups.entry((f.device, dest, proto)).or_default().push(f);
         }
         let mut jobs: Vec<(GroupKey, Vec<&FlowRecord>)> = groups.into_iter().collect();
-        jobs.sort_by(|a, b| a.0.cmp(&b.0));
+        // `Symbol: Ord` compares by resolved string, so this order (and with
+        // it every downstream artifact) is identical to the pre-intern
+        // string-keyed pipeline.
+        jobs.sort_by_key(|j| j.0);
 
         let trained: Vec<Option<PeriodicModel>> = par_map_init(
             par,
@@ -151,17 +156,14 @@ impl PeriodicModelSet {
             |detector, _, (key, flows)| train_group(key, flows, cfg, detector),
         );
 
-        let mut models: HashMap<Shard, HashMap<String, PeriodicModel>> = HashMap::new();
+        let mut models: FxHashMap<Shard, FxHashMap<Symbol, PeriodicModel>> = FxHashMap::default();
         let mut n_models = 0usize;
         let mut covered = 0usize;
         for (model, (key, flows)) in trained.into_iter().zip(&jobs) {
             let Some(model) = model else { continue };
             covered += flows.len();
             n_models += 1;
-            models
-                .entry((key.0, key.2))
-                .or_default()
-                .insert(key.1.clone(), model);
+            models.entry((key.0, key.2)).or_default().insert(key.1, model);
         }
         let train_coverage = if idle_flows.is_empty() {
             0.0
@@ -188,12 +190,15 @@ impl PeriodicModelSet {
 
     /// Look up the model of a group.
     pub fn get(&self, key: &GroupKey) -> Option<&PeriodicModel> {
-        self.get_borrowed(key.0, &key.1, key.2)
+        self.models.get(&(key.0, key.2))?.get(&key.1)
     }
 
-    /// Borrow-key variant of [`Self::get`] — no owned `GroupKey` needed.
+    /// String-keyed variant of [`Self::get`] for callers holding a plain
+    /// destination name. Uses a non-inserting interner lookup, so querying
+    /// never-seen destinations does not grow the symbol table.
     pub fn get_borrowed(&self, device: Ipv4Addr, dest: &str, proto: Proto) -> Option<&PeriodicModel> {
-        self.models.get(&(device, proto))?.get(dest)
+        let sym = Symbol::lookup(dest)?;
+        self.models.get(&(device, proto))?.get(&sym)
     }
 
     /// Iterate over all models.
@@ -252,7 +257,7 @@ fn train_group(
     .fit(&transformed);
     Some(PeriodicModel {
         device: key.0,
-        destination: key.1.clone(),
+        destination: key.1,
         proto: key.2,
         periods: periods.iter().map(|p| p.period).collect(),
         n_train: flows.len(),
@@ -263,14 +268,12 @@ fn train_group(
 
 /// Streaming classifier holding per-group count-up timers.
 ///
-/// The per-flow path is allocation-free for modeled groups: destinations
-/// are borrowed from the flow (or formatted into a reused buffer for
-/// unresolved IPs), and timer keys are owned only the first time a group
-/// is seen.
+/// The per-flow path is fully allocation-free: destinations are interned
+/// `Symbol`s taken straight from [`FlowRecord::group_key`], so both the
+/// model lookup and the timer-table key are 4-byte copies.
 pub struct PeriodicClassifier<'a> {
     set: &'a PeriodicModelSet,
-    last_seen: HashMap<Shard, HashMap<String, f64>>,
-    ip_buf: String,
+    last_seen: FxHashMap<Shard, FxHashMap<Symbol, f64>>,
     /// Disable the DBSCAN second stage (timer-only ablation).
     pub timer_only: bool,
 }
@@ -280,36 +283,28 @@ impl<'a> PeriodicClassifier<'a> {
     pub fn new(set: &'a PeriodicModelSet) -> Self {
         Self {
             set,
-            last_seen: HashMap::new(),
-            ip_buf: String::new(),
+            last_seen: FxHashMap::default(),
             timer_only: false,
         }
     }
 
     /// Classify one flow (flows must arrive in chronological order).
     pub fn classify(&mut self, flow: &FlowRecord) -> bool {
-        let dest: &str = match flow.domain.as_deref() {
-            Some(d) => d,
-            None => {
-                self.ip_buf.clear();
-                write!(self.ip_buf, "{}", flow.remote).expect("infallible write");
-                &self.ip_buf
-            }
-        };
+        let (dest, _) = flow.group_key();
         let shard = (flow.device, flow.proto);
         let Some(model) = self
             .set
             .models
             .get(&shard)
-            .and_then(|by_dest| by_dest.get(dest))
+            .and_then(|by_dest| by_dest.get(&dest))
         else {
             return false;
         };
         let timers = self.last_seen.entry(shard).or_default();
-        let prev = match timers.get_mut(dest) {
+        let prev = match timers.get_mut(&dest) {
             Some(slot) => Some(std::mem::replace(slot, flow.start)),
             None => {
-                timers.insert(dest.to_string(), flow.start);
+                timers.insert(dest, flow.start);
                 None
             }
         };
@@ -355,7 +350,7 @@ mod tests {
             device_port: 30000,
             remote_port: 443,
             proto: Proto::Tcp,
-            domain: Some(dest.to_string()),
+            domain: Some(dest.into()),
             start,
             end: start + 0.1,
             n_packets: 4,
@@ -500,7 +495,7 @@ mod tests {
             assert_eq!(p.len(), serial.len());
             assert_eq!(p.train_coverage, serial.train_coverage);
             for m in serial.iter() {
-                let key = (m.device, m.destination.clone(), m.proto);
+                let key = (m.device, m.destination, m.proto);
                 let pm = p.get(&key).expect("model missing in parallel train");
                 assert_eq!(pm.periods, m.periods);
                 assert_eq!(pm.n_train, m.n_train);
@@ -518,7 +513,7 @@ mod tests {
         let set = PeriodicModelSet::train(&flows, &PeriodicTrainConfig::default());
         let key = (
             Ipv4Addr::new(192, 168, 1, 10),
-            "devs.cloud.com".to_string(),
+            Symbol::intern("devs.cloud.com"),
             Proto::Tcp,
         );
         assert!(set.get(&key).is_some());
@@ -530,8 +525,8 @@ mod tests {
 
     #[test]
     fn classifier_handles_ip_fallback_groups() {
-        // Flows without DNS resolution group by raw IP string; the
-        // classifier's reusable IP buffer must produce the same keys.
+        // Flows without DNS resolution group by the interned dotted-quad of
+        // the remote IP; the classifier must produce the same keys.
         let mut flows = periodic_flows(10, "ignored", 90.0, 400);
         for f in &mut flows {
             f.domain = None;

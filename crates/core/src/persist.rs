@@ -174,7 +174,7 @@ pub fn save_periodic_inventory(models: &crate::BehavIoT) -> String {
             out,
             "model|{}|{}|{}|{}",
             m.device,
-            escape(&m.destination),
+            escape(m.destination.as_str()),
             m.proto,
             periods.join(",")
         );
@@ -327,7 +327,7 @@ mod tests {
                 device_port: 30000,
                 remote_port: 443,
                 proto: Proto::Tcp,
-                domain: Some(dest.to_string()),
+                domain: Some(dest.into()),
                 start,
                 end: start + 0.1,
                 n_packets: 4,

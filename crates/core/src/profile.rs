@@ -56,9 +56,9 @@ pub fn mud_profile(models: &BehavIoT, device: Ipv4Addr) -> String {
     for m in periodic {
         acls.push(format!(
             "{{\"name\":\"periodic-{}\",\"protocol\":\"{}\",\"destination\":\"{}\",\"period-seconds\":{:.1},\"cadence\":\"periodic\"}}",
-            esc(&m.destination),
+            esc(m.destination.as_str()),
             m.proto,
-            esc(&m.destination),
+            esc(m.destination.as_str()),
             m.period()
         ));
     }
@@ -97,7 +97,7 @@ mod tests {
             device_port: 30000,
             remote_port: 443,
             proto: Proto::Tcp,
-            domain: Some(dest.to_string()),
+            domain: Some(dest.into()),
             start,
             end: start + 0.1,
             n_packets: 4,

@@ -121,7 +121,7 @@ mod tests {
             device_port: 30000,
             remote_port: 443,
             proto: Proto::Tcp,
-            domain: Some(dest.to_string()),
+            domain: Some(dest.into()),
             start,
             end: start + 0.1,
             n_packets: 4,
@@ -152,7 +152,7 @@ mod tests {
         let periodic = PeriodicModelSet::train(
             &flows
                 .iter()
-                .filter(|f| f.domain.as_deref() == Some("hb.cloud.com"))
+                .filter(|f| f.domain_str() == Some("hb.cloud.com"))
                 .cloned()
                 .collect::<Vec<_>>(),
             &PeriodicTrainConfig::default(),

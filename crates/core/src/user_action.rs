@@ -7,6 +7,7 @@
 
 use behaviot_flows::{FeatureVector, N_FEATURES};
 use behaviot_forest::{RandomForest, RandomForestConfig};
+use behaviot_intern::{FxHashMap, Symbol};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -47,7 +48,7 @@ pub struct TrainingSample {
     /// Device address.
     pub device: Ipv4Addr,
     /// `Some(activity)` for user events, `None` for background.
-    pub activity: Option<String>,
+    pub activity: Option<Symbol>,
     /// The 21 features.
     pub features: FeatureVector,
 }
@@ -55,7 +56,7 @@ pub struct TrainingSample {
 /// The per-device set of binary user-action classifiers.
 #[derive(Debug, Clone)]
 pub struct UserActionModels {
-    models: HashMap<Ipv4Addr, Vec<(String, RandomForest)>>,
+    models: FxHashMap<Ipv4Addr, Vec<(Symbol, RandomForest)>>,
     confidence_threshold: f64,
 }
 
@@ -66,20 +67,24 @@ impl UserActionModels {
         for s in samples {
             per_device.entry(s.device).or_default().push(s);
         }
-        let mut models: HashMap<Ipv4Addr, Vec<(String, RandomForest)>> = HashMap::new();
+        let mut models: FxHashMap<Ipv4Addr, Vec<(Symbol, RandomForest)>> = FxHashMap::default();
         for (device, dev_samples) in per_device {
-            let mut activities: Vec<String> = dev_samples
+            // `Symbol: Ord` compares by resolved string, so the BTreeSet
+            // yields activities in the same order the string-keyed code did
+            // — which keeps the per-model derived seeds (indexed by `ai`)
+            // stable.
+            let mut activities: Vec<Symbol> = dev_samples
                 .iter()
-                .filter_map(|s| s.activity.clone())
+                .filter_map(|s| s.activity)
                 .collect::<std::collections::BTreeSet<_>>()
                 .into_iter()
                 .collect();
             activities.sort();
             let mut dev_models = Vec::new();
-            for (ai, act) in activities.iter().enumerate() {
+            for (ai, &act) in activities.iter().enumerate() {
                 let positives: Vec<&&TrainingSample> = dev_samples
                     .iter()
-                    .filter(|s| s.activity.as_deref() == Some(act))
+                    .filter(|s| s.activity == Some(act))
                     .collect();
                 if positives.len() < cfg.min_positives {
                     continue;
@@ -91,7 +96,7 @@ impl UserActionModels {
                 // negatives are subsampled.
                 let rival_neg: Vec<&&TrainingSample> = dev_samples
                     .iter()
-                    .filter(|s| s.activity.is_some() && s.activity.as_deref() != Some(act))
+                    .filter(|s| s.activity.is_some() && s.activity != Some(act))
                     .collect();
                 let background: Vec<&&TrainingSample> = dev_samples
                     .iter()
@@ -119,7 +124,7 @@ impl UserActionModels {
                     .wrapping_mul(0x9e3779b97f4a7c15)
                     .wrapping_add(ai as u64);
                 let forest = RandomForest::fit(&x, &y, &RandomForestConfig { seed, ..cfg.forest });
-                dev_models.push((act.clone(), forest));
+                dev_models.push((act, forest));
             }
             if !dev_models.is_empty() {
                 models.insert(device, dev_models);
@@ -143,7 +148,7 @@ impl UserActionModels {
     }
 
     /// Activity names modeled for a device.
-    pub fn activities(&self, device: Ipv4Addr) -> Vec<&str> {
+    pub fn activities(&self, device: Ipv4Addr) -> Vec<&'static str> {
         self.models
             .get(&device)
             .map(|v| v.iter().map(|(a, _)| a.as_str()).collect())
@@ -151,18 +156,19 @@ impl UserActionModels {
     }
 
     /// Classify a flow of `device`: the most confident positive classifier
-    /// wins; `None` when no classifier fires (not a user event).
-    pub fn classify(&self, device: Ipv4Addr, features: &FeatureVector) -> Option<(String, f64)> {
+    /// wins; `None` when no classifier fires (not a user event). The
+    /// returned label is an interned [`Symbol`] — no allocation per call.
+    pub fn classify(&self, device: Ipv4Addr, features: &FeatureVector) -> Option<(Symbol, f64)> {
         debug_assert_eq!(features.len(), N_FEATURES);
         let dev_models = self.models.get(&device)?;
-        let mut best: Option<(&str, f64)> = None;
+        let mut best: Option<(Symbol, f64)> = None;
         for (act, forest) in dev_models {
             let p = forest.predict_proba(features);
             if p >= self.confidence_threshold && best.is_none_or(|(_, bp)| p > bp) {
-                best = Some((act, p));
+                best = Some((*act, p));
             }
         }
-        best.map(|(a, p)| (a.to_string(), p))
+        best
     }
 }
 
@@ -186,7 +192,7 @@ mod tests {
         features[13] = n_out * 2.0;
         TrainingSample {
             device,
-            activity: activity.map(str::to_string),
+            activity: activity.map(Symbol::intern),
             features,
         }
     }

@@ -4,8 +4,8 @@ use crate::domain::DomainTable;
 use crate::features::{extract_with, FeatureScratch, FeatureVector, PacketView};
 use crate::packet::GatewayPacket;
 use crate::{is_local, FlowKey};
+use behaviot_intern::{FxHashMap, Symbol};
 use behaviot_net::Proto;
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// Flow-assembly configuration.
@@ -45,8 +45,8 @@ pub struct FlowRecord {
     pub remote_port: u16,
     /// Transport protocol.
     pub proto: Proto,
-    /// Destination domain, when resolvable.
-    pub domain: Option<String>,
+    /// Destination domain, when resolvable (interned).
+    pub domain: Option<Symbol>,
     /// Burst start time.
     pub start: f64,
     /// Burst end time.
@@ -66,13 +66,19 @@ impl FlowRecord {
     }
 
     /// The traffic-group key used by periodic modeling: destination domain
-    /// (or the raw IP when unresolved) plus protocol.
-    pub fn group_key(&self) -> (String, Proto) {
+    /// (or the raw IP when unresolved) plus protocol. Copyable — no
+    /// allocation per call; the IP fallback formats into a stack buffer and
+    /// hits the interner's read-lock fast path after first sight.
+    pub fn group_key(&self) -> (Symbol, Proto) {
         let dest = self
             .domain
-            .clone()
-            .unwrap_or_else(|| self.remote.to_string());
+            .unwrap_or_else(|| Symbol::intern_ipv4(self.remote));
         (dest, self.proto)
+    }
+
+    /// The destination domain as a string, when resolvable.
+    pub fn domain_str(&self) -> Option<&'static str> {
+        self.domain.map(Symbol::as_str)
     }
 }
 
@@ -119,7 +125,7 @@ pub fn assemble_flows(
     sorted.sort_by(|a, b| a.ts.partial_cmp(&b.ts).expect("NaN timestamp"));
 
     // Group by unordered 5-tuple, fixing orientation at first sight.
-    let mut flows: HashMap<Unordered, (FlowKey, Vec<PacketView>)> = HashMap::new();
+    let mut flows: FxHashMap<Unordered, (FlowKey, Vec<PacketView>)> = FxHashMap::default();
     let mut order: Vec<Unordered> = Vec::new();
     for p in sorted {
         let src_local = is_local(p.src, cfg.subnet, cfg.prefix_len);
@@ -184,7 +190,7 @@ pub fn assemble_flows(
                 device_port: key.device_port,
                 remote_port: key.remote_port,
                 proto: key.proto,
-                domain: domains.resolve(key.remote).map(str::to_string),
+                domain: domains.resolve(key.remote),
                 start: burst[0].ts,
                 end: burst[burst.len() - 1].ts,
                 n_packets: burst.len(),
@@ -303,14 +309,18 @@ mod tests {
         d.learn_dns(SRV, "devs.tplinkcloud.com");
         let pkts = [pkt(0.0, DEV, 40000, SRV, 443, 100)];
         let flows = assemble_flows(&pkts, &d, &cfg());
-        assert_eq!(flows[0].domain.as_deref(), Some("devs.tplinkcloud.com"));
+        assert_eq!(flows[0].domain_str(), Some("devs.tplinkcloud.com"));
         assert_eq!(
             flows[0].group_key(),
-            ("devs.tplinkcloud.com".to_string(), Proto::Tcp)
+            (Symbol::intern("devs.tplinkcloud.com"), Proto::Tcp)
         );
-        // Without DNS: group key falls back to IP.
+        // Without DNS: group key falls back to IP, and the key is Copy —
+        // repeated calls return the identical symbol with no allocation.
         let flows2 = assemble_flows(&pkts, &DomainTable::new(), &cfg());
-        assert_eq!(flows2[0].group_key(), ("52.1.1.1".to_string(), Proto::Tcp));
+        let (dest, proto) = flows2[0].group_key();
+        assert_eq!(dest.as_str(), "52.1.1.1");
+        assert_eq!(proto, Proto::Tcp);
+        assert_eq!(flows2[0].group_key(), (dest, proto));
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub use flow::{assemble_flows, FlowConfig, FlowRecord};
 pub use packet::{parse_frame, Direction, GatewayPacket, ParsedFrame};
 pub use streaming::StreamingAssembler;
 
+// Re-exported so downstream pipeline crates share the same interner types
+// without a separate dependency line.
+pub use behaviot_intern::{FxHashMap, FxHashSet, Symbol};
+
 use behaviot_net::Proto;
 use std::net::Ipv4Addr;
 
@@ -45,7 +49,7 @@ pub fn is_local(ip: Ipv4Addr, subnet: Ipv4Addr, prefix_len: u8) -> bool {
 }
 
 /// The key identifying a flow from the observing device's perspective.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FlowKey {
     /// The local (device) endpoint.
     pub device: Ipv4Addr,

@@ -6,13 +6,19 @@
 //! closed (no packet can extend a burst once `now` is more than the burst
 //! gap past its last packet). [`StreamingAssembler`] provides exactly that,
 //! with bounded memory: idle flow state is evicted as bursts close.
+//!
+//! The hot path is allocation-free in steady state: [`StreamingAssembler::push_into`]
+//! drains closed bursts into a caller-provided `Vec` (instead of returning
+//! a fresh one per packet), per-burst packet buffers are recycled through
+//! an internal pool when bursts close, and eviction scans reuse a scratch
+//! key list.
 
 use crate::domain::DomainTable;
 use crate::features::{extract_with, FeatureScratch, PacketView};
 use crate::flow::{FlowConfig, FlowRecord};
 use crate::packet::GatewayPacket;
 use crate::{is_local, FlowKey};
-use std::collections::HashMap;
+use behaviot_intern::FxHashMap;
 use std::net::Ipv4Addr;
 
 #[derive(PartialEq, Eq, Hash, Clone, Copy)]
@@ -28,15 +34,31 @@ struct OpenBurst {
     last_ts: f64,
 }
 
+/// Upper bound on pooled packet buffers — enough for the open-burst working
+/// set of a busy gateway without hoarding memory after a traffic spike.
+const POOL_CAP: usize = 64;
+
 /// Incremental flow/burst assembler. Packets must arrive in (approximately)
 /// chronological order; small reordering within the burst gap is tolerated,
 /// larger reordering splits bursts exactly as a real middlebox observer
 /// would experience it.
 pub struct StreamingAssembler {
     cfg: FlowConfig,
-    open: HashMap<Unordered, OpenBurst>,
+    open: FxHashMap<Unordered, OpenBurst>,
     clock: f64,
     scratch: FeatureScratch,
+    /// Recycled packet buffers for new bursts.
+    pool: Vec<Vec<PacketView>>,
+    /// Reusable key list for eviction scans.
+    expired: Vec<Unordered>,
+    /// Lower bound on the earliest instant any open burst can expire
+    /// (`min(last_ts) + burst_gap`). Eviction scans are skipped entirely
+    /// while `clock` has not passed it, so the per-packet hot path does not
+    /// walk the open-burst map at all in steady state. May be stale-low
+    /// after a burst's `last_ts` advances (causing a scan that finds
+    /// nothing), never stale-high — so no expiry is ever delayed and burst
+    /// boundaries are bit-identical to the always-scan behavior.
+    next_deadline: f64,
 }
 
 impl StreamingAssembler {
@@ -44,9 +66,12 @@ impl StreamingAssembler {
     pub fn new(cfg: FlowConfig) -> Self {
         Self {
             cfg,
-            open: HashMap::new(),
+            open: FxHashMap::default(),
             clock: 0.0,
             scratch: FeatureScratch::new(),
+            pool: Vec::new(),
+            expired: Vec::new(),
+            next_deadline: f64::INFINITY,
         }
     }
 
@@ -55,16 +80,17 @@ impl StreamingAssembler {
         self.open.len()
     }
 
-    /// Feed one packet; returns any bursts that closed as a consequence of
-    /// time advancing to this packet's timestamp.
-    pub fn push(&mut self, p: &GatewayPacket, domains: &DomainTable) -> Vec<FlowRecord> {
+    /// Feed one packet, appending any bursts that closed as a consequence
+    /// of time advancing to this packet's timestamp onto `out`. Steady-state
+    /// allocation-free: when nothing closes, nothing is allocated.
+    pub fn push_into(&mut self, p: &GatewayPacket, domains: &DomainTable, out: &mut Vec<FlowRecord>) {
         self.clock = self.clock.max(p.ts);
-        let mut closed = self.evict(domains);
+        self.evict_into(domains, out);
 
         let src_local = is_local(p.src, self.cfg.subnet, self.cfg.prefix_len);
         let dst_local = is_local(p.dst, self.cfg.subnet, self.cfg.prefix_len);
         if !src_local && !dst_local {
-            return closed;
+            return;
         }
         let x = (p.src, p.src_port);
         let y = (p.dst, p.dst_port);
@@ -81,102 +107,175 @@ impl StreamingAssembler {
                 proto: p.proto,
             }
         };
-        // A gap beyond the threshold closes the previous burst of this flow
-        // even before eviction time.
-        if let Some(open) = self.open.get(&uk) {
-            if p.ts - open.last_ts > self.cfg.burst_gap {
-                let b = self.open.remove(&uk).expect("just looked up");
-                closed.push(finish(b, domains, &mut self.scratch));
+        // Single map probe for the steady-state case: the flow already has
+        // an open burst and this packet extends it.
+        if let Some(open) = self.open.get_mut(&uk) {
+            if p.ts - open.last_ts <= self.cfg.burst_gap {
+                open.packets.push(PacketView {
+                    ts: p.ts,
+                    bytes: p.bytes,
+                    outbound: p.src == open.key.device && p.src_port == open.key.device_port,
+                    remote_is_local: is_local(open.key.remote, self.cfg.subnet, self.cfg.prefix_len),
+                });
+                open.last_ts = open.last_ts.max(p.ts);
+                let deadline = open.last_ts + self.cfg.burst_gap;
+                self.next_deadline = self.next_deadline.min(deadline);
+                return;
             }
+            // A gap beyond the threshold closes the previous burst of this
+            // flow even before eviction time; a fresh burst starts below.
+            let b = self.open.remove(&uk).expect("just looked up");
+            self.close_burst(b, domains, out);
         }
-        let entry = self.open.entry(uk).or_insert_with(|| {
-            let key = if src_local {
-                FlowKey {
-                    device: p.src,
-                    remote: p.dst,
-                    device_port: p.src_port,
-                    remote_port: p.dst_port,
-                    proto: p.proto,
-                }
-            } else {
-                FlowKey {
-                    device: p.dst,
-                    remote: p.src,
-                    device_port: p.dst_port,
-                    remote_port: p.src_port,
-                    proto: p.proto,
-                }
-            };
-            OpenBurst {
-                key,
-                packets: Vec::new(),
-                last_ts: p.ts,
+        let key = if src_local {
+            FlowKey {
+                device: p.src,
+                remote: p.dst,
+                device_port: p.src_port,
+                remote_port: p.dst_port,
+                proto: p.proto,
             }
-        });
-        entry.packets.push(PacketView {
+        } else {
+            FlowKey {
+                device: p.dst,
+                remote: p.src,
+                device_port: p.dst_port,
+                remote_port: p.src_port,
+                proto: p.proto,
+            }
+        };
+        let mut packets = self.pool.pop().unwrap_or_default();
+        packets.push(PacketView {
             ts: p.ts,
             bytes: p.bytes,
-            outbound: p.src == entry.key.device && p.src_port == entry.key.device_port,
-            remote_is_local: is_local(entry.key.remote, self.cfg.subnet, self.cfg.prefix_len),
+            outbound: p.src == key.device && p.src_port == key.device_port,
+            remote_is_local: is_local(key.remote, self.cfg.subnet, self.cfg.prefix_len),
         });
-        entry.last_ts = entry.last_ts.max(p.ts);
-        closed
+        self.next_deadline = self.next_deadline.min(p.ts + self.cfg.burst_gap);
+        self.open.insert(
+            uk,
+            OpenBurst {
+                key,
+                packets,
+                last_ts: p.ts,
+            },
+        );
+    }
+
+    /// Advance the clock without a packet (e.g. a timer tick), appending
+    /// bursts that aged out onto `out`.
+    pub fn tick_into(&mut self, now: f64, domains: &DomainTable, out: &mut Vec<FlowRecord>) {
+        self.clock = self.clock.max(now);
+        self.evict_into(domains, out);
+    }
+
+    /// Close every remaining burst (end of capture), appending them onto
+    /// `out` sorted by start time.
+    pub fn flush_into(&mut self, domains: &DomainTable, out: &mut Vec<FlowRecord>) {
+        let start = out.len();
+        self.expired.clear();
+        self.expired.extend(self.open.keys().copied());
+        let keys = std::mem::take(&mut self.expired);
+        for k in &keys {
+            let b = self.open.remove(k).expect("listed above");
+            self.close_burst(b, domains, out);
+        }
+        self.expired = keys;
+        self.next_deadline = f64::INFINITY;
+        out[start..].sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+    }
+
+    /// Feed one packet; returns any bursts that closed as a consequence of
+    /// time advancing to this packet's timestamp.
+    #[deprecated(note = "use `push_into` — this allocates a Vec per packet")]
+    pub fn push(&mut self, p: &GatewayPacket, domains: &DomainTable) -> Vec<FlowRecord> {
+        let mut out = Vec::new();
+        self.push_into(p, domains, &mut out);
+        out
     }
 
     /// Advance the clock without a packet (e.g. a timer tick) and collect
     /// bursts that aged out.
+    #[deprecated(note = "use `tick_into`")]
     pub fn tick(&mut self, now: f64, domains: &DomainTable) -> Vec<FlowRecord> {
-        self.clock = self.clock.max(now);
-        self.evict(domains)
+        let mut out = Vec::new();
+        self.tick_into(now, domains, &mut out);
+        out
     }
 
     /// Close and return every remaining burst (end of capture).
+    #[deprecated(note = "use `flush_into`")]
     pub fn finish(&mut self, domains: &DomainTable) -> Vec<FlowRecord> {
-        let scratch = &mut self.scratch;
-        let mut out: Vec<FlowRecord> = self
-            .open
-            .drain()
-            .map(|(_, b)| finish(b, domains, scratch))
-            .collect();
-        out.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        let mut out = Vec::new();
+        self.flush_into(domains, &mut out);
         out
     }
 
-    fn evict(&mut self, domains: &DomainTable) -> Vec<FlowRecord> {
+    fn evict_into(&mut self, domains: &DomainTable, out: &mut Vec<FlowRecord>) {
+        // Nothing can have expired before the earliest deadline: skip the
+        // scan without touching the map (the steady-state case).
+        if self.clock <= self.next_deadline {
+            return;
+        }
         let gap = self.cfg.burst_gap;
         let clock = self.clock;
-        let expired: Vec<Unordered> = self
-            .open
-            .iter()
-            .filter(|(_, b)| clock - b.last_ts > gap)
-            .map(|(&k, _)| k)
-            .collect();
-        let mut out = Vec::with_capacity(expired.len());
-        for k in expired {
-            let b = self.open.remove(&k).expect("listed above");
-            out.push(finish(b, domains, &mut self.scratch));
+        self.expired.clear();
+        self.expired.extend(
+            self.open
+                .iter()
+                .filter(|(_, b)| clock - b.last_ts > gap)
+                .map(|(&k, _)| k),
+        );
+        if self.expired.is_empty() {
+            // The deadline was stale-low (some burst's last_ts advanced);
+            // re-tighten it so the next pushes skip again.
+            self.next_deadline = self.min_deadline(gap);
+            return;
         }
-        out.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
-        out
+        let start = out.len();
+        let keys = std::mem::take(&mut self.expired);
+        for k in &keys {
+            let b = self.open.remove(k).expect("listed above");
+            self.close_burst(b, domains, out);
+        }
+        self.expired = keys;
+        self.next_deadline = self.min_deadline(gap);
+        out[start..].sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
     }
-}
 
-fn finish(mut b: OpenBurst, domains: &DomainTable, scratch: &mut FeatureScratch) -> FlowRecord {
-    b.packets
-        .sort_by(|x, y| x.ts.partial_cmp(&y.ts).expect("NaN ts"));
-    let features = extract_with(&b.packets, scratch);
-    FlowRecord {
-        device: b.key.device,
-        remote: b.key.remote,
-        device_port: b.key.device_port,
-        remote_port: b.key.remote_port,
-        proto: b.key.proto,
-        domain: domains.resolve(b.key.remote).map(str::to_string),
-        start: b.packets[0].ts,
-        end: b.packets[b.packets.len() - 1].ts,
-        n_packets: b.packets.len(),
-        total_bytes: b.packets.iter().map(|p| p.bytes as u64).sum(),
-        features,
+    /// Earliest instant any currently open burst can expire.
+    fn min_deadline(&self, gap: f64) -> f64 {
+        self.open
+            .values()
+            .map(|b| b.last_ts + gap)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Turn a closed burst into a [`FlowRecord`] appended to `out`,
+    /// recycling the burst's packet buffer through the pool.
+    fn close_burst(&mut self, b: OpenBurst, domains: &DomainTable, out: &mut Vec<FlowRecord>) {
+        let OpenBurst {
+            key, mut packets, ..
+        } = b;
+        packets.sort_by(|x, y| x.ts.partial_cmp(&y.ts).expect("NaN ts"));
+        let features = extract_with(&packets, &mut self.scratch);
+        out.push(FlowRecord {
+            device: key.device,
+            remote: key.remote,
+            device_port: key.device_port,
+            remote_port: key.remote_port,
+            proto: key.proto,
+            domain: domains.resolve(key.remote),
+            start: packets[0].ts,
+            end: packets[packets.len() - 1].ts,
+            n_packets: packets.len(),
+            total_bytes: packets.iter().map(|p| p.bytes as u64).sum(),
+            features,
+        });
+        if self.pool.len() < POOL_CAP {
+            packets.clear();
+            self.pool.push(packets);
+        }
     }
 }
 
@@ -226,9 +325,9 @@ mod tests {
         let mut streaming = StreamingAssembler::new(FlowConfig::default());
         let mut out = Vec::new();
         for p in &packets {
-            out.extend(streaming.push(p, &domains));
+            streaming.push_into(p, &domains, &mut out);
         }
-        out.extend(streaming.finish(&domains));
+        streaming.flush_into(&domains, &mut out);
         out.sort_by(|a, b| {
             a.start
                 .partial_cmp(&b.start)
@@ -255,18 +354,44 @@ mod tests {
     fn bursts_emitted_incrementally() {
         let domains = DomainTable::new();
         let mut s = StreamingAssembler::new(FlowConfig::default());
-        assert!(s.push(&pkt(0.0, true, 100), &domains).is_empty());
-        assert!(s.push(&pkt(0.2, false, 200), &domains).is_empty());
+        let mut out = Vec::new();
+        s.push_into(&pkt(0.0, true, 100), &domains, &mut out);
+        s.push_into(&pkt(0.2, false, 200), &domains, &mut out);
+        assert!(out.is_empty());
         assert_eq!(s.open_bursts(), 1);
         // A packet 10 s later closes the previous burst of the same flow.
-        let closed = s.push(&pkt(10.0, true, 100), &domains);
-        assert_eq!(closed.len(), 1);
-        assert_eq!(closed[0].n_packets, 2);
+        s.push_into(&pkt(10.0, true, 100), &domains, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].n_packets, 2);
         assert_eq!(s.open_bursts(), 1);
         // A tick far in the future drains the rest.
-        let rest = s.tick(100.0, &domains);
-        assert_eq!(rest.len(), 1);
+        s.tick_into(100.0, &domains, &mut out);
+        assert_eq!(out.len(), 2);
         assert_eq!(s.open_bursts(), 0);
+    }
+
+    #[test]
+    fn deprecated_wrappers_match_drain_into() {
+        let domains = DomainTable::new();
+        let mut a = StreamingAssembler::new(FlowConfig::default());
+        let mut b = StreamingAssembler::new(FlowConfig::default());
+        let mut via_into = Vec::new();
+        let mut via_old = Vec::new();
+        for i in 0..50 {
+            let p = pkt(i as f64 * 0.9, i % 2 == 0, 100 + i);
+            a.push_into(&p, &domains, &mut via_into);
+            #[allow(deprecated)]
+            via_old.extend(b.push(&p, &domains));
+        }
+        a.flush_into(&domains, &mut via_into);
+        #[allow(deprecated)]
+        via_old.extend(b.finish(&domains));
+        assert_eq!(via_into.len(), via_old.len());
+        for (x, y) in via_into.iter().zip(&via_old) {
+            assert_eq!(x.start, y.start);
+            assert_eq!(x.n_packets, y.n_packets);
+            assert_eq!(x.total_bytes, y.total_bytes);
+        }
     }
 
     #[test]
@@ -276,6 +401,7 @@ mod tests {
         // 1000 one-packet flows spread over time: eviction keeps the map
         // small.
         let mut max_open = 0;
+        let mut sink = Vec::new();
         for i in 0..1000u32 {
             let p = GatewayPacket {
                 ts: i as f64 * 0.5,
@@ -286,10 +412,15 @@ mod tests {
                 proto: Proto::Tcp,
                 bytes: 100,
             };
-            s.push(&p, &domains);
+            s.push_into(&p, &domains, &mut sink);
             max_open = max_open.max(s.open_bursts());
         }
         assert!(max_open < 10, "open bursts peaked at {max_open}");
+        // After flushing, every burst buffer has been recycled through the
+        // (bounded) pool rather than dropped.
+        s.flush_into(&domains, &mut sink);
+        assert!(s.pool.len() <= POOL_CAP);
+        assert!(!s.pool.is_empty());
     }
 
     #[test]
@@ -305,8 +436,10 @@ mod tests {
             proto: Proto::Tcp,
             bytes: 100,
         };
-        s.push(&foreign, &domains);
+        let mut out = Vec::new();
+        s.push_into(&foreign, &domains, &mut out);
         assert_eq!(s.open_bursts(), 0);
-        assert!(s.finish(&domains).is_empty());
+        s.flush_into(&domains, &mut out);
+        assert!(out.is_empty());
     }
 }

@@ -1,0 +1,75 @@
+//! Property tests for the interner: round-trip, stable-ID determinism, and
+//! thread-safety of the global table under a parallel workload.
+
+use behaviot_intern::{Interner, Symbol};
+use behaviot_par::{par_map, Parallelism};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Interning then resolving returns the original string, and equal
+    /// strings always yield equal symbols (injectivity both ways).
+    #[test]
+    fn round_trip_and_injectivity(
+        words in proptest::collection::vec("[a-z0-9.-]{0,24}", 1..80)
+    ) {
+        let it = Interner::new();
+        let syms: Vec<Symbol> = words.iter().map(|w| it.intern(w)).collect();
+        for (w, s) in words.iter().zip(&syms) {
+            prop_assert_eq!(it.resolve(*s), w.as_str());
+        }
+        for i in 0..words.len() {
+            for j in 0..words.len() {
+                prop_assert_eq!(words[i] == words[j], syms[i] == syms[j]);
+            }
+        }
+    }
+
+    /// Identical insertion sequences into fresh interners assign identical
+    /// ids — the invariant that keeps parallel pipeline output bit-identical
+    /// when both sides intern in the same (input) order.
+    #[test]
+    fn stable_ids_under_identical_insertion_order(
+        words in proptest::collection::vec("[a-z]{0,12}", 1..60)
+    ) {
+        let a = Interner::new();
+        let b = Interner::new();
+        let ids_a: Vec<u32> = words.iter().map(|w| a.intern(w).id()).collect();
+        let ids_b: Vec<u32> = words.iter().map(|w| b.intern(w).id()).collect();
+        prop_assert_eq!(ids_a, ids_b);
+        prop_assert_eq!(a.len(), b.len());
+    }
+
+    /// Global-interner symbols sort exactly like their strings regardless
+    /// of the (insertion-order-dependent) numeric ids.
+    #[test]
+    fn symbol_sort_order_matches_string_sort_order(
+        words in proptest::collection::vec("[a-z0-9]{1,10}", 1..40)
+    ) {
+        let mut syms: Vec<Symbol> = words.iter().map(|w| Symbol::intern(w)).collect();
+        let mut strs = words.clone();
+        syms.sort();
+        strs.sort();
+        strs.dedup();
+        let mut resolved: Vec<&str> = syms.iter().map(|s| s.as_str()).collect();
+        resolved.dedup();
+        prop_assert_eq!(resolved, strs.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    }
+
+    /// Interning the same word list from 7 fixed worker threads produces,
+    /// for every input position, a symbol that resolves back to the input —
+    /// and equal inputs land on the same symbol even when distinct threads
+    /// race to insert them.
+    #[test]
+    fn global_interner_is_race_free_under_fixed_7(
+        words in proptest::collection::vec("[a-z]{0,8}", 1..120)
+    ) {
+        let syms = par_map(Parallelism::Fixed(7), &words, |w| Symbol::intern(w));
+        for (w, s) in words.iter().zip(&syms) {
+            prop_assert_eq!(s.as_str(), w.as_str());
+        }
+        let serial: Vec<Symbol> = words.iter().map(|w| Symbol::intern(w)).collect();
+        prop_assert_eq!(syms, serial);
+    }
+}

@@ -74,12 +74,30 @@ impl<W: Write> PcapWriter<W> {
     }
 }
 
+/// A record view borrowing its frame bytes from the reader's reusable
+/// internal buffer — the zero-copy counterpart of [`PcapRecord`]. Valid
+/// until the next read call on the same reader.
+#[derive(Debug, PartialEq)]
+pub struct PcapRecordView<'a> {
+    /// Capture timestamp in seconds since the epoch of the capture.
+    pub ts: f64,
+    /// Raw frame bytes, borrowed from the reader.
+    pub data: &'a [u8],
+}
+
 /// Reads a pcap stream, iterating over records.
 pub struct PcapReader<R: Read> {
     inner: R,
     swapped: bool,
     /// Link type declared by the file (normally [`LINKTYPE_ETHERNET`]).
     pub linktype: u32,
+    /// Reusable frame buffer for the borrowed read path.
+    buf: Vec<u8>,
+    /// Total input length in bytes, when the caller knows it (lets
+    /// [`Self::read_all`] preallocate instead of growing).
+    input_len: Option<u64>,
+    /// Bytes consumed so far (global header + record headers + frames).
+    consumed: u64,
 }
 
 impl<R: Read> PcapReader<R> {
@@ -112,11 +130,25 @@ impl<R: Read> PcapReader<R> {
             inner,
             swapped,
             linktype,
+            buf: Vec::new(),
+            input_len: None,
+            consumed: 24,
         })
     }
 
-    /// Read the next record, or `None` at a clean end-of-file.
-    pub fn next_record(&mut self) -> Result<Option<PcapRecord>> {
+    /// Open a pcap stream whose total byte length is known up front (a file
+    /// or an in-memory buffer). [`Self::read_all`] uses the length to size
+    /// its result exactly instead of growing geometrically.
+    pub fn with_input_len(inner: R, total_bytes: u64) -> Result<Self> {
+        let mut r = Self::new(inner)?;
+        r.input_len = Some(total_bytes);
+        Ok(r)
+    }
+
+    /// Read the next record into the reader's reusable buffer and return a
+    /// borrowed view — no per-record allocation. Returns `None` at a clean
+    /// end-of-file.
+    pub fn next_record_borrowed(&mut self) -> Result<Option<PcapRecordView<'_>>> {
         let mut hdr = [0u8; 16];
         match self.inner.read_exact(&mut hdr) {
             Ok(()) => {}
@@ -140,17 +172,46 @@ impl<R: Read> PcapReader<R> {
                 reason: "implausible length",
             });
         }
-        let mut data = vec![0u8; incl_len];
-        self.inner.read_exact(&mut data)?;
-        Ok(Some(PcapRecord {
+        self.buf.resize(incl_len, 0);
+        self.inner.read_exact(&mut self.buf)?;
+        self.consumed += 16 + incl_len as u64;
+        Ok(Some(PcapRecordView {
             ts: secs as f64 + usecs as f64 * 1e-6,
-            data,
+            data: &self.buf,
+        }))
+    }
+
+    /// Read the next record as an owned [`PcapRecord`], or `None` at a
+    /// clean end-of-file.
+    pub fn next_record(&mut self) -> Result<Option<PcapRecord>> {
+        Ok(self.next_record_borrowed()?.map(|v| PcapRecord {
+            ts: v.ts,
+            data: v.data.to_vec(),
         }))
     }
 
     /// Collect all remaining records.
+    ///
+    /// When the input length is known ([`Self::with_input_len`]), the
+    /// result is sized from the remaining byte count and the first record's
+    /// on-disk stride, so uniform captures never reallocate.
     pub fn read_all(&mut self) -> Result<Vec<PcapRecord>> {
-        let mut out = Vec::new();
+        let first = match self.next_record()? {
+            Some(r) => r,
+            None => return Ok(Vec::new()),
+        };
+        let estimate = match self.input_len {
+            Some(total) => {
+                let stride = (16 + first.data.len()) as u64;
+                let remaining = total.saturating_sub(self.consumed);
+                // Cap the guess so a corrupt length field cannot force a
+                // huge up-front allocation.
+                (1 + remaining / stride).min(1 << 22) as usize
+            }
+            None => 1,
+        };
+        let mut out = Vec::with_capacity(estimate);
+        out.push(first);
         while let Some(rec) = self.next_record()? {
             out.push(rec);
         }
@@ -237,6 +298,48 @@ mod tests {
             data: vec![],
         });
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn borrowed_reader_matches_owned() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for i in 0..20u8 {
+            w.write_record(&PcapRecord {
+                ts: i as f64 * 0.5,
+                data: vec![i; 10 + i as usize],
+            })
+            .unwrap();
+        }
+        let buf = w.finish().unwrap();
+        let mut owned = PcapReader::new(Cursor::new(buf.clone())).unwrap();
+        let mut borrowed = PcapReader::new(Cursor::new(buf)).unwrap();
+        while let Some(o) = owned.next_record().unwrap() {
+            let b = borrowed.next_record_borrowed().unwrap().unwrap();
+            assert_eq!(b.ts, o.ts);
+            assert_eq!(b.data, &o.data[..]);
+        }
+        assert!(borrowed.next_record_borrowed().unwrap().is_none());
+    }
+
+    #[test]
+    fn read_all_preallocates_without_growth() {
+        // Uniform records: the stride estimate is exact, so read_all must
+        // land on capacity == len (no geometric growth, no over-reserve).
+        let n = 513;
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for i in 0..n {
+            w.write_record(&PcapRecord {
+                ts: i as f64,
+                data: vec![0xab; 60],
+            })
+            .unwrap();
+        }
+        let buf = w.finish().unwrap();
+        let total = buf.len() as u64;
+        let mut rd = PcapReader::with_input_len(Cursor::new(buf), total).unwrap();
+        let out = rd.read_all().unwrap();
+        assert_eq!(out.len(), n);
+        assert_eq!(out.capacity(), n, "read_all grew instead of preallocating");
     }
 
     #[test]

@@ -13,18 +13,18 @@
 //! by Gosund Bulb on" — the programmed automation of §6.1).
 
 use crate::{EventId, TraceLog};
-use std::collections::{HashMap, HashSet};
+use behaviot_intern::{FxHashMap, FxHashSet};
 
 /// The mined invariant sets. Pairs `(a, b)` are event ids of the log's
 /// vocabulary.
 #[derive(Debug, Clone, Default)]
 pub struct Invariants {
     /// `a AlwaysFollowedBy b`.
-    pub always_followed_by: HashSet<(EventId, EventId)>,
+    pub always_followed_by: FxHashSet<(EventId, EventId)>,
     /// `a NeverFollowedBy b`.
-    pub never_followed_by: HashSet<(EventId, EventId)>,
+    pub never_followed_by: FxHashSet<(EventId, EventId)>,
     /// `a AlwaysPrecedes b`.
-    pub always_precedes: HashSet<(EventId, EventId)>,
+    pub always_precedes: FxHashSet<(EventId, EventId)>,
 }
 
 impl Invariants {
@@ -32,7 +32,7 @@ impl Invariants {
     /// output).
     pub fn describe(&self, log: &TraceLog) -> Vec<String> {
         let mut out = Vec::new();
-        let mut fmt = |set: &HashSet<(EventId, EventId)>, word: &str| {
+        let mut fmt = |set: &FxHashSet<(EventId, EventId)>, word: &str| {
             let mut v: Vec<String> = set
                 .iter()
                 .map(|&(a, b)| format!("{} {word} {}", log.vocab.name(a), log.vocab.name(b)))
@@ -62,22 +62,22 @@ pub fn mine_invariants(log: &TraceLog) -> Invariants {
     //   (intersection over occurrences, across all traces).
     // ever_followed[a] = set of b that followed SOME occurrence of a.
     // preceded_by_all[b] = set of a present before EVERY occurrence of b.
-    let mut followed_by_all: HashMap<EventId, HashSet<EventId>> = HashMap::new();
-    let mut ever_followed: HashMap<EventId, HashSet<EventId>> = HashMap::new();
-    let mut preceded_by_all: HashMap<EventId, HashSet<EventId>> = HashMap::new();
-    let mut occurs: HashSet<EventId> = HashSet::new();
+    let mut followed_by_all: FxHashMap<EventId, FxHashSet<EventId>> = FxHashMap::default();
+    let mut ever_followed: FxHashMap<EventId, FxHashSet<EventId>> = FxHashMap::default();
+    let mut preceded_by_all: FxHashMap<EventId, FxHashSet<EventId>> = FxHashMap::default();
+    let mut occurs: FxHashSet<EventId> = FxHashSet::default();
 
     for trace in &log.traces {
         // Suffix sets: events occurring strictly after position i.
         let n = trace.len();
-        let mut suffix: Vec<HashSet<EventId>> = vec![HashSet::new(); n];
-        let mut acc: HashSet<EventId> = HashSet::new();
+        let mut suffix: Vec<FxHashSet<EventId>> = vec![FxHashSet::default(); n];
+        let mut acc: FxHashSet<EventId> = FxHashSet::default();
         for i in (0..n).rev() {
             suffix[i] = acc.clone();
             acc.insert(trace[i]);
         }
         // Prefix sets: events occurring strictly before position i.
-        let mut prefix_acc: HashSet<EventId> = HashSet::new();
+        let mut prefix_acc: FxHashSet<EventId> = FxHashSet::default();
         for i in 0..n {
             let ev = trace[i];
             occurs.insert(ev);
@@ -140,7 +140,7 @@ mod tests {
         l
     }
 
-    fn has(log: &TraceLog, set: &HashSet<(EventId, EventId)>, a: &str, b: &str) -> bool {
+    fn has(log: &TraceLog, set: &FxHashSet<(EventId, EventId)>, a: &str, b: &str) -> bool {
         match (log.vocab.get(a), log.vocab.get(b)) {
             (Some(a), Some(b)) => set.contains(&(a, b)),
             _ => false,

@@ -31,17 +31,24 @@ pub use invariants::{mine_invariants, Invariants};
 pub use model::{Pfsm, PfsmConfig, StateId, TraceScore};
 pub use seqgraph::SeqGraph;
 
-use std::collections::HashMap;
+use behaviot_intern::{FxHashMap, Symbol};
 
-/// Interned event label.
+/// Interned event label — a *dense* per-vocabulary index (0, 1, 2, ...)
+/// suitable for array-indexed transition tables, unlike the process-global
+/// [`Symbol`] ids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(pub u32);
 
 /// Bidirectional event-label interner.
+///
+/// Label storage is backed by the process-global symbol table: the vocab
+/// maps `Symbol -> EventId` and keeps the dense id order of first
+/// insertion, so interning a known label is a 4-byte hash probe and
+/// `name()` resolves without owning any string data.
 #[derive(Debug, Clone, Default)]
 pub struct EventVocab {
-    names: Vec<String>,
-    map: HashMap<String, EventId>,
+    names: Vec<Symbol>,
+    map: FxHashMap<Symbol, EventId>,
 }
 
 impl EventVocab {
@@ -52,23 +59,25 @@ impl EventVocab {
 
     /// Intern a label, returning its id (existing id if already present).
     pub fn intern(&mut self, name: &str) -> EventId {
-        if let Some(&id) = self.map.get(name) {
+        let sym = Symbol::intern(name);
+        if let Some(&id) = self.map.get(&sym) {
             return id;
         }
         let id = EventId(self.names.len() as u32);
-        self.names.push(name.to_string());
-        self.map.insert(name.to_string(), id);
+        self.names.push(sym);
+        self.map.insert(sym, id);
         id
     }
 
     /// Look up an existing label without interning.
     pub fn get(&self, name: &str) -> Option<EventId> {
-        self.map.get(name).copied()
+        let sym = Symbol::lookup(name)?;
+        self.map.get(&sym).copied()
     }
 
     /// The label for an id. Panics on a foreign id.
-    pub fn name(&self, id: EventId) -> &str {
-        &self.names[id.0 as usize]
+    pub fn name(&self, id: EventId) -> &'static str {
+        self.names[id.0 as usize].as_str()
     }
 
     /// Number of distinct labels.

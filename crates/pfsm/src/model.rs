@@ -17,7 +17,8 @@
 
 use crate::invariants::{mine_invariants, Invariants};
 use crate::{EventId, TraceLog};
-use std::collections::{HashMap, HashSet, VecDeque};
+use behaviot_intern::{FxHashMap, FxHashSet};
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 
 /// Index into the PFSM state array. `INITIAL` and `FINAL` are reserved.
@@ -69,11 +70,11 @@ pub struct Pfsm {
     /// Event type of each state (`None` for INITIAL/FINAL at indices 0, 1).
     state_event: Vec<Option<EventId>>,
     /// Transition counts `(from, to) -> count`, including INITIAL and FINAL.
-    trans: HashMap<(StateId, StateId), u64>,
+    trans: FxHashMap<(StateId, StateId), u64>,
     /// Total outgoing count per state.
-    out_total: HashMap<StateId, u64>,
+    out_total: FxHashMap<StateId, u64>,
     /// States per event type (refinement can split a type across states).
-    by_event: HashMap<EventId, Vec<StateId>>,
+    by_event: FxHashMap<EventId, Vec<StateId>>,
     /// Smoothing pseudo-count.
     alpha: f64,
     /// Number of splits performed during refinement.
@@ -89,7 +90,7 @@ impl Pfsm {
         let mut assignment: Vec<Vec<usize>> = Vec::with_capacity(log.traces.len());
         let mut parts: Vec<Vec<(usize, usize)>> = Vec::new(); // part -> instances
         let mut part_event: Vec<EventId> = Vec::new();
-        let mut by_type: HashMap<EventId, usize> = HashMap::new();
+        let mut by_type: FxHashMap<EventId, usize> = FxHashMap::default();
         for (t, trace) in log.traces.iter().enumerate() {
             let mut row = Vec::with_capacity(trace.len());
             for (i, &ev) in trace.iter().enumerate() {
@@ -119,7 +120,7 @@ impl Pfsm {
 
         // Build the final machine: state 0 INITIAL, 1 FINAL, then one state
         // per (non-empty) partition.
-        let mut part_to_state: HashMap<usize, StateId> = HashMap::new();
+        let mut part_to_state: FxHashMap<usize, StateId> = FxHashMap::default();
         let mut state_event: Vec<Option<EventId>> = vec![None, None];
         for (pid, instances) in parts.iter().enumerate() {
             if instances.is_empty() {
@@ -129,7 +130,7 @@ impl Pfsm {
             state_event.push(Some(part_event[pid]));
             part_to_state.insert(pid, sid);
         }
-        let mut trans: HashMap<(StateId, StateId), u64> = HashMap::new();
+        let mut trans: FxHashMap<(StateId, StateId), u64> = FxHashMap::default();
         for (t, trace) in log.traces.iter().enumerate() {
             let mut prev = INITIAL;
             for i in 0..trace.len() {
@@ -139,11 +140,11 @@ impl Pfsm {
             }
             *trans.entry((prev, FINAL)).or_insert(0) += 1;
         }
-        let mut out_total: HashMap<StateId, u64> = HashMap::new();
+        let mut out_total: FxHashMap<StateId, u64> = FxHashMap::default();
         for (&(from, _), &c) in &trans {
             *out_total.entry(from).or_insert(0) += c;
         }
-        let mut by_event: HashMap<EventId, Vec<StateId>> = HashMap::new();
+        let mut by_event: FxHashMap<EventId, Vec<StateId>> = FxHashMap::default();
         for (idx, ev) in state_event.iter().enumerate() {
             if let Some(ev) = ev {
                 by_event.entry(*ev).or_default().push(StateId(idx as u32));
@@ -223,13 +224,13 @@ impl Pfsm {
     /// training (no smoothing)? Nondeterministic traversal over the state
     /// subsets compatible with each event.
     pub fn accepts(&self, trace: &[Option<EventId>]) -> bool {
-        let mut current: HashSet<StateId> = HashSet::from([INITIAL]);
+        let mut current: FxHashSet<StateId> = [INITIAL].into_iter().collect();
         for ev in trace {
             let Some(ev) = ev else { return false };
             let Some(cands) = self.by_event.get(ev) else {
                 return false;
             };
-            let next: HashSet<StateId> = cands
+            let next: FxHashSet<StateId> = cands
                 .iter()
                 .copied()
                 .filter(|&s| current.iter().any(|&c| self.trans.contains_key(&(c, s))))
@@ -441,7 +442,7 @@ fn try_refine_query(
     // Abstract adjacency over partitions; usize::MAX-1 = INITIAL, MAX = FINAL.
     const INIT_N: usize = usize::MAX - 1;
     const FINAL_N: usize = usize::MAX;
-    let mut adj: HashMap<usize, HashSet<usize>> = HashMap::new();
+    let mut adj: FxHashMap<usize, FxHashSet<usize>> = FxHashMap::default();
     for (t, trace) in log.traces.iter().enumerate() {
         let mut prev = INIT_N;
         for &cur in assignment[t].iter().take(trace.len()) {
@@ -470,9 +471,9 @@ fn try_refine_query(
             .filter(|&p| !parts[p].is_empty() && q.from_event.is_some_and(|e| part_event[p] == e))
             .collect()
     };
-    let mut parent: HashMap<usize, usize> = HashMap::new();
+    let mut parent: FxHashMap<usize, usize> = FxHashMap::default();
     let mut queue: VecDeque<usize> = VecDeque::new();
-    let mut seen: HashSet<usize> = HashSet::new();
+    let mut seen: FxHashSet<usize> = FxHashSet::default();
     for &s in &sources {
         if avoid(s) {
             continue;
@@ -655,7 +656,7 @@ mod tests {
         assert!((m.transition_prob(a, c) - 1.0 / 3.0).abs() < 1e-12);
         assert!((m.transition_prob(INITIAL, a) - 1.0).abs() < 1e-12);
         // All outgoing mass sums to 1 per state.
-        let mut sums: HashMap<StateId, f64> = HashMap::new();
+        let mut sums: FxHashMap<StateId, f64> = FxHashMap::default();
         for (from, _, _, p) in m.transitions() {
             *sums.entry(from).or_insert(0.0) += p;
         }

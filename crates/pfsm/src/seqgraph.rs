@@ -6,7 +6,7 @@
 //! sequence graph holds 710 nodes and 910 edges versus the PFSM's 35/211.
 
 use crate::{EventId, TraceLog};
-use std::collections::HashSet;
+use behaviot_intern::FxHashSet;
 
 /// The deterministic sequence-graph model.
 #[derive(Debug, Clone)]
@@ -19,7 +19,7 @@ impl SeqGraph {
     /// Build from a log; identical traces are deduplicated (they add no
     /// nodes or edges).
     pub fn build(log: &TraceLog) -> Self {
-        let mut seen: HashSet<&[EventId]> = HashSet::new();
+        let mut seen: FxHashSet<&[EventId]> = FxHashSet::default();
         let mut chains = Vec::new();
         for t in &log.traces {
             if seen.insert(t.as_slice()) {

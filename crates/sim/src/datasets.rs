@@ -384,16 +384,16 @@ mod tests {
         use std::collections::HashSet;
         let c = catalog();
         let cap = activity_dataset(&c, 2, 2);
-        let mut seen: HashSet<(usize, String)> = HashSet::new();
+        let mut seen: HashSet<(usize, behaviot_intern::Symbol)> = HashSet::new();
         for t in &cap.truth {
-            if let TruthLabel::User(a) = &t.label {
-                seen.insert((t.device, a.clone()));
+            if let TruthLabel::User(a) = t.label {
+                seen.insert((t.device, a));
             }
         }
         for (di, dev) in c.devices.iter().enumerate() {
             for act in &dev.activities {
                 assert!(
-                    seen.contains(&(di, act.name.clone())),
+                    seen.contains(&(di, act.name.as_str().into())),
                     "{} {}",
                     dev.name,
                     act.name

@@ -10,6 +10,7 @@
 use crate::catalog::Catalog;
 use crate::types::{PacketPattern, TruthEvent, TruthLabel};
 use behaviot_flows::{DomainTable, GatewayPacket};
+use behaviot_intern::Symbol;
 use behaviot_net::{dns, ethernet, ipv4, pcap::PcapRecord, tcp, tls, udp, MacAddr, Proto};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -205,7 +206,7 @@ impl<'a> TrafficGenerator<'a> {
                     truth.push(TruthEvent {
                         ts: t,
                         device: di,
-                        label: TruthLabel::Periodic(spec.domain.clone(), spec.proto),
+                        label: TruthLabel::Periodic(Symbol::intern(&spec.domain), spec.proto),
                     });
                 }
             }
@@ -260,7 +261,7 @@ impl<'a> TrafficGenerator<'a> {
                     truth.push(TruthEvent {
                         ts: t,
                         device: di,
-                        label: TruthLabel::Periodic(peer_ip.to_string(), Proto::Tcp),
+                        label: TruthLabel::Periodic(Symbol::intern_ipv4(peer_ip), Proto::Tcp),
                     });
                 }
             }
@@ -394,7 +395,7 @@ impl<'a> TrafficGenerator<'a> {
             truth.push(TruthEvent {
                 ts: ev.ts,
                 device: ev.device,
-                label: TruthLabel::User(ev.activity.clone()),
+                label: TruthLabel::User(Symbol::intern(&ev.activity)),
             });
         }
 
@@ -683,7 +684,7 @@ mod tests {
             .iter()
             .filter(|t| {
                 t.device == plug
-                    && matches!(&t.label, TruthLabel::Periodic(d, _) if d.contains("tplinkcloud"))
+                    && matches!(&t.label, TruthLabel::Periodic(d, _) if d.as_str().contains("tplinkcloud"))
             })
             .map(|t| t.ts)
             .collect();
@@ -840,7 +841,7 @@ mod local_peer_tests {
         // Truth labels carry the peer address as the group key.
         assert!(cap.truth.iter().any(|t| matches!(
             &t.label,
-            TruthLabel::Periodic(d, Proto::Tcp) if d == &bulb.to_string()
+            TruthLabel::Periodic(d, Proto::Tcp) if *d == bulb.to_string().as_str()
         )));
     }
 

@@ -68,9 +68,9 @@ pub fn label_flows(
                 // Periodic truth must match the flow's destination group;
                 // user/aperiodic match on time alone (their destinations
                 // vary with hiding/mimicking pathologies).
-                if let TruthLabel::Periodic(domain, proto) = &e.label {
+                if let TruthLabel::Periodic(domain, proto) = e.label {
                     let (fd, fp) = f.group_key();
-                    if fd != *domain || fp != *proto {
+                    if fd != domain || fp != proto {
                         continue;
                     }
                 }
@@ -93,7 +93,7 @@ pub fn label_flows(
             LabeledFlow {
                 flow: f.clone(),
                 device,
-                label: best.map(|(e, _, _)| e.label.clone()),
+                label: best.map(|(e, _, _)| e.label),
             }
         })
         .collect()

@@ -1,6 +1,7 @@
 //! Core simulator types: device specifications, traffic patterns, ground
 //! truth.
 
+use behaviot_intern::Symbol;
 use behaviot_net::Proto;
 
 /// Destination-party classification used by the Table 5 analysis:
@@ -181,12 +182,15 @@ impl DeviceSpec {
 }
 
 /// What a generated traffic event actually was (ground truth).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Labels are interned [`Symbol`]s so truth events stay `Copy`-cheap and
+/// compare against the pipeline's inferred labels without allocating.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TruthLabel {
     /// A user event with its activity label.
-    User(String),
+    User(Symbol),
     /// An occurrence of a periodic model, identified by `(domain, proto)`.
-    Periodic(String, Proto),
+    Periodic(Symbol, Proto),
     /// Unscheduled background traffic.
     Aperiodic,
 }

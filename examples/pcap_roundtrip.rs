@@ -79,7 +79,7 @@ fn main() {
             f.start,
             f.proto,
             f.device,
-            f.domain.as_deref().unwrap_or("-"),
+            f.domain_str().unwrap_or("-"),
             f.n_packets,
             f.total_bytes
         );

@@ -76,7 +76,7 @@ fn main() {
         .iter()
         .filter(|m| m.device == plug)
         .collect();
-    mine.sort_by(|a, b| a.destination.cmp(&b.destination));
+    mine.sort_by_key(|m| m.destination);
     for m in mine {
         println!("  {}-{} every {:.0} s", m.proto, m.destination, m.period());
     }

@@ -9,6 +9,15 @@ verify:
 bench-pipeline:
     scripts/bench_pipeline.sh
 
+# Ingest-path bench (string baseline vs interned zero-copy) -> BENCH_ingest.json
+bench-ingest:
+    scripts/bench_ingest.sh
+
+# Fast smoke run of the ingest bench (tiny per-sample time budget; still
+# asserts the two ingest paths agree) — the CI-friendly subset of bench-ingest
+bench-smoke:
+    CRITERION_SAMPLE_MS=5 cargo bench -p behaviot-bench --bench ingest
+
 # Tier-1 gate only
 test:
     cargo build --release && cargo test -q

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Run the ingest-path bench (string-keyed owned baseline vs interned
+# zero-copy path) and write the machine-readable results to
+# BENCH_ingest.json. The acceptance bar for the interning PR is
+# `ingest/interned_zero_copy` ≥ 1.5x the packets/sec of
+# `ingest/string_owned`; compare the two entries' mean_ns to read it off.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Absolute path: cargo runs the bench with the package dir as cwd, so a
+# relative CRITERION_JSON would land in crates/bench/.
+out="$(pwd)/${1:-BENCH_ingest.json}"
+CRITERION_JSON="$out" cargo bench -p behaviot-bench --bench ingest
+echo "wrote $out"

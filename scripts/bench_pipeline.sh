@@ -6,6 +6,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pipeline.json}"
+# Absolute path: cargo runs the bench with the package dir as cwd, so a
+# relative CRITERION_JSON would land in crates/bench/.
+out="$(pwd)/${1:-BENCH_pipeline.json}"
 CRITERION_JSON="$out" cargo bench -p behaviot-bench --bench parallel
 echo "wrote $out"

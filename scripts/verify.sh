@@ -19,10 +19,14 @@ BEHAVIOT_THREADS=2 cargo test --release -q -p behaviot-harness --test parallel_d
 echo "==> determinism: BEHAVIOT_THREADS=off"
 BEHAVIOT_THREADS=off cargo test --release -q -p behaviot-harness --test parallel_determinism
 
-echo "==> clippy -D warnings (parallel-pipeline crates)"
+echo "==> clippy -D warnings (parallel-pipeline + interning crates)"
 cargo clippy --release -q \
   -p behaviot-par -p behaviot-dsp -p behaviot-forest -p behaviot-flows \
   -p behaviot -p behaviot-bench -p behaviot-harness \
+  -p behaviot-intern -p behaviot-net -p behaviot-pfsm -p behaviot-sim \
   --all-targets -- -D warnings
+
+echo "==> bench smoke: ingest paths must agree (tiny sample budget)"
+CRITERION_SAMPLE_MS=5 cargo bench -p behaviot-bench --bench ingest >/dev/null
 
 echo "verify: OK"

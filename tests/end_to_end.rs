@@ -31,12 +31,12 @@ fn build_world() -> World {
     // Time split for idle; alternating split for activity.
     let cut = idle_labeled.len() * 6 / 10;
     let (idle_train, idle_test) = idle_labeled.split_at(cut);
-    let mut counters: HashMap<(usize, Option<String>), usize> = HashMap::new();
+    let mut counters: HashMap<(usize, Option<behaviot_intern::Symbol>), usize> = HashMap::new();
     let mut act_train = Vec::new();
     let mut act_test = Vec::new();
     for l in &act_labeled {
-        let label = match &l.label {
-            Some(TruthLabel::User(a)) => Some(a.clone()),
+        let label = match l.label {
+            Some(TruthLabel::User(a)) => Some(a),
             _ => None,
         };
         let c = counters.entry((l.device, label)).or_insert(0);
