@@ -150,8 +150,56 @@ impl BehavIoT {
     /// (count-up timers advance in flow order) and stays serial. The result
     /// is identical for every thread policy.
     pub fn infer_events_with(&self, flows: &[FlowRecord], par: Parallelism) -> Vec<InferredEvent> {
+        self.infer_events_with_report(flows, par).0
+    }
+
+    /// [`Self::infer_events_with`] plus ingest accounting: flows carrying a
+    /// non-finite start/end or a negative duration (possible when the flow
+    /// assembly upstream ran over a corrupted capture) are clamped to a
+    /// sane zero-duration form instead of panicking, and each clamp is
+    /// counted in the returned [`IngestReport`]. On well-formed input the
+    /// report is all-zero and the events are identical to
+    /// [`Self::infer_events_with`].
+    pub fn infer_events_with_report(
+        &self,
+        flows: &[FlowRecord],
+        par: Parallelism,
+    ) -> (Vec<InferredEvent>, behaviot_net::IngestReport) {
+        let mut report = behaviot_net::IngestReport::new();
+        // Fast path: nothing to sanitize (the overwhelmingly common case).
+        let needs_clamp =
+            |f: &FlowRecord| !f.start.is_finite() || !f.end.is_finite() || f.end < f.start;
+        let sanitized: Vec<FlowRecord>;
+        let flows: &[FlowRecord] = if flows.iter().any(needs_clamp) {
+            sanitized = flows
+                .iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    if !needs_clamp(f) {
+                        return f.clone();
+                    }
+                    let mut f = f.clone();
+                    if !f.start.is_finite() {
+                        f.start = 0.0;
+                    }
+                    if !f.end.is_finite() || f.end < f.start {
+                        f.end = f.start;
+                    }
+                    report.note(
+                        behaviot_net::IngestCategory::ClampedEvent,
+                        i as u64,
+                        f.start,
+                        "non-finite or negative flow duration clamped",
+                    );
+                    f
+                })
+                .collect();
+            &sanitized
+        } else {
+            flows
+        };
         let mut ordered: Vec<&FlowRecord> = flows.iter().collect();
-        ordered.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("NaN flow start"));
+        ordered.sort_by(|a, b| a.start.total_cmp(&b.start));
         let user_hits: Vec<Option<(Symbol, f64)>> =
             par_map(par, &ordered, |f| self.user.classify(f.device, &f.features));
         let mut periodic_clf = PeriodicClassifier::new(&self.periodic);
@@ -179,7 +227,7 @@ impl BehavIoT {
                 kind,
             });
         }
-        out
+        (out, report)
     }
 }
 
@@ -326,6 +374,32 @@ mod tests {
         ];
         let events = models.infer_events(&test);
         assert!(events[0].ts <= events[1].ts);
+    }
+
+    #[test]
+    fn non_finite_durations_clamped_not_panicking() {
+        let models = BehavIoT::train(&training_data(), &TrainConfig::default());
+        let mut bad_start = flow("hb.cloud.com", 100.0, 120.0);
+        bad_start.start = f64::NAN;
+        let mut bad_end = flow("hb.cloud.com", 200.0, 120.0);
+        bad_end.end = f64::NEG_INFINITY;
+        let mut negative = flow("hb.cloud.com", 300.0, 120.0);
+        negative.end = negative.start - 5.0;
+        let good = flow("hb.cloud.com", 400.0, 120.0);
+        let flows = vec![bad_start, bad_end, negative, good.clone()];
+        let (events, report) =
+            models.infer_events_with_report(&flows, Parallelism::Off);
+        assert_eq!(events.len(), 4);
+        assert_eq!(report.clamped_events, 3);
+        assert!(events.iter().all(|e| e.ts.is_finite()));
+        // A NaN start clamps to 0.0 and therefore sorts first.
+        assert_eq!(events[0].ts, 0.0);
+
+        // Well-formed input: all-zero report, identical events.
+        let (clean_events, clean_report) =
+            models.infer_events_with_report(std::slice::from_ref(&good), Parallelism::Off);
+        assert!(clean_report.is_clean());
+        assert_eq!(clean_events, models.infer_events(&[good]));
     }
 
     #[test]

@@ -18,6 +18,11 @@ pub struct FlowConfig {
     pub subnet: Ipv4Addr,
     /// LAN prefix length.
     pub prefix_len: u8,
+    /// How far backwards (seconds) a packet timestamp may step before the
+    /// streaming assembler treats it as a clock jump and re-anchors its
+    /// eviction clock instead of trusting the old high-water mark. Bounded
+    /// out-of-order delivery below this threshold is absorbed as-is.
+    pub clock_jump_tolerance: f64,
 }
 
 impl Default for FlowConfig {
@@ -26,6 +31,7 @@ impl Default for FlowConfig {
             burst_gap: 1.0,
             subnet: Ipv4Addr::new(192, 168, 0, 0),
             prefix_len: 16,
+            clock_jump_tolerance: 60.0,
         }
     }
 }
@@ -122,7 +128,7 @@ pub fn assemble_flows(
     cfg: &FlowConfig,
 ) -> Vec<FlowRecord> {
     let mut sorted: Vec<&GatewayPacket> = packets.iter().collect();
-    sorted.sort_by(|a, b| a.ts.partial_cmp(&b.ts).expect("NaN timestamp"));
+    sorted.sort_by(|a, b| a.ts.total_cmp(&b.ts));
 
     // Group by unordered 5-tuple, fixing orientation at first sight.
     let mut flows: FxHashMap<Unordered, (FlowKey, Vec<PacketView>)> = FxHashMap::default();
@@ -199,7 +205,7 @@ pub fn assemble_flows(
             });
         }
     }
-    out.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+    out.sort_by(|a, b| a.start.total_cmp(&b.start));
     out
 }
 

@@ -46,27 +46,52 @@ pub struct ParsedFrame {
     pub sni: Option<String>,
 }
 
-/// Parse an Ethernet frame captured at time `ts`. Returns `None` for
-/// non-IPv4 frames or transports other than TCP/UDP (ARP, ICMP, IPv6 — the
-/// paper's pipeline also models only TCP/UDP flows). Malformed IPv4/TCP/UDP
-/// content yields `None` as well: a measurement pipeline skips garbage
-/// rather than aborting the capture.
-pub fn parse_frame(ts: f64, frame: &[u8]) -> Option<ParsedFrame> {
-    let eth = ethernet::parse(frame).ok()?;
+/// How a link-layer frame relates to the flow pipeline.
+///
+/// The distinction between [`FrameClass::NonIp`] and [`FrameClass::Corrupt`]
+/// matters for ingest accounting: a clean capture is full of ARP/ICMP/IPv6
+/// chatter the pipeline legitimately ignores, but a *mangled* IPv4 TCP/UDP
+/// frame is evidence of capture corruption and must be counted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameClass {
+    /// An IPv4 TCP/UDP frame the pipeline models.
+    Flow(ParsedFrame),
+    /// A well-formed frame of a kind the pipeline does not model
+    /// (ARP, IPv6, ICMP, ...).
+    NonIp,
+    /// A frame that claims to be (or should be) IPv4 TCP/UDP but fails
+    /// structural or checksum validation.
+    Corrupt(&'static str),
+}
+
+/// Classify an Ethernet frame captured at time `ts`: parse it into a
+/// [`ParsedFrame`] if it is a well-formed IPv4 TCP/UDP frame, report it as
+/// [`FrameClass::NonIp`] if it is a frame kind the pipeline does not model,
+/// and as [`FrameClass::Corrupt`] if it fails validation. Never panics.
+pub fn classify_frame(ts: f64, frame: &[u8]) -> FrameClass {
+    let eth = match ethernet::parse(frame) {
+        Ok(e) => e,
+        Err(_) => return FrameClass::Corrupt("short ethernet frame"),
+    };
     if eth.ethertype != ethernet::ETHERTYPE_IPV4 {
-        return None;
+        return FrameClass::NonIp;
     }
-    let ip = ipv4::parse(eth.payload).ok()?;
-    let proto = ip.proto()?;
+    let ip = match ipv4::parse(eth.payload) {
+        Ok(ip) => ip,
+        Err(_) => return FrameClass::Corrupt("ipv4 header invalid"),
+    };
+    let Some(proto) = ip.proto() else {
+        return FrameClass::NonIp;
+    };
     let (src_port, dst_port, payload): (u16, u16, &[u8]) = match proto {
-        Proto::Tcp => {
-            let seg = tcp::parse(ip.src, ip.dst, ip.payload).ok()?;
-            (seg.src_port, seg.dst_port, seg.payload)
-        }
-        Proto::Udp => {
-            let dg = udp::parse(ip.src, ip.dst, ip.payload).ok()?;
-            (dg.src_port, dg.dst_port, dg.payload)
-        }
+        Proto::Tcp => match tcp::parse(ip.src, ip.dst, ip.payload) {
+            Ok(seg) => (seg.src_port, seg.dst_port, seg.payload),
+            Err(_) => return FrameClass::Corrupt("tcp segment invalid"),
+        },
+        Proto::Udp => match udp::parse(ip.src, ip.dst, ip.payload) {
+            Ok(dg) => (dg.src_port, dg.dst_port, dg.payload),
+            Err(_) => return FrameClass::Corrupt("udp datagram invalid"),
+        },
     };
 
     let mut dns_mappings = Vec::new();
@@ -85,7 +110,7 @@ pub fn parse_frame(ts: f64, frame: &[u8]) -> Option<ParsedFrame> {
         None
     };
 
-    Some(ParsedFrame {
+    FrameClass::Flow(ParsedFrame {
         packet: GatewayPacket {
             ts,
             src: ip.src,
@@ -98,6 +123,19 @@ pub fn parse_frame(ts: f64, frame: &[u8]) -> Option<ParsedFrame> {
         dns_mappings,
         sni,
     })
+}
+
+/// Parse an Ethernet frame captured at time `ts`. Returns `None` for
+/// non-IPv4 frames or transports other than TCP/UDP (ARP, ICMP, IPv6 — the
+/// paper's pipeline also models only TCP/UDP flows). Malformed IPv4/TCP/UDP
+/// content yields `None` as well: a measurement pipeline skips garbage
+/// rather than aborting the capture. [`classify_frame`] is the variant that
+/// distinguishes the two cases for ingest accounting.
+pub fn parse_frame(ts: f64, frame: &[u8]) -> Option<ParsedFrame> {
+    match classify_frame(ts, frame) {
+        FrameClass::Flow(p) => Some(p),
+        FrameClass::NonIp | FrameClass::Corrupt(_) => None,
+    }
 }
 
 #[cfg(test)]
@@ -192,5 +230,41 @@ mod tests {
     fn icmp_skipped() {
         let frame = wrap_ip(ipv4::encode(DEV, SRV, 1, 11, &[0u8; 8]));
         assert!(parse_frame(0.0, &frame).is_none());
+    }
+
+    #[test]
+    fn classify_distinguishes_non_ip_from_corrupt() {
+        // ARP and ICMP are well-formed non-flow traffic.
+        let arp = ethernet::encode(
+            MacAddr::BROADCAST,
+            MacAddr::from_index(1),
+            ethernet::ETHERTYPE_ARP,
+            &[0u8; 28],
+        );
+        assert_eq!(classify_frame(0.0, &arp), FrameClass::NonIp);
+        let icmp = wrap_ip(ipv4::encode(DEV, SRV, 1, 11, &[0u8; 8]));
+        assert_eq!(classify_frame(0.0, &icmp), FrameClass::NonIp);
+
+        // A valid TCP frame classifies as Flow...
+        let seg = tcp::encode(DEV, SRV, 40000, 443, 1, 0, TcpFlags::DATA, b"data");
+        let mut frame = wrap_ip(ipv4::encode(DEV, SRV, 6, 7, &seg));
+        assert!(matches!(
+            classify_frame(1.0, &frame),
+            FrameClass::Flow(p) if p.packet.dst_port == 443
+        ));
+
+        // ...and flipping any byte past the Ethernet header breaks a
+        // checksum, turning it into Corrupt.
+        frame[30] ^= 0xff;
+        assert!(matches!(
+            classify_frame(1.0, &frame),
+            FrameClass::Corrupt(_)
+        ));
+
+        // Truncated to less than an Ethernet header is Corrupt too.
+        assert!(matches!(
+            classify_frame(0.0, &frame[..7]),
+            FrameClass::Corrupt(_)
+        ));
     }
 }

@@ -84,7 +84,7 @@ impl StreamingAssembler {
     /// of time advancing to this packet's timestamp onto `out`. Steady-state
     /// allocation-free: when nothing closes, nothing is allocated.
     pub fn push_into(&mut self, p: &GatewayPacket, domains: &DomainTable, out: &mut Vec<FlowRecord>) {
-        self.clock = self.clock.max(p.ts);
+        self.advance_clock(p.ts, domains, out);
         self.evict_into(domains, out);
 
         let src_local = is_local(p.src, self.cfg.subnet, self.cfg.prefix_len);
@@ -165,8 +165,44 @@ impl StreamingAssembler {
     /// Advance the clock without a packet (e.g. a timer tick), appending
     /// bursts that aged out onto `out`.
     pub fn tick_into(&mut self, now: f64, domains: &DomainTable, out: &mut Vec<FlowRecord>) {
-        self.clock = self.clock.max(now);
+        self.advance_clock(now, domains, out);
         self.evict_into(domains, out);
+    }
+
+    /// Advance the monotonized eviction clock to observed time `t`.
+    ///
+    /// Forward motion (and bounded backwards motion, up to
+    /// `cfg.clock_jump_tolerance`) keeps the clock at the high-water mark —
+    /// eviction must never run backwards for mere packet reordering. A
+    /// *large* backwards step is a clock jump (NTP step, capture restart):
+    /// keeping the stale high-water mark would instantly expire every burst
+    /// opened after the jump, forever. Instead the clock re-anchors to `t`,
+    /// and bursts stranded in the old epoch (unreachable from the new
+    /// timeline, so no future packet may legitimately extend them) are
+    /// closed once, cleanly.
+    fn advance_clock(&mut self, t: f64, domains: &DomainTable, out: &mut Vec<FlowRecord>) {
+        if t + self.cfg.clock_jump_tolerance >= self.clock {
+            self.clock = self.clock.max(t);
+            return;
+        }
+        let gap = self.cfg.burst_gap;
+        self.expired.clear();
+        self.expired.extend(
+            self.open
+                .iter()
+                .filter(|(_, b)| b.last_ts > t + gap)
+                .map(|(&k, _)| k),
+        );
+        let start = out.len();
+        let keys = std::mem::take(&mut self.expired);
+        for k in &keys {
+            let b = self.open.remove(k).expect("listed above");
+            self.close_burst(b, domains, out);
+        }
+        self.expired = keys;
+        out[start..].sort_by(|a, b| a.start.total_cmp(&b.start));
+        self.clock = t;
+        self.next_deadline = self.min_deadline(gap);
     }
 
     /// Close every remaining burst (end of capture), appending them onto
@@ -182,7 +218,7 @@ impl StreamingAssembler {
         }
         self.expired = keys;
         self.next_deadline = f64::INFINITY;
-        out[start..].sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        out[start..].sort_by(|a, b| a.start.total_cmp(&b.start));
     }
 
     /// Feed one packet; returns any bursts that closed as a consequence of
@@ -240,7 +276,7 @@ impl StreamingAssembler {
         }
         self.expired = keys;
         self.next_deadline = self.min_deadline(gap);
-        out[start..].sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        out[start..].sort_by(|a, b| a.start.total_cmp(&b.start));
     }
 
     /// Earliest instant any currently open burst can expire.
@@ -257,7 +293,7 @@ impl StreamingAssembler {
         let OpenBurst {
             key, mut packets, ..
         } = b;
-        packets.sort_by(|x, y| x.ts.partial_cmp(&y.ts).expect("NaN ts"));
+        packets.sort_by(|x, y| x.ts.total_cmp(&y.ts));
         let features = extract_with(&packets, &mut self.scratch);
         out.push(FlowRecord {
             device: key.device,
@@ -421,6 +457,73 @@ mod tests {
         s.flush_into(&domains, &mut sink);
         assert!(s.pool.len() <= POOL_CAP);
         assert!(!s.pool.is_empty());
+    }
+
+    #[test]
+    fn backwards_clock_jump_does_not_flush_every_flow() {
+        // Regression: eviction used the raw packet timestamp high-water
+        // mark as `now`, so after one backwards clock jump (here: 1 hour)
+        // every burst opened post-jump was instantly expired — each packet
+        // became its own single-packet burst, forever.
+        let domains = DomainTable::new();
+        let mut s = StreamingAssembler::new(FlowConfig::default());
+        let mut out = Vec::new();
+
+        // Pre-jump: a burst around t = 3600.
+        s.push_into(&pkt(3600.0, true, 100), &domains, &mut out);
+        s.push_into(&pkt(3600.2, false, 200), &domains, &mut out);
+        assert_eq!(s.open_bursts(), 1);
+
+        // The capture clock steps back one hour; a new burst arrives on a
+        // different flow over the next few hundred milliseconds.
+        let post: Vec<GatewayPacket> = (0..4)
+            .map(|i| GatewayPacket {
+                ts: 10.0 + i as f64 * 0.2,
+                src: DEV,
+                dst: SRV,
+                src_port: 41000,
+                dst_port: 443,
+                proto: Proto::Udp,
+                bytes: 90,
+            })
+            .collect();
+        for p in &post {
+            s.push_into(p, &domains, &mut out);
+        }
+        // The jump closed the stranded pre-jump burst (it is unreachable
+        // from the new timeline), and nothing else.
+        assert_eq!(out.len(), 1, "post-jump bursts were wrongly flushed");
+        assert_eq!(out[0].n_packets, 2);
+        assert!((out[0].start - 3600.0).abs() < 1e-9);
+        // The post-jump packets stayed one coherent open burst.
+        assert_eq!(s.open_bursts(), 1);
+        s.flush_into(&domains, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].n_packets, 4, "post-jump burst was fragmented");
+
+        // And eviction still works on the new timeline.
+        let mut s2 = StreamingAssembler::new(FlowConfig::default());
+        let mut out2 = Vec::new();
+        s2.push_into(&pkt(3600.0, true, 100), &domains, &mut out2);
+        s2.push_into(&pkt(10.0, false, 200), &domains, &mut out2);
+        s2.tick_into(20.0, &domains, &mut out2);
+        assert_eq!(out2.len(), 2, "eviction dead after re-anchor");
+    }
+
+    #[test]
+    fn small_reorder_below_tolerance_keeps_highwater_clock() {
+        // A dip smaller than clock_jump_tolerance is packet reordering,
+        // not a clock jump: the eviction clock must not move backwards.
+        let domains = DomainTable::new();
+        let mut s = StreamingAssembler::new(FlowConfig::default());
+        let mut out = Vec::new();
+        s.push_into(&pkt(100.0, true, 100), &domains, &mut out);
+        s.push_into(&pkt(99.8, false, 200), &domains, &mut out);
+        assert_eq!(s.open_bursts(), 1);
+        assert!(out.is_empty());
+        s.flush_into(&domains, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].n_packets, 2);
     }
 
     #[test]

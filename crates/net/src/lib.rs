@@ -25,9 +25,12 @@ pub mod icmp;
 pub mod ipv4;
 pub mod ntp;
 pub mod pcap;
+pub mod report;
 pub mod tcp;
 pub mod tls;
 pub mod udp;
+
+pub use report::{IngestCategory, IngestReport, IngestSample};
 
 use std::fmt;
 
@@ -52,6 +55,14 @@ pub enum NetError {
     },
     /// Wrapped I/O error (pcap file reading/writing).
     Io(String),
+    /// A lossy-tolerant ingest run dropped more records than its configured
+    /// error budget allows (`--max-drop-frac`).
+    BudgetExceeded {
+        /// Records dropped across all corruption categories.
+        dropped: u64,
+        /// Total records the stream was expected to carry.
+        total: u64,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -62,6 +73,10 @@ impl fmt::Display for NetError {
             }
             NetError::Invalid { what, reason } => write!(f, "invalid {what}: {reason}"),
             NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::BudgetExceeded { dropped, total } => write!(
+                f,
+                "ingest error budget exceeded: dropped {dropped} of {total} records"
+            ),
         }
     }
 }

@@ -27,6 +27,7 @@
 pub mod automation;
 pub mod catalog;
 pub mod datasets;
+pub mod faults;
 pub mod gen;
 pub mod label;
 pub mod types;
@@ -36,6 +37,7 @@ pub use datasets::{
     activity_dataset, idle_dataset, routine_dataset, uncontrolled_day, IncidentScript,
     UncontrolledConfig,
 };
+pub use faults::{write_pcap, ExpectedCounts, Fault, FaultPlan, CLOCK_JUMP_DELTA};
 pub use gen::{Capture, TrafficGenerator};
 pub use label::{label_flows, LabeledFlow};
 pub use types::{

@@ -18,6 +18,11 @@ bench-ingest:
 bench-smoke:
     CRITERION_SAMPLE_MS=5 cargo bench -p behaviot-bench --bench ingest
 
+# Three-seed chaos smoke: corrupted captures must ingest to exactly the
+# plan's predicted survivors, within a 25% drop-fraction error budget
+chaos:
+    cargo run --release -q -p behaviot-bench --bin chaos -- --seeds 3 --max-drop-frac 0.25
+
 # Tier-1 gate only
 test:
     cargo build --release && cargo test -q

@@ -19,6 +19,13 @@ BEHAVIOT_THREADS=2 cargo test --release -q -p behaviot-harness --test parallel_d
 echo "==> determinism: BEHAVIOT_THREADS=off"
 BEHAVIOT_THREADS=off cargo test --release -q -p behaviot-harness --test parallel_determinism
 
+echo "==> fault tolerance: seeded chaos differential battery"
+cargo test --release -q -p behaviot-harness --test fault_tolerance
+cargo test --release -q -p behaviot-net --test recovery_proptests
+
+echo "==> chaos smoke: 3 seeds through the corrupted-ingest contract"
+cargo run --release -q -p behaviot-bench --bin chaos -- --seeds 3 --max-drop-frac 0.25
+
 echo "==> clippy -D warnings (parallel-pipeline + interning crates)"
 cargo clippy --release -q \
   -p behaviot-par -p behaviot-dsp -p behaviot-forest -p behaviot-flows \
