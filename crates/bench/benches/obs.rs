@@ -1,0 +1,86 @@
+//! Observability overhead benchmark: the same ingest workload with the
+//! metrics registry + tracer fully enabled versus fully disabled.
+//!
+//! The workload is the instrumented ingest path end to end: lossy-tolerant
+//! pcap ingest (`ingest.pcap` span, `ingest.*` counters published once per
+//! run), batch flow assembly (`flows.assemble` span, `flows.assembled`
+//! counter), and the streaming assembler (`flows.stream_bursts`, the one
+//! counter that fires per closed burst rather than per run). The two sides
+//! differ only in registry/tracer state, so their delta is the full price
+//! of observability on the hot path.
+//!
+//! Acceptance bar (ISSUE, satellite d): `obs/instrumented` mean_ns must be
+//! within 5% of `obs/uninstrumented`. `scripts/bench_obs.sh` runs this with
+//! `CRITERION_JSON` set to produce `BENCH_obs.json` and checks the bar.
+
+use behaviot_flows::ingest::{ingest_pcap_bytes, IngestOptions};
+use behaviot_flows::{assemble_flows, FlowConfig, StreamingAssembler};
+use behaviot_sim::gen::{capture_to_frames, GenOptions, TrafficGenerator};
+use behaviot_sim::{write_pcap, Catalog};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+/// Simulate a capture and render it as an in-memory pcap byte stream.
+fn pcap_bytes() -> (Vec<u8>, u64) {
+    let catalog = Catalog::standard();
+    let generator = TrafficGenerator::new(&catalog, 42);
+    let capture = generator.generate(0.0, 1800.0, &[], &GenOptions::default());
+    let frames = capture_to_frames(&capture, &catalog);
+    (write_pcap(&frames), frames.len() as u64)
+}
+
+/// The measured routine: ingest + batch assembly + streaming assembly.
+/// Identical work on both sides; only the observability state differs.
+fn ingest_workload(bytes: &[u8]) -> (usize, usize, usize) {
+    let ingested =
+        ingest_pcap_bytes(bytes, &IngestOptions::default()).expect("bench capture must ingest");
+    let fc = FlowConfig::default();
+    let flows = assemble_flows(&ingested.packets, &ingested.domains, &fc);
+    let mut streaming = StreamingAssembler::new(fc);
+    let mut streamed = Vec::new();
+    for p in &ingested.packets {
+        streaming.push_into(p, &ingested.domains, &mut streamed);
+    }
+    streaming.flush_into(&ingested.domains, &mut streamed);
+    (ingested.packets.len(), flows.len(), streamed.len())
+}
+
+fn bench_obs(c: &mut Criterion) {
+    let (bytes, n_packets) = pcap_bytes();
+
+    // Both sides must produce identical results before timings mean
+    // anything — observability may not change behavior.
+    behaviot_obs::metrics().set_enabled(true);
+    behaviot_obs::tracer().set_enabled(true);
+    let on = ingest_workload(&bytes);
+    behaviot_obs::tracer().set_enabled(false);
+    behaviot_obs::tracer().clear();
+    behaviot_obs::metrics().set_enabled(false);
+    let off = ingest_workload(&bytes);
+    assert_eq!(on, off, "observability state changed the pipeline output");
+
+    let mut g = c.benchmark_group("obs");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n_packets));
+
+    behaviot_obs::metrics().set_enabled(false);
+    behaviot_obs::tracer().set_enabled(false);
+    g.bench_function("uninstrumented", |b| b.iter(|| ingest_workload(&bytes)));
+
+    behaviot_obs::metrics().set_enabled(true);
+    behaviot_obs::tracer().set_enabled(true);
+    g.bench_function("instrumented", |b| {
+        b.iter(|| {
+            // Bound span memory: drop the handful of spans each run records
+            // (ingest.pcap + flows.assemble) instead of accumulating across
+            // thousands of iterations. One Mutex lock per run, in the noise.
+            behaviot_obs::tracer().clear();
+            ingest_workload(&bytes)
+        })
+    });
+    behaviot_obs::tracer().set_enabled(false);
+    behaviot_obs::tracer().clear();
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

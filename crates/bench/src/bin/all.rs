@@ -1,11 +1,12 @@
 //! Runs every table/figure experiment in one pass (shared dataset prep).
 //! Pass --quick for reduced scale, --threads auto|off|N for the thread
 //! policy (results are identical under every policy).
-use behaviot_bench::{experiments as e, parallelism_from_args, scale_from_args, Prepared};
+use behaviot_bench::{experiments as e, parallelism_from_args, scale_from_args, ObsSession, Prepared};
 
 type Section<'a> = (&'a str, Box<dyn Fn() -> String + 'a>);
 
 fn main() {
+    let obs = ObsSession::from_args();
     let scale = scale_from_args();
     let parallelism = parallelism_from_args();
     eprintln!("[all] building datasets + models ({scale:?}, threads {parallelism})...");
@@ -36,4 +37,5 @@ fn main() {
         eprintln!("[all] {name} done in {:.1?}", t.elapsed());
         println!("{report}");
     }
+    obs.finish();
 }

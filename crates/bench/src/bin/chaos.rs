@@ -67,9 +67,20 @@ fn parse_args() -> Args {
                 out.max_drop_frac = Some(v);
             }
             "--sweep" => out.sweep = true,
+            // Observability destinations: values are consumed here to keep
+            // the parser strict; ObsSession::from_args reads them itself.
+            "--trace" => {
+                let _ = value_of("--trace");
+            }
+            "--metrics-out" => {
+                let _ = value_of("--metrics-out");
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: chaos [--seeds N] [--faults N] [--max-drop-frac F] [--sweep]");
+                eprintln!(
+                    "usage: chaos [--seeds N] [--faults N] [--max-drop-frac F] [--sweep] \
+                     [--trace PATH] [--metrics-out PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -135,11 +146,10 @@ fn run_seed(catalog: &Catalog, seed: u64, faults: usize, max_drop_frac: Option<f
     }
 
     println!(
-        "[seed {seed}] ok: {} records, {} faults, dropped {} ({:.3}%), {} packets survive",
+        "[seed {seed}] ok: {} records, {} faults, {}, {} packets survive",
         records.len(),
         plan.faults.len(),
-        corrupted.report.dropped_records(),
-        corrupted.report.drop_frac(corrupted.records_seen) * 100.0,
+        corrupted.report.drop_summary(corrupted.records_seen),
         corrupted.packets.len()
     );
     println!("  {}", corrupted.report);
@@ -216,16 +226,19 @@ fn run_sweep(catalog: &Catalog, seed: u64, max_drop_frac: Option<f64>) {
 }
 
 fn main() {
+    let obs = behaviot_bench::ObsSession::from_args();
     let args = parse_args();
     let catalog = Catalog::standard();
     if args.sweep {
         run_sweep(&catalog, 1, args.max_drop_frac);
+        obs.finish();
         return;
     }
     let mut ok = true;
     for seed in 1..=args.seeds {
         ok &= run_seed(&catalog, seed, args.faults, args.max_drop_frac);
     }
+    obs.finish();
     if !ok {
         std::process::exit(1);
     }

@@ -1,4 +1,6 @@
 //! §5.1 synthetic periodicity experiment (100/100/100 sequences).
 fn main() {
+    let obs = behaviot_bench::ObsSession::from_args();
     println!("{}", behaviot_bench::experiments::exp_periodicity(0x5EED));
+    obs.finish();
 }

@@ -1,0 +1,18 @@
+//! One full pipeline pass through every instrumented stage, for exercising
+//! the observability plumbing end to end:
+//!
+//! ```text
+//! obs_smoke [--threads auto|off|N] [--trace spans.json] [--metrics-out metrics.jsonl]
+//! ```
+//!
+//! The trace file is Chrome Trace Event Format (load it at
+//! <https://ui.perfetto.dev>); the metrics file is one JSON object per line,
+//! byte-identical under every `--threads` policy.
+use behaviot_bench::{parallelism_from_args, smoke, ObsSession};
+
+fn main() {
+    let obs = ObsSession::from_args();
+    let par = parallelism_from_args();
+    println!("{}", smoke::run_smoke(par));
+    obs.finish();
+}

@@ -1,6 +1,8 @@
 //! Regenerates the paper's `table5` result. Pass --quick for reduced scale.
-use behaviot_bench::{experiments, parallelism_from_args, scale_from_args, Prepared};
+use behaviot_bench::{experiments, parallelism_from_args, scale_from_args, ObsSession, Prepared};
 fn main() {
+    let obs = ObsSession::from_args();
     let p = Prepared::build_with(scale_from_args(), parallelism_from_args());
     println!("{}", experiments::table5(&p));
+    obs.finish();
 }

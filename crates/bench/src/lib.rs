@@ -7,10 +7,13 @@
 //! evaluation in one run, and each `--bin tableN` stays a thin wrapper.
 
 pub mod experiments;
+pub mod obs;
 pub mod prep;
 pub mod report;
+pub mod smoke;
 
 pub use behaviot_par::Parallelism;
+pub use obs::ObsSession;
 pub use prep::{Prepared, Scale};
 
 /// Parse the common CLI convention of the experiment binaries: `--quick`

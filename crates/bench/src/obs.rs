@@ -1,0 +1,96 @@
+//! CLI plumbing for observability: `--trace <path>`, `--metrics-out <path>`
+//! and the `BEHAVIOT_TRACE` environment variable, shared by every
+//! experiment binary.
+//!
+//! Construct an [`ObsSession`] at the top of `main` (it enables span
+//! recording if a trace destination was requested) and call
+//! [`ObsSession::finish`] before exiting (it writes the Chrome Trace Event
+//! file and the JSONL metrics snapshot). Binaries whose argument parsers
+//! tolerate unknown flags need no further changes; strict parsers must also
+//! accept the two flags.
+
+use std::path::PathBuf;
+
+/// Where this run's observability output goes, parsed from the CLI.
+pub struct ObsSession {
+    trace_path: Option<PathBuf>,
+    metrics_path: Option<PathBuf>,
+}
+
+fn flag_value(args: &[String], i: usize, flag: &str) -> Option<String> {
+    let a = &args[i];
+    if a == flag {
+        match args.get(i + 1) {
+            Some(v) => Some(v.clone()),
+            None => {
+                eprintln!("{flag} requires a path");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        a.strip_prefix(&format!("{flag}=")).map(str::to_string)
+    }
+}
+
+impl ObsSession {
+    /// Parse `--trace <path>` / `--trace=<path>` and `--metrics-out <path>`
+    /// / `--metrics-out=<path>` from the process arguments; the `BEHAVIOT_TRACE`
+    /// environment variable supplies the trace path when the flag is absent.
+    /// Enables span recording on the global tracer iff a trace destination
+    /// was requested (metrics recording is on by default regardless).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut trace_path: Option<PathBuf> = None;
+        let mut metrics_path: Option<PathBuf> = None;
+        for i in 0..args.len() {
+            if let Some(v) = flag_value(&args, i, "--trace") {
+                trace_path = Some(PathBuf::from(v));
+            }
+            if let Some(v) = flag_value(&args, i, "--metrics-out") {
+                metrics_path = Some(PathBuf::from(v));
+            }
+        }
+        if trace_path.is_none() {
+            if let Ok(v) = std::env::var("BEHAVIOT_TRACE") {
+                if !v.is_empty() {
+                    trace_path = Some(PathBuf::from(v));
+                }
+            }
+        }
+        if trace_path.is_some() {
+            behaviot_obs::tracer().set_enabled(true);
+        }
+        Self {
+            trace_path,
+            metrics_path,
+        }
+    }
+
+    /// Is any observability output destination active?
+    pub fn active(&self) -> bool {
+        self.trace_path.is_some() || self.metrics_path.is_some()
+    }
+
+    /// Write the requested outputs: a Perfetto-loadable Chrome Trace Event
+    /// file for `--trace`, a JSONL metrics snapshot (deterministic metrics
+    /// only) for `--metrics-out`. Failures are fatal — a run asked to
+    /// produce telemetry must not silently drop it.
+    pub fn finish(&self) {
+        if let Some(path) = &self.trace_path {
+            let json = behaviot_obs::tracer().export_chrome();
+            std::fs::write(path, json).unwrap_or_else(|e| {
+                eprintln!("failed to write trace {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            eprintln!("[obs] trace written to {}", path.display());
+        }
+        if let Some(path) = &self.metrics_path {
+            let jsonl = behaviot_obs::metrics().snapshot().to_jsonl();
+            std::fs::write(path, jsonl).unwrap_or_else(|e| {
+                eprintln!("failed to write metrics {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            eprintln!("[obs] metrics written to {}", path.display());
+        }
+    }
+}

@@ -83,6 +83,7 @@ impl Prepared {
     /// Generate datasets and train the models under an explicit thread
     /// policy. The trained models are identical for every policy.
     pub fn build_with(scale: Scale, parallelism: Parallelism) -> Self {
+        let mut span = behaviot_obs::span!("prep.build", idle_days = scale.idle_days);
         let catalog = Catalog::standard();
         let idle_cap = sim::idle_dataset(&catalog, scale.seed, scale.idle_days);
         let activity_cap = sim::activity_dataset(&catalog, scale.seed + 1, scale.activity_reps);
@@ -97,6 +98,8 @@ impl Prepared {
             .collect();
 
         let models = train_on_with(&idle, &activity, &names, parallelism);
+        span.record("idle_flows", idle.len());
+        span.record("activity_flows", activity.len());
         Prepared {
             catalog,
             scale,

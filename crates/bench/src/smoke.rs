@@ -1,0 +1,83 @@
+//! One full pipeline pass touching every instrumented stage — the workload
+//! behind `--bin obs_smoke`, the metrics-determinism test, and the
+//! trace-smoke step of `scripts/verify.sh`.
+//!
+//! Stages exercised (and the spans/metrics they emit): pcap ingest
+//! (`ingest.*`), batch and streaming flow assembly (`flows.*`), periodic
+//! training with period detection (`periodic.*`, `dsp.*`), forest training
+//! and prediction (`forest.*`), event inference (`events.*`), and PFSM
+//! refinement (`system.*`, `pfsm.*`). Every number in the returned summary
+//! is policy-invariant, so the summary — like the deterministic metrics
+//! snapshot — is byte-identical under every [`Parallelism`] setting.
+
+use crate::prep::{Prepared, Scale};
+use behaviot::{SystemModel, SystemModelConfig};
+use behaviot_flows::ingest::{ingest_pcap_bytes, IngestOptions};
+use behaviot_flows::{assemble_flows, FlowConfig, StreamingAssembler};
+use behaviot_par::Parallelism;
+use behaviot_sim::gen::{capture_to_frames, GenOptions};
+use behaviot_sim::{write_pcap, Catalog, TrafficGenerator};
+
+/// Dataset scale for the smoke pipeline: small enough for CI, large enough
+/// that every stage does real work (periodic groups form, forests train).
+fn smoke_scale() -> Scale {
+    Scale {
+        idle_days: 0.2,
+        activity_reps: 4,
+        routine_days: 1,
+        uncontrolled_days: 1,
+        seed: 0xB07,
+    }
+}
+
+/// Run the full instrumented pipeline once under `par` and return a
+/// one-line summary. Deterministic across thread policies.
+pub fn run_smoke(par: Parallelism) -> String {
+    // 1. Capture → pcap bytes → lossy-tolerant ingest (ingest.pcap).
+    let catalog = Catalog::standard();
+    let gen = TrafficGenerator::new(&catalog, 0x0B5);
+    let cap = gen.generate(0.0, 1800.0, &[], &GenOptions::default());
+    let records = capture_to_frames(&cap, &catalog);
+    let ingested = ingest_pcap_bytes(&write_pcap(&records), &IngestOptions::default())
+        .expect("smoke capture must ingest cleanly");
+
+    // 2. Flow assembly, both batch (flows.assemble) and streaming
+    // (flows.stream_bursts) paths.
+    let fc = FlowConfig::default();
+    let flows = assemble_flows(&ingested.packets, &ingested.domains, &fc);
+    let mut streaming = StreamingAssembler::new(fc);
+    let mut streamed = Vec::new();
+    for p in &ingested.packets {
+        streaming.push_into(p, &ingested.domains, &mut streamed);
+    }
+    streaming.flush_into(&ingested.domains, &mut streamed);
+
+    // 3. Model training: periodic models (periodic.train → dsp.period_detect)
+    // and user-action forests (forest.fit).
+    let prepared = Prepared::build_with(smoke_scale(), par);
+
+    // 4. Event inference over the ingested flows (events.infer,
+    // forest.predictions); publish any clamp accounting.
+    let (events, report) = prepared.models.infer_events_with_report(&flows, par);
+    report.emit_metrics();
+
+    // 5. System-level PFSM over the routine dataset's user events
+    // (system.pfsm → pfsm.infer). Routine flows carry real user actions, so
+    // the trace log is non-trivial.
+    let routine_flows: Vec<_> = prepared.routine.iter().map(|l| l.flow.clone()).collect();
+    let (routine_events, routine_report) =
+        prepared.models.infer_events_with_report(&routine_flows, par);
+    routine_report.emit_metrics();
+    let system = SystemModel::build(&routine_events, &prepared.names, &SystemModelConfig::default());
+
+    format!(
+        "obs smoke: {} packets -> {} flows ({} streamed), {} events, {} routine events, pfsm {} states / {} transitions",
+        ingested.packets.len(),
+        flows.len(),
+        streamed.len(),
+        events.len(),
+        routine_events.len(),
+        system.pfsm.n_states(),
+        system.pfsm.n_transitions(),
+    )
+}

@@ -165,6 +165,7 @@ impl BehavIoT {
         flows: &[FlowRecord],
         par: Parallelism,
     ) -> (Vec<InferredEvent>, behaviot_net::IngestReport) {
+        let mut span = behaviot_obs::span!("events.infer", flows = flows.len());
         let mut report = behaviot_net::IngestReport::new();
         // Fast path: nothing to sanitize (the overwhelmingly common case).
         let needs_clamp =
@@ -227,6 +228,14 @@ impl BehavIoT {
                 kind,
             });
         }
+        let counts = EventCounts::of(&out);
+        let m = behaviot_obs::metrics();
+        m.counter("events.user").add(counts.user as u64);
+        m.counter("events.periodic").add(counts.periodic as u64);
+        m.counter("events.aperiodic").add(counts.aperiodic as u64);
+        span.record("user", counts.user);
+        span.record("periodic", counts.periodic);
+        span.record("aperiodic", counts.aperiodic);
         (out, report)
     }
 }

@@ -138,6 +138,7 @@ impl PeriodicModelSet {
         cfg: &PeriodicTrainConfig,
         par: Parallelism,
     ) -> Self {
+        let mut span = behaviot_obs::span!("periodic.train", flows = idle_flows.len());
         let mut groups: FxHashMap<GroupKey, Vec<&FlowRecord>> = FxHashMap::default();
         for f in idle_flows {
             let (dest, proto) = f.group_key();
@@ -170,6 +171,11 @@ impl PeriodicModelSet {
         } else {
             covered as f64 / idle_flows.len() as f64
         };
+        let m = behaviot_obs::metrics();
+        m.counter("periodic.groups").add(jobs.len() as u64);
+        m.counter("periodic.models").add(n_models as u64);
+        span.record("groups", jobs.len());
+        span.record("models", n_models);
         PeriodicModelSet {
             models,
             n_models,

@@ -82,11 +82,16 @@ impl SystemModel {
     /// Build directly from label traces (used by evaluation code that
     /// perturbs traces).
     pub fn from_traces(traces: &[Vec<String>], cfg: &SystemModelConfig) -> Self {
+        let mut span = behaviot_obs::span!("system.pfsm", traces = traces.len());
+        behaviot_obs::metrics()
+            .counter("system.traces")
+            .add(traces.len() as u64);
         let mut log = TraceLog::new();
         for t in traces {
             log.push_trace(t);
         }
         let pfsm = Pfsm::infer(&log, &cfg.pfsm);
+        span.record("states", pfsm.n_states());
         // Short-term metric statistics over the training traces.
         let scores: Vec<f64> = traces
             .iter()

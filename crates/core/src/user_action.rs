@@ -10,6 +10,14 @@ use behaviot_forest::{RandomForest, RandomForestConfig};
 use behaviot_intern::{FxHashMap, Symbol};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::OnceLock;
+
+/// Cached handle so the per-flow classify path pays one atomic load, not a
+/// registry lookup, per call.
+fn predictions_counter() -> &'static behaviot_obs::Counter {
+    static C: OnceLock<behaviot_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| behaviot_obs::metrics().counter("forest.predictions"))
+}
 
 /// Training configuration.
 #[derive(Debug, Clone)]
@@ -161,6 +169,7 @@ impl UserActionModels {
     pub fn classify(&self, device: Ipv4Addr, features: &FeatureVector) -> Option<(Symbol, f64)> {
         debug_assert_eq!(features.len(), N_FEATURES);
         let dev_models = self.models.get(&device)?;
+        predictions_counter().add(dev_models.len() as u64);
         let mut best: Option<(Symbol, f64)> = None;
         for (act, forest) in dev_models {
             let p = forest.predict_proba(features);

@@ -111,6 +111,10 @@ impl PeriodDetector {
     /// Timestamps need not be sorted; they are sorted internally (into a
     /// scratch buffer — the input is untouched).
     pub fn detect(&mut self, timestamps: &[f64]) -> Vec<DetectedPeriod> {
+        let _span = behaviot_obs::span!("dsp.period_detect", events = timestamps.len());
+        let m = behaviot_obs::metrics();
+        m.counter("dsp.period_detections").inc();
+        m.histogram("dsp.series_len").record(timestamps.len() as u64);
         let cfg = &self.cfg;
         if timestamps.len() < cfg.min_events {
             return Vec::new();
@@ -225,6 +229,7 @@ pub fn detect_periods_batch<S: AsRef<[f64]> + Sync>(
     cfg: &PeriodConfig,
     par: Parallelism,
 ) -> Vec<Vec<DetectedPeriod>> {
+    let _span = behaviot_obs::span!("dsp.period_detect_batch", series = series.len());
     par_map_init(
         par,
         series,

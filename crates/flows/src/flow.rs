@@ -127,6 +127,7 @@ pub fn assemble_flows(
     domains: &DomainTable,
     cfg: &FlowConfig,
 ) -> Vec<FlowRecord> {
+    let mut span = behaviot_obs::span!("flows.assemble", packets = packets.len());
     let mut sorted: Vec<&GatewayPacket> = packets.iter().collect();
     sorted.sort_by(|a, b| a.ts.total_cmp(&b.ts));
 
@@ -206,6 +207,10 @@ pub fn assemble_flows(
         }
     }
     out.sort_by(|a, b| a.start.total_cmp(&b.start));
+    behaviot_obs::metrics()
+        .counter("flows.assembled")
+        .add(out.len() as u64);
+    span.record("bursts", out.len());
     out
 }
 

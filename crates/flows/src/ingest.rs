@@ -99,6 +99,7 @@ pub fn ingest_pcap_bytes(bytes: &[u8], opts: &IngestOptions) -> Result<Ingested>
 /// reader works too, but then a malformed record aborts the read — the
 /// caller has opted out of recovery.)
 pub fn ingest_pcap_reader<R: Read>(mut reader: PcapReader<R>, opts: &IngestOptions) -> Result<Ingested> {
+    let mut span = behaviot_obs::span!("ingest.pcap");
     let mut report = IngestReport::new();
     let mut packets: Vec<GatewayPacket> = Vec::new();
     let mut domains = DomainTable::new();
@@ -195,6 +196,17 @@ pub fn ingest_pcap_reader<R: Read>(mut reader: PcapReader<R>, opts: &IngestOptio
     // Bounded reordering upstream must not change flow assembly: restore
     // chronological order exactly (stable, total order on f64 bits).
     packets.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+
+    // Publish run totals once — the per-record loop above never touches the
+    // registry. Published even when the budget check below fails: the run
+    // still happened and its drop profile is exactly what a dashboard wants.
+    report.emit_metrics();
+    let m = behaviot_obs::metrics();
+    m.counter("ingest.records_seen").add(records_seen);
+    m.counter("ingest.packets").add(packets.len() as u64);
+    span.record("records_seen", records_seen);
+    span.record("packets", packets.len());
+    span.record("dropped", report.dropped_records());
 
     if let Some(frac) = opts.max_drop_frac {
         let dropped = report.dropped_records();

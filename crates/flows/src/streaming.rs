@@ -59,6 +59,9 @@ pub struct StreamingAssembler {
     /// nothing), never stale-high — so no expiry is ever delayed and burst
     /// boundaries are bit-identical to the always-scan behavior.
     next_deadline: f64,
+    /// Closed-burst counter handle (`flows.stream_bursts`), held so the
+    /// per-burst path pays one relaxed fetch_add, not a registry lookup.
+    bursts: behaviot_obs::Counter,
 }
 
 impl StreamingAssembler {
@@ -72,6 +75,7 @@ impl StreamingAssembler {
             pool: Vec::new(),
             expired: Vec::new(),
             next_deadline: f64::INFINITY,
+            bursts: behaviot_obs::metrics().counter("flows.stream_bursts"),
         }
     }
 
@@ -221,32 +225,6 @@ impl StreamingAssembler {
         out[start..].sort_by(|a, b| a.start.total_cmp(&b.start));
     }
 
-    /// Feed one packet; returns any bursts that closed as a consequence of
-    /// time advancing to this packet's timestamp.
-    #[deprecated(note = "use `push_into` — this allocates a Vec per packet")]
-    pub fn push(&mut self, p: &GatewayPacket, domains: &DomainTable) -> Vec<FlowRecord> {
-        let mut out = Vec::new();
-        self.push_into(p, domains, &mut out);
-        out
-    }
-
-    /// Advance the clock without a packet (e.g. a timer tick) and collect
-    /// bursts that aged out.
-    #[deprecated(note = "use `tick_into`")]
-    pub fn tick(&mut self, now: f64, domains: &DomainTable) -> Vec<FlowRecord> {
-        let mut out = Vec::new();
-        self.tick_into(now, domains, &mut out);
-        out
-    }
-
-    /// Close and return every remaining burst (end of capture).
-    #[deprecated(note = "use `flush_into`")]
-    pub fn finish(&mut self, domains: &DomainTable) -> Vec<FlowRecord> {
-        let mut out = Vec::new();
-        self.flush_into(domains, &mut out);
-        out
-    }
-
     fn evict_into(&mut self, domains: &DomainTable, out: &mut Vec<FlowRecord>) {
         // Nothing can have expired before the earliest deadline: skip the
         // scan without touching the map (the steady-state case).
@@ -312,6 +290,7 @@ impl StreamingAssembler {
             packets.clear();
             self.pool.push(packets);
         }
+        self.bursts.inc();
     }
 }
 
@@ -404,30 +383,6 @@ mod tests {
         s.tick_into(100.0, &domains, &mut out);
         assert_eq!(out.len(), 2);
         assert_eq!(s.open_bursts(), 0);
-    }
-
-    #[test]
-    fn deprecated_wrappers_match_drain_into() {
-        let domains = DomainTable::new();
-        let mut a = StreamingAssembler::new(FlowConfig::default());
-        let mut b = StreamingAssembler::new(FlowConfig::default());
-        let mut via_into = Vec::new();
-        let mut via_old = Vec::new();
-        for i in 0..50 {
-            let p = pkt(i as f64 * 0.9, i % 2 == 0, 100 + i);
-            a.push_into(&p, &domains, &mut via_into);
-            #[allow(deprecated)]
-            via_old.extend(b.push(&p, &domains));
-        }
-        a.flush_into(&domains, &mut via_into);
-        #[allow(deprecated)]
-        via_old.extend(b.finish(&domains));
-        assert_eq!(via_into.len(), via_old.len());
-        for (x, y) in via_into.iter().zip(&via_old) {
-            assert_eq!(x.start, y.start);
-            assert_eq!(x.n_packets, y.n_packets);
-            assert_eq!(x.total_bytes, y.total_bytes);
-        }
     }
 
     #[test]

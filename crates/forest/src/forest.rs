@@ -50,6 +50,10 @@ impl RandomForest {
     pub fn fit(x: &[Vec<f64>], y: &[bool], cfg: &RandomForestConfig) -> Self {
         assert_eq!(x.len(), y.len(), "x/y length mismatch");
         assert!(!x.is_empty(), "cannot fit on empty data");
+        let _span = behaviot_obs::span!("forest.fit", samples = x.len(), trees = cfg.n_trees);
+        let m = behaviot_obs::metrics();
+        m.counter("forest.fits").inc();
+        m.counter("forest.trees").add(cfg.n_trees as u64);
         let n = x.len();
 
         // Pre-draw bootstrap index sets deterministically so parallel and
@@ -133,6 +137,9 @@ impl RandomForest {
         samples: &[S],
         par: Parallelism,
     ) -> Vec<f64> {
+        behaviot_obs::metrics()
+            .counter("forest.predictions")
+            .add(samples.len() as u64);
         par_map(par, samples, |s| self.predict_proba(s.as_ref()))
     }
 

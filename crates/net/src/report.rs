@@ -14,6 +14,21 @@ use std::fmt;
 /// Number of anomaly samples retained per report (first-N policy).
 pub const MAX_SAMPLES: usize = 8;
 
+/// Registry metric names mirroring [`IngestReport::counters`], in the same
+/// stable order. [`IngestReport::emit_metrics`] publishes under these names;
+/// [`IngestReport::from_snapshot`] reads them back.
+pub const METRIC_NAMES: [&str; 9] = [
+    "ingest.bad_record_headers",
+    "ingest.resyncs",
+    "ingest.resync_skipped_bytes",
+    "ingest.truncated_tail",
+    "ingest.corrupt_frames",
+    "ingest.duplicates",
+    "ingest.clock_skew_drops",
+    "ingest.reordered",
+    "ingest.clamped_events",
+];
+
 /// The anomaly categories the ingest path distinguishes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IngestCategory {
@@ -180,6 +195,50 @@ impl IngestReport {
         }
     }
 
+    /// Publish this report's counters into the global metrics registry as
+    /// `ingest.*` counters (see [`METRIC_NAMES`]).
+    ///
+    /// The per-packet ingest loop accumulates into the report locally and
+    /// calls this once per run, so the hot path never touches the registry.
+    /// All nine counters are registered even when zero, keeping snapshot
+    /// shape stable across clean and dirty runs.
+    pub fn emit_metrics(&self) {
+        let r = behaviot_obs::metrics();
+        for (name, (_, v)) in METRIC_NAMES.iter().zip(self.counters()) {
+            r.counter(name).add(v);
+        }
+    }
+
+    /// Typed view over the `ingest.*` counters of a metrics snapshot — the
+    /// registry is the source of truth after a run; this reconstitutes the
+    /// struct shape for code that wants field access. Anomaly samples are
+    /// not represented in metrics, so `samples` comes back empty.
+    pub fn from_snapshot(snap: &behaviot_obs::MetricsSnapshot) -> Self {
+        let get = |n: &str| snap.counter(n).unwrap_or(0);
+        Self {
+            bad_record_headers: get("ingest.bad_record_headers"),
+            resyncs: get("ingest.resyncs"),
+            resync_skipped_bytes: get("ingest.resync_skipped_bytes"),
+            truncated_tail: get("ingest.truncated_tail"),
+            corrupt_frames: get("ingest.corrupt_frames"),
+            duplicates: get("ingest.duplicates"),
+            clock_skew_drops: get("ingest.clock_skew_drops"),
+            reordered: get("ingest.reordered"),
+            clamped_events: get("ingest.clamped_events"),
+            samples: Vec::new(),
+        }
+    }
+
+    /// One-line drop summary, e.g. `dropped 3 (0.125%)`, shared by the
+    /// harness and chaos printouts.
+    pub fn drop_summary(&self, records_total: u64) -> String {
+        format!(
+            "dropped {} ({:.3}%)",
+            self.dropped_records(),
+            self.drop_frac(records_total) * 100.0
+        )
+    }
+
     /// The category counters as `(label, count)` pairs, in a stable order
     /// (used by reports and by counter-equality assertions in tests).
     pub fn counters(&self) -> [(&'static str, u64); 9] {
@@ -263,6 +322,36 @@ mod tests {
         assert_eq!(a.clock_skew_drops, 1);
         assert_eq!(a.resync_skipped_bytes, 7);
         assert_eq!(a.samples.len(), 2);
+    }
+
+    #[test]
+    fn emit_metrics_round_trips_through_snapshot() {
+        // One test fn (not several) because it exercises the process-global
+        // registry; parallel sibling tests must not touch `ingest.*`.
+        let mut r = IngestReport::new();
+        r.note(IngestCategory::Duplicate, 2, 2.0, "dup");
+        r.note(IngestCategory::Reordered, 3, 3.0, "late");
+        r.resync_skipped_bytes = 11;
+        behaviot_obs::metrics().reset();
+        r.emit_metrics();
+        let snap = behaviot_obs::metrics().snapshot();
+        // All nine names registered, even zero ones.
+        for name in METRIC_NAMES {
+            assert!(snap.counter(name).is_some(), "{name} missing");
+        }
+        let view = IngestReport::from_snapshot(&snap);
+        assert_eq!(view.duplicates, 1);
+        assert_eq!(view.reordered, 1);
+        assert_eq!(view.resync_skipped_bytes, 11);
+        assert_eq!(view.counters(), r.counters());
+        assert!(view.samples.is_empty());
+    }
+
+    #[test]
+    fn drop_summary_formats() {
+        let mut r = IngestReport::new();
+        r.note(IngestCategory::CorruptFrame, 0, 0.0, "checksum");
+        assert_eq!(r.drop_summary(800), "dropped 1 (0.125%)");
     }
 
     #[test]

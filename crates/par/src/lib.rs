@@ -23,7 +23,36 @@ use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+use behaviot_obs::{Counter, Gauge, Histogram, Volatility};
+
+/// Executor metrics. `par.maps` / `par.items` are counted before the
+/// thread-count branch, so their totals are identical under every
+/// [`Parallelism`] policy. Steal counts and per-worker distributions are
+/// scheduling artifacts and therefore [`Volatility::Volatile`] — excluded
+/// from the deterministic snapshot.
+struct ParMetrics {
+    maps: Counter,
+    items: Counter,
+    steals: Counter,
+    workers: Gauge,
+    worker_items: Histogram,
+}
+
+fn par_metrics() -> &'static ParMetrics {
+    static M: OnceLock<ParMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = behaviot_obs::metrics();
+        ParMetrics {
+            maps: r.counter("par.maps"),
+            items: r.counter("par.items"),
+            steals: r.counter_with("par.steals", Volatility::Volatile),
+            workers: r.gauge_with("par.workers", Volatility::Volatile),
+            worker_items: r.histogram_with("par.worker_items", Volatility::Volatile),
+        }
+    })
+}
 
 /// Thread-count policy for pipeline stages (`threads: auto|N|off`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -144,7 +173,11 @@ where
     F: Fn(&mut S, usize, &T) -> U + Sync,
 {
     let n = items.len();
+    let m = par_metrics();
+    m.maps.inc();
+    m.items.add(n as u64);
     let threads = par.threads().min(n.max(1));
+    m.workers.set(threads as i64);
     if threads <= 1 || n <= 1 {
         let mut scratch = init();
         return items
@@ -189,8 +222,10 @@ where
             let init = &init;
             s.spawn(move || {
                 let mut scratch = init();
+                let mut done_items = 0u64;
                 let mut run = |chunk: Chunk| {
                     remaining.fetch_sub(chunk.len(), Ordering::Release);
+                    done_items += chunk.len() as u64;
                     for i in chunk {
                         let v = f(&mut scratch, i, &items[i]);
                         // SAFETY: index `i` belongs to exactly one chunk and
@@ -217,12 +252,16 @@ where
                         queues[v].deque.lock().expect("queue poisoned").pop_back()
                     });
                     match stolen {
-                        Some(chunk) => run(chunk),
+                        Some(chunk) => {
+                            m.steals.inc();
+                            run(chunk)
+                        }
                         // Nothing to steal: another worker is finishing the
                         // last chunks. Yield and re-check until done.
                         None => std::thread::yield_now(),
                     }
                 }
+                m.worker_items.record(done_items);
             });
         }
     });

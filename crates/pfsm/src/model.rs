@@ -85,6 +85,7 @@ impl Pfsm {
     /// Infer a PFSM from a trace log. Invariants are mined internally when
     /// refinement is enabled.
     pub fn infer(log: &TraceLog, cfg: &PfsmConfig) -> Self {
+        let mut span = behaviot_obs::span!("pfsm.infer", traces = log.traces.len());
         // partition[t][i] = partition id of instance (trace t, position i).
         // Partition ids are dense indices into `parts`.
         let mut assignment: Vec<Vec<usize>> = Vec::with_capacity(log.traces.len());
@@ -150,14 +151,23 @@ impl Pfsm {
                 by_event.entry(*ev).or_default().push(StateId(idx as u32));
             }
         }
-        Pfsm {
+        let out = Pfsm {
             state_event,
             trans,
             out_total,
             by_event,
             alpha: cfg.smoothing_alpha,
             splits,
-        }
+        };
+        let m = behaviot_obs::metrics();
+        m.counter("pfsm.infers").inc();
+        m.counter("pfsm.states").add(out.n_states() as u64);
+        m.counter("pfsm.transitions").add(out.n_transitions() as u64);
+        m.counter("pfsm.splits").add(splits as u64);
+        span.record("states", out.n_states());
+        span.record("transitions", out.n_transitions());
+        span.record("splits", splits);
+        out
     }
 
     /// Number of states, including INITIAL and FINAL (the node count of

@@ -23,6 +23,16 @@ bench-smoke:
 chaos:
     cargo run --release -q -p behaviot-bench --bin chaos -- --seeds 3 --max-drop-frac 0.25
 
+# Full instrumented pipeline pass -> trace.json (Chrome Trace Event Format,
+# open in https://ui.perfetto.dev) + metrics.jsonl (deterministic snapshot)
+trace:
+    cargo run --release -q -p behaviot-bench --bin obs_smoke -- --trace trace.json --metrics-out metrics.jsonl
+
+# Observability overhead bench (registry+tracer on vs off over the same
+# ingest workload) -> BENCH_obs.json; enforces the ≤5% overhead bar
+bench-obs:
+    scripts/bench_obs.sh
+
 # Tier-1 gate only
 test:
     cargo build --release && cargo test -q

@@ -26,11 +26,42 @@ cargo test --release -q -p behaviot-net --test recovery_proptests
 echo "==> chaos smoke: 3 seeds through the corrupted-ingest contract"
 cargo run --release -q -p behaviot-bench --bin chaos -- --seeds 3 --max-drop-frac 0.25
 
+echo "==> metrics determinism: snapshots identical under off/fixed/auto"
+cargo test --release -q -p behaviot-harness --test metrics_determinism
+
+echo "==> trace smoke: obs_smoke must emit every stage's spans + metrics"
+obs_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp"' EXIT
+cargo run --release -q -p behaviot-bench --bin obs_smoke -- \
+  --trace "$obs_tmp/trace.json" --metrics-out "$obs_tmp/metrics.jsonl"
+python3 - "$obs_tmp/trace.json" "$obs_tmp/metrics.jsonl" <<'EOF'
+import json, sys
+
+spans = {ev["name"] for ev in json.load(open(sys.argv[1]))}
+need_spans = {
+    "ingest.pcap", "flows.assemble", "prep.build", "periodic.train",
+    "dsp.period_detect", "forest.fit", "events.infer", "system.pfsm",
+    "pfsm.infer",
+}
+missing = need_spans - spans
+assert not missing, f"trace missing spans: {sorted(missing)}"
+
+metrics = {json.loads(l)["metric"] for l in open(sys.argv[2]) if l.strip()}
+need_prefixes = {
+    "ingest.", "flows.", "events.", "periodic.", "dsp.", "forest.",
+    "pfsm.", "system.", "par.",
+}
+bare = {p for p in need_prefixes if not any(m.startswith(p) for m in metrics)}
+assert not bare, f"metrics missing stage prefixes: {sorted(bare)}"
+print(f"trace smoke: {len(spans)} span names, {len(metrics)} metrics ok")
+EOF
+
 echo "==> clippy -D warnings (parallel-pipeline + interning crates)"
 cargo clippy --release -q \
   -p behaviot-par -p behaviot-dsp -p behaviot-forest -p behaviot-flows \
   -p behaviot -p behaviot-bench -p behaviot-harness \
   -p behaviot-intern -p behaviot-net -p behaviot-pfsm -p behaviot-sim \
+  -p behaviot-obs \
   --all-targets -- -D warnings
 
 echo "==> bench smoke: ingest paths must agree (tiny sample budget)"
