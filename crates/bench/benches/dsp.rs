@@ -1,0 +1,478 @@
+//! DSP kernel benchmarks: pre-rewrite baseline vs. current kernels, plus the
+//! thread-scaling sweep. `scripts/bench_dsp.sh` runs this bench with
+//! `CRITERION_JSON` set to produce `BENCH_dsp.json`.
+//!
+//! Two kinds of groups:
+//!
+//! * `dsp_*`: single-thread kernel pairs. The `baseline` entries run the
+//!   [`baseline`] module — a faithful vendored copy of the kernels as they
+//!   were before the real-input-FFT rewrite (repeated-multiplication twiddle
+//!   chain, complex FFT + inverse FFT autocorrelation, allocating stable
+//!   sorts in the detector) — and the `fast` entries run the live crate.
+//!   The acceptance bar is `fast` ≥ 1.5× on `dsp_periodogram_64k` and
+//!   `dsp_period_detect_batch_64series`. Before timing anything the two
+//!   implementations are checked for agreement on every bench input.
+//!
+//! * `sweep_*`: speedup curves for `periodic_train`, `period_detect_batch`
+//!   and `forest_fit` at each thread count of
+//!   [`behaviot_par::sweep_thread_counts`] (`1/2/4/8` clipped to the host's
+//!   cores — `[1]` on a single-core runner, where the rows double as serial
+//!   baselines). Read a curve by dividing the `/t1` mean by the `/tN` mean
+//!   of the same group; the `host_cores`/`host_cpu` fields in each JSON row
+//!   say how far the curve could have gone on the recording machine.
+
+use behaviot::periodic::{PeriodicModelSet, PeriodicTrainConfig};
+use behaviot_dsp::{detect_periods_batch, fft::periodogram_into, FftScratch, PeriodConfig};
+use behaviot_flows::{assemble_flows, FlowConfig, FlowRecord};
+use behaviot_forest::{RandomForest, RandomForestConfig};
+use behaviot_par::{sweep_thread_counts, Parallelism};
+use behaviot_sim::{self as sim, Catalog};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The DSP kernels exactly as they were before the PR-6 rewrite, vendored so
+/// the speedup is measured against the real predecessor rather than a straw
+/// man. Kept allocation-for-allocation faithful: per-call twiddle
+/// recurrence, complex FFT both directions, stable (allocating) sorts.
+mod baseline {
+    #[derive(Clone, Copy, Default)]
+    pub struct C {
+        pub re: f64,
+        pub im: f64,
+    }
+
+    impl C {
+        fn mul(self, o: C) -> C {
+            C {
+                re: self.re * o.re - self.im * o.im,
+                im: self.re * o.im + self.im * o.re,
+            }
+        }
+    }
+
+    fn next_pow2(n: usize) -> usize {
+        n.max(1).next_power_of_two()
+    }
+
+    /// Pre-rewrite FFT: bit reversal, then butterflies with the twiddle
+    /// carried through a repeated complex multiplication (`w *= wlen`).
+    fn fft_dir(buf: &mut [C], inverse: bool) {
+        let n = buf.len();
+        if n <= 1 {
+            return;
+        }
+        let mut j = 0usize;
+        for i in 1..n {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let ang = 2.0 * std::f64::consts::PI / len as f64 * if inverse { 1.0 } else { -1.0 };
+            let wlen = C {
+                re: ang.cos(),
+                im: ang.sin(),
+            };
+            let mut base = 0;
+            while base < n {
+                let mut w = C { re: 1.0, im: 0.0 };
+                for k in 0..len / 2 {
+                    let u = buf[base + k];
+                    let v = buf[base + k + len / 2].mul(w);
+                    buf[base + k] = C {
+                        re: u.re + v.re,
+                        im: u.im + v.im,
+                    };
+                    buf[base + k + len / 2] = C {
+                        re: u.re - v.re,
+                        im: u.im - v.im,
+                    };
+                    w = w.mul(wlen);
+                }
+                base += len;
+            }
+            len <<= 1;
+        }
+        if inverse {
+            let inv = 1.0 / n as f64;
+            for v in buf.iter_mut() {
+                v.re *= inv;
+                v.im *= inv;
+            }
+        }
+    }
+
+    fn mean(xs: &[f64]) -> f64 {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    }
+
+    fn std_dev(xs: &[f64]) -> f64 {
+        if xs.len() < 2 {
+            return 0.0;
+        }
+        let m = mean(xs);
+        (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+    }
+
+    /// Pre-rewrite sort-based median.
+    fn median_in_place(xs: &mut [f64]) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = xs.len();
+        if n % 2 == 1 {
+            xs[n / 2]
+        } else {
+            0.5 * (xs[n / 2 - 1] + xs[n / 2])
+        }
+    }
+
+    pub fn periodogram_into(signal: &[f64], buf: &mut Vec<C>, out: &mut Vec<f64>) {
+        out.clear();
+        if signal.is_empty() {
+            return;
+        }
+        let m = mean(signal);
+        let n = next_pow2(signal.len());
+        buf.clear();
+        buf.resize(n, C::default());
+        for (i, &x) in signal.iter().enumerate() {
+            buf[i] = C {
+                re: x - m,
+                im: 0.0,
+            };
+        }
+        fft_dir(buf, false);
+        out.extend(
+            buf[..n / 2 + 1]
+                .iter()
+                .map(|c| (c.re * c.re + c.im * c.im) / n as f64),
+        );
+    }
+
+    fn autocorrelation_into(signal: &[f64], max_lag: usize, buf: &mut Vec<C>, out: &mut Vec<f64>) {
+        out.clear();
+        let n = signal.len();
+        if n == 0 {
+            return;
+        }
+        let max_lag = max_lag.min(n);
+        let m = mean(signal);
+        let size = next_pow2(2 * n);
+        buf.clear();
+        buf.resize(size, C::default());
+        for (i, &x) in signal.iter().enumerate() {
+            buf[i] = C {
+                re: x - m,
+                im: 0.0,
+            };
+        }
+        fft_dir(buf, false);
+        for v in buf.iter_mut() {
+            *v = C {
+                re: v.re * v.re + v.im * v.im,
+                im: 0.0,
+            };
+        }
+        fft_dir(buf, true);
+        let denom = buf[0].re;
+        if denom <= 1e-12 {
+            out.resize(max_lag, 0.0);
+            return;
+        }
+        out.extend((0..max_lag).map(|k| buf[k].re / denom));
+    }
+
+    /// Pre-rewrite period detection: same decision procedure as
+    /// `behaviot_dsp::PeriodDetector`, with the old kernels and the old
+    /// per-call allocation profile (fresh vectors, stable sorts).
+    pub fn detect_periods(
+        timestamps: &[f64],
+        cfg: &behaviot_dsp::PeriodConfig,
+    ) -> Vec<(f64, f64, f64)> {
+        if timestamps.len() < cfg.min_events {
+            return Vec::new();
+        }
+        let mut ts = timestamps.to_vec();
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let span = ts[ts.len() - 1] - ts[0];
+        if span <= 0.0 {
+            return Vec::new();
+        }
+        let gaps: Vec<f64> = ts.windows(2).map(|w| w[1] - w[0]).collect();
+        let median_gap = median_in_place(&mut gaps.clone()).max(1e-9);
+        let dt = (median_gap / 8.0).max(span / cfg.max_bins as f64);
+        let n_bins = (span / dt).ceil() as usize + 1;
+        let mut signal = vec![0.0; n_bins];
+        for &t in &ts {
+            let idx = (((t - ts[0]) / dt) as usize).min(n_bins - 1);
+            signal[idx] += 1.0;
+        }
+        let mut buf = Vec::new();
+        let mut power = Vec::new();
+        periodogram_into(&signal, &mut buf, &mut power);
+        if power.len() < 4 {
+            return Vec::new();
+        }
+        let n_pad = (power.len() - 1) * 2;
+        let threshold = mean(&power[1..]) + cfg.power_sigma * std_dev(&power[1..]);
+        let mut candidates: Vec<(usize, f64)> = power
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|&(k, &p)| {
+                if p <= threshold {
+                    return false;
+                }
+                let period = n_pad as f64 * dt / k as f64;
+                span / period >= cfg.min_cycles && period >= 2.0 * dt
+            })
+            .map(|(k, &p)| (k, p))
+            .collect();
+        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        candidates.truncate(cfg.max_candidates);
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let max_lag = (n_bins / 2).max(2);
+        let mut acf = Vec::new();
+        autocorrelation_into(&signal, max_lag, &mut buf, &mut acf);
+        let mut validated: Vec<(f64, f64, f64)> = Vec::new();
+        for (k, pw) in candidates {
+            let period = n_pad as f64 * dt / k as f64;
+            let lag = (period / dt).round() as usize;
+            if lag < 2 || lag >= acf.len() {
+                continue;
+            }
+            let lo = ((lag as f64 * 0.8) as usize).max(1);
+            let hi = ((lag as f64 * 1.2).ceil() as usize + 1).min(acf.len());
+            let Some(peak) = behaviot_dsp::autocorr::refine_peak(&acf, lo, hi) else {
+                continue;
+            };
+            let half_window = (peak / 10).max(2);
+            if acf[peak] < cfg.acf_threshold
+                || !behaviot_dsp::autocorr::is_acf_hill(&acf, peak, half_window)
+            {
+                continue;
+            }
+            let coarse = peak as f64 * dt;
+            let mut matching: Vec<f64> = gaps
+                .iter()
+                .copied()
+                .filter(|&g| g >= 0.7 * coarse && g <= 1.3 * coarse)
+                .collect();
+            let refined = if matching.len() >= 3 && matching.len() * 4 >= gaps.len() {
+                median_in_place(&mut matching)
+            } else {
+                coarse
+            };
+            validated.push((refined, acf[peak], pw));
+        }
+        // Old merge: stable sorts over freshly allocated vectors.
+        validated.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let mut kept: Vec<(f64, f64, f64)> = Vec::new();
+        for p in validated {
+            if kept
+                .iter()
+                .any(|k| (k.0 - p.0).abs() / k.0.max(p.0).max(1e-12) < cfg.merge_tolerance)
+            {
+                continue;
+            }
+            kept.push(p);
+        }
+        let mut by_period = kept.clone();
+        by_period.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut final_set: Vec<(f64, f64, f64)> = Vec::new();
+        for p in by_period {
+            let is_multiple = final_set.iter().any(|base| {
+                let ratio = p.0 / base.0;
+                let nearest = ratio.round();
+                nearest >= 2.0 && (ratio - nearest).abs() / nearest < cfg.merge_tolerance
+            });
+            if !is_multiple {
+                final_set.push(p);
+            }
+        }
+        final_set.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        final_set
+    }
+}
+
+/// The 64k-sample signal `algorithms.rs` also uses for its FFT bench.
+fn signal_64k() -> Vec<f64> {
+    (0..65536).map(|i| ((i % 97) as f64).sin()).collect()
+}
+
+/// 64 event-timestamp series of mixed period/length (the `parallel.rs`
+/// workload, kept identical so numbers are comparable across BENCH files).
+fn series_64() -> Vec<Vec<f64>> {
+    (0..64)
+        .map(|s| {
+            let period = 30.0 + (s % 9) as f64 * 40.0;
+            let n = 400 + (s % 5) * 150;
+            (0..n).map(|k| k as f64 * period).collect()
+        })
+        .collect()
+}
+
+/// The baseline and the rewritten kernels must tell the same story on every
+/// bench input before their timings are comparable: periodogram bins to
+/// 1e-9 relative, detected periods to 1e-9 relative with equal counts.
+fn assert_kernels_agree(signal: &[f64], series: &[Vec<f64>], cfg: &PeriodConfig) {
+    let mut scratch = FftScratch::new();
+    let mut fast = Vec::new();
+    periodogram_into(signal, &mut scratch, &mut fast);
+    let mut buf = Vec::new();
+    let mut slow = Vec::new();
+    baseline::periodogram_into(signal, &mut buf, &mut slow);
+    assert_eq!(fast.len(), slow.len(), "periodogram bin count diverged");
+    for (k, (&f, &s)) in fast.iter().zip(&slow).enumerate() {
+        // 1e-7 rather than the golden test's 1e-9: the baseline's repeated
+        // twiddle multiplication accumulates O(N) ulps, and at 64k points
+        // that error (on the *baseline* side) exceeds 1e-9 in
+        // near-cancelling bins. The table-driven kernel is the more
+        // accurate of the two.
+        let scale = f.abs().max(s.abs()).max(1e-15);
+        assert!(
+            (f - s).abs() / scale <= 1e-7,
+            "periodogram bin {k} diverged: fast {f:e} baseline {s:e}"
+        );
+    }
+    for (i, ts) in series.iter().enumerate() {
+        let new = behaviot_dsp::detect_periods(ts, cfg);
+        let old = baseline::detect_periods(ts, cfg);
+        assert_eq!(new.len(), old.len(), "series {i}: period count diverged");
+        for (n, o) in new.iter().zip(&old) {
+            assert!(
+                (n.period - o.0).abs() / o.0.max(1e-12) <= 1e-9,
+                "series {i}: period diverged: fast {} baseline {}",
+                n.period,
+                o.0
+            );
+            assert!(
+                (n.acf_score - o.1).abs() <= 1e-9,
+                "series {i}: acf score diverged"
+            );
+        }
+    }
+}
+
+fn bench_kernel_pairs(c: &mut Criterion) {
+    let signal = signal_64k();
+    let series = series_64();
+    let cfg = PeriodConfig::default();
+    assert_kernels_agree(&signal, &series, &cfg);
+
+    let mut g = c.benchmark_group("dsp_periodogram_64k");
+    g.throughput(Throughput::Elements(signal.len() as u64));
+    g.bench_function("baseline", |b| {
+        let mut buf = Vec::new();
+        let mut out = Vec::new();
+        b.iter(|| {
+            baseline::periodogram_into(black_box(&signal), &mut buf, &mut out);
+            black_box(out.len())
+        })
+    });
+    g.bench_function("fast", |b| {
+        let mut scratch = FftScratch::new();
+        let mut out = Vec::new();
+        b.iter(|| {
+            periodogram_into(black_box(&signal), &mut scratch, &mut out);
+            black_box(out.len())
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("dsp_period_detect_batch_64series");
+    g.throughput(Throughput::Elements(series.len() as u64));
+    g.bench_function("baseline", |b| {
+        b.iter(|| {
+            series
+                .iter()
+                .map(|ts| baseline::detect_periods(ts, &cfg).len())
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("fast", |b| {
+        // Serial, like the baseline: this pair isolates the kernel rewrite;
+        // the sweep groups below measure threading separately.
+        b.iter(|| detect_periods_batch(&series, &cfg, Parallelism::Off))
+    });
+    g.finish();
+}
+
+fn idle_flows(days: f64) -> Vec<FlowRecord> {
+    let catalog = Catalog::standard();
+    let cap = sim::idle_dataset(&catalog, 7, days);
+    assemble_flows(&cap.packets, &cap.domains, &FlowConfig::default())
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    let counts = sweep_thread_counts();
+
+    // End-to-end periodic-model training (the pipeline's dominant phase).
+    let flows = idle_flows(0.25);
+    let ptcfg = PeriodicTrainConfig::default();
+    let mut g = c.benchmark_group("sweep_periodic_train");
+    g.sample_size(5);
+    g.throughput(Throughput::Elements(
+        Catalog::standard().devices.len() as u64
+    ));
+    for &n in &counts {
+        g.bench_function(format!("t{n}"), |b| {
+            b.iter(|| PeriodicModelSet::train_with(&flows, &ptcfg, Parallelism::Fixed(n)))
+        });
+    }
+    g.finish();
+
+    // Batch period detection (the kernel loop inside the phase above).
+    let series = series_64();
+    let cfg = PeriodConfig::default();
+    let mut g = c.benchmark_group("sweep_period_detect_batch");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(series.len() as u64));
+    for &n in &counts {
+        g.bench_function(format!("t{n}"), |b| {
+            b.iter(|| detect_periods_batch(&series, &cfg, Parallelism::Fixed(n)))
+        });
+    }
+    g.finish();
+
+    // Random-forest training (per-tree parallelism).
+    let mut rng = StdRng::seed_from_u64(11);
+    let x: Vec<Vec<f64>> = (0..800)
+        .map(|i| {
+            let base = if i % 2 == 0 { 150.0 } else { 700.0 };
+            (0..21).map(|_| base + rng.gen_range(-25.0..25.0)).collect()
+        })
+        .collect();
+    let y: Vec<bool> = (0..800).map(|i| i % 2 == 0).collect();
+    let mut g = c.benchmark_group("sweep_forest_fit");
+    g.sample_size(5);
+    g.throughput(Throughput::Elements(60));
+    for &n in &counts {
+        let fcfg = RandomForestConfig {
+            n_trees: 60,
+            parallelism: Parallelism::Fixed(n),
+            ..Default::default()
+        };
+        g.bench_function(format!("t{n}"), |b| b.iter(|| RandomForest::fit(&x, &y, &fcfg)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel_pairs, bench_sweeps);
+criterion_main!(benches);

@@ -15,7 +15,7 @@ use behaviot_flows::{assemble_flows, FlowConfig, FlowRecord};
 use behaviot_forest::{RandomForest, RandomForestConfig};
 use behaviot_par::Parallelism;
 use behaviot_sim::{self as sim, Catalog};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -37,6 +37,8 @@ fn bench_periodic_train(c: &mut Criterion) {
     let cfg = PeriodicTrainConfig::default();
     let mut g = c.benchmark_group("periodic_train");
     g.sample_size(10);
+    // Elements = devices trained per iteration.
+    g.throughput(Throughput::Elements(Catalog::standard().devices.len() as u64));
     for (name, par) in POLICIES {
         g.bench_function(name, |b| {
             b.iter(|| PeriodicModelSet::train_with(&flows, &cfg, par))
@@ -56,6 +58,8 @@ fn bench_forest(c: &mut Criterion) {
     let y: Vec<bool> = (0..800).map(|i| i % 2 == 0).collect();
     let mut g = c.benchmark_group("forest_fit_60trees_800x21");
     g.sample_size(10);
+    // Elements = trees fit per iteration.
+    g.throughput(Throughput::Elements(60));
     for (name, par) in POLICIES {
         let cfg = RandomForestConfig {
             n_trees: 60,
@@ -76,6 +80,8 @@ fn bench_forest(c: &mut Criterion) {
     );
     let mut g = c.benchmark_group("forest_predict_batch_800");
     g.sample_size(10);
+    // Elements = rows scored per iteration.
+    g.throughput(Throughput::Elements(800));
     for (name, par) in POLICIES {
         g.bench_function(name, |b| b.iter(|| forest.predict_proba_batch(&x, par)));
     }
@@ -95,6 +101,8 @@ fn bench_period_batch(c: &mut Criterion) {
     let cfg = PeriodConfig::default();
     let mut g = c.benchmark_group("period_detect_batch_64series");
     g.sample_size(10);
+    // Elements = series examined per iteration.
+    g.throughput(Throughput::Elements(64));
     for (name, par) in POLICIES {
         g.bench_function(name, |b| b.iter(|| detect_periods_batch(&series, &cfg, par)));
     }
@@ -122,6 +130,8 @@ fn bench_end_to_end_train(c: &mut Criterion) {
     let data = TrainingData::from_flows(idle, samples, names);
     let mut g = c.benchmark_group("train_49_devices");
     g.sample_size(10);
+    // Elements = devices trained per iteration.
+    g.throughput(Throughput::Elements(catalog.devices.len() as u64));
     for (name, par) in POLICIES {
         let cfg = TrainConfig {
             parallelism: par,

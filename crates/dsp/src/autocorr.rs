@@ -1,7 +1,7 @@
 //! Autocorrelation, used to validate candidate periods extracted from the
 //! periodogram (§4.1 of the paper, following Vlachos et al. \[71\]).
 
-use crate::fft::{fft, ifft, next_pow2, Complex, FftScratch};
+use crate::fft::{next_pow2, Complex, FftScratch};
 
 /// Normalized autocorrelation computed via FFT in `O(N log N)`, appended to
 /// `out` after clearing it. `scratch` provides the transform buffer so
@@ -11,6 +11,19 @@ use crate::fft::{fft, ifft, next_pow2, Complex, FftScratch};
 /// (its variance is zero, so correlation is undefined and reported as 0).
 /// Produces lags `0..max_lag` (clamped to the signal length):
 /// `acf[k] = sum_t (x_t - m)(x_{t+k} - m) / sum_t (x_t - m)²`.
+///
+/// # Kernel notes
+///
+/// Both transforms run through the real-input FFT: the centered signal is
+/// real, and so is its power spectrum `|X|²`. For a real sequence `P`,
+/// `ifft(P)` and `fft(P)` have bitwise-identical real parts (conjugating the
+/// twiddles only negates imaginary parts, and negation is exact), so the
+/// inverse transform is replaced by a second forward `rfft` — each half the
+/// work of the complex transforms the previous implementation used. The
+/// inverse transform's `1/N` pass is dropped entirely: `N` is a power of
+/// two, so it scaled numerator and denominator of the `acf` ratio exactly
+/// and cancels without changing a single output bit (the zero-variance
+/// guard's threshold is rescaled by `N` to match).
 pub fn autocorrelation_into(
     signal: &[f64],
     max_lag: usize,
@@ -30,18 +43,26 @@ pub fn autocorrelation_into(
     for (i, &x) in signal.iter().enumerate() {
         buf[i] = Complex::real(x - m);
     }
-    fft(buf);
-    for v in buf.iter_mut() {
+    scratch.run_rfft();
+    for v in scratch.buf_mut().iter_mut() {
         let p = v.norm_sq();
         *v = Complex::real(p);
     }
-    ifft(buf);
+    scratch.run_rfft();
+    let buf = scratch.buf_mut();
+    // Without the inverse transform's 1/N, every coefficient is scaled by
+    // `size`; the ratio is unaffected, the guard threshold scales along.
     let denom = buf[0].re;
-    if denom <= 1e-12 {
+    if denom <= 1e-12 * size as f64 {
         out.resize(max_lag, 0.0);
         return;
     }
-    out.extend((0..max_lag).map(|k| buf[k].re / denom));
+    if max_lag > 0 {
+        // acf[0] = denom/denom: emit the exact 1.0 and keep the normalize
+        // loop branch-free over the remaining lags.
+        out.push(1.0);
+        out.extend(buf[1..max_lag].iter().map(|c| c.re / denom));
+    }
 }
 
 /// Allocating convenience wrapper around [`autocorrelation_into`].
@@ -99,7 +120,7 @@ mod tests {
     fn acf_lag0_is_one() {
         let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).sin()).collect();
         let acf = autocorrelation(&xs, 10);
-        assert!((acf[0] - 1.0).abs() < 1e-9);
+        assert_eq!(acf[0], 1.0);
     }
 
     #[test]
@@ -137,6 +158,12 @@ mod tests {
     #[test]
     fn empty_signal() {
         assert!(autocorrelation(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn max_lag_zero_is_empty() {
+        let xs: Vec<f64> = (0..32).map(|i| (i as f64 * 0.9).cos()).collect();
+        assert!(autocorrelation(&xs, 0).is_empty());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! behavior-modeling pipeline of the paper:
 //!
 //! * descriptive statistics over flow features ([`stats`]),
-//! * a radix-2 FFT and periodogram ([`fft`]),
+//! * a radix-2 FFT, a half-cost real-input FFT and periodogram ([`fft`]),
 //! * autocorrelation ([`autocorr`]),
 //! * the unsupervised period-detection procedure of §4.1 combining DFT
 //!   candidate extraction with autocorrelation validation ([`period`]),
@@ -23,7 +23,7 @@ pub mod period;
 pub mod stats;
 
 pub use cdf::{additive_smoothing, Ecdf};
-pub use fft::{Complex, FftScratch};
+pub use fft::{fft, ifft, rfft, Complex, FftScratch};
 pub use period::{
     detect_periods, detect_periods_batch, DetectedPeriod, PeriodConfig, PeriodDetector,
 };

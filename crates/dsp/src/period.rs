@@ -15,11 +15,21 @@
 //! periodic / 100 permuted / 100 noisy synthetic sequences; the same
 //! experiment is reproduced in `behaviot-bench --bin exp_periodicity` and in
 //! this module's tests.
+//!
+//! # Steady-state allocation contract
+//!
+//! [`PeriodDetector`] owns every intermediate buffer of the pipeline; after
+//! warm-up, [`PeriodDetector::detect_into`] performs **zero heap
+//! allocations** (pinned by `crates/dsp/tests/alloc_steady_state.rs`). The
+//! sorts on the hot path are `sort_unstable` (stable `sort_by` allocates a
+//! merge buffer) with explicit tie-breaks where stable order was observable,
+//! and the candidate merge runs in place over scratch vectors.
 
 use crate::autocorr::{autocorrelation_into, is_acf_hill, refine_peak};
 use crate::fft::{periodogram_into, FftScratch};
 use crate::stats;
 use behaviot_par::{par_map_init, Parallelism};
+use std::sync::OnceLock;
 
 /// Tunable parameters of the period detector. `Default` matches the values
 /// used throughout the reproduction.
@@ -56,7 +66,7 @@ impl Default for PeriodConfig {
 }
 
 /// A validated period.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetectedPeriod {
     /// Period in the same unit as the input timestamps (seconds throughout
     /// BehavIoT).
@@ -67,11 +77,31 @@ pub struct DetectedPeriod {
     pub power: f64,
 }
 
+/// Cached metric handles: the registry resolves names through a locked map,
+/// which is measurable (and allocates on first insert) — look the handles up
+/// once instead of per detection.
+struct DspMetrics {
+    detections: behaviot_obs::Counter,
+    series_len: behaviot_obs::Histogram,
+}
+
+fn dsp_metrics() -> &'static DspMetrics {
+    static M: OnceLock<DspMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = behaviot_obs::metrics();
+        DspMetrics {
+            detections: r.counter("dsp.period_detections"),
+            series_len: r.histogram("dsp.series_len"),
+        }
+    })
+}
+
 /// Reusable period-detection state: configuration plus every intermediate
 /// buffer of the pipeline (sorted timestamps, gaps, binned signal,
-/// periodogram, ACF, FFT scratch). One detector per worker thread turns the
-/// per-group hot path — the dominant cost of `PeriodicModelSet::train` —
-/// into an allocation-free loop after warm-up.
+/// periodogram, ACF, candidate/validated scratch, FFT scratch + twiddle
+/// tables). One detector per worker thread turns the per-group hot path —
+/// the dominant cost of `PeriodicModelSet::train` — into an allocation-free
+/// loop after warm-up.
 #[derive(Debug)]
 pub struct PeriodDetector {
     cfg: PeriodConfig,
@@ -82,6 +112,8 @@ pub struct PeriodDetector {
     power: Vec<f64>,
     acf: Vec<f64>,
     matching: Vec<f64>,
+    candidates: Vec<(usize, f64)>,
+    validated: Vec<DetectedPeriod>,
 }
 
 impl PeriodDetector {
@@ -96,6 +128,8 @@ impl PeriodDetector {
             power: Vec::new(),
             acf: Vec::new(),
             matching: Vec::new(),
+            candidates: Vec::new(),
+            validated: Vec::new(),
         }
     }
 
@@ -111,21 +145,33 @@ impl PeriodDetector {
     /// Timestamps need not be sorted; they are sorted internally (into a
     /// scratch buffer — the input is untouched).
     pub fn detect(&mut self, timestamps: &[f64]) -> Vec<DetectedPeriod> {
+        let mut out = Vec::new();
+        self.detect_into(timestamps, &mut out);
+        out
+    }
+
+    /// Allocation-free core of [`PeriodDetector::detect`]: results are
+    /// appended to `out` after clearing it, so a caller that reuses both the
+    /// detector and `out` performs zero steady-state heap allocations.
+    pub fn detect_into(&mut self, timestamps: &[f64], out: &mut Vec<DetectedPeriod>) {
         let _span = behaviot_obs::span!("dsp.period_detect", events = timestamps.len());
-        let m = behaviot_obs::metrics();
-        m.counter("dsp.period_detections").inc();
-        m.histogram("dsp.series_len").record(timestamps.len() as u64);
+        let m = dsp_metrics();
+        m.detections.inc();
+        m.series_len.record(timestamps.len() as u64);
+        out.clear();
         let cfg = &self.cfg;
         if timestamps.len() < cfg.min_events {
-            return Vec::new();
+            return;
         }
         self.ts.clear();
         self.ts.extend_from_slice(timestamps);
         let ts = &mut self.ts;
-        ts.sort_by(|a, b| a.partial_cmp(b).expect("NaN timestamp"));
+        // Unstable sort: equal f64 keys are indistinguishable, and the
+        // stable sort would allocate a merge buffer on every call.
+        ts.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN timestamp"));
         let span = ts[ts.len() - 1] - ts[0];
         if span <= 0.0 {
-            return Vec::new();
+            return;
         }
 
         // --- Binning -------------------------------------------------------
@@ -143,6 +189,8 @@ impl PeriodDetector {
         self.signal.clear();
         self.signal.resize(n_bins, 0.0);
         for &t in ts.iter() {
+            // Keep the division: hoisting a reciprocal would round bin
+            // indices differently and could move an event across a bin edge.
             let idx = (((t - ts[0]) / dt) as usize).min(n_bins - 1);
             self.signal[idx] += 1.0;
         }
@@ -151,39 +199,45 @@ impl PeriodDetector {
         periodogram_into(&self.signal, &mut self.fft, &mut self.power);
         let power = &self.power;
         if power.len() < 4 {
-            return Vec::new();
+            return;
         }
         let n_pad = (power.len() - 1) * 2;
         let p_mean = stats::mean(&power[1..]);
         let p_std = stats::std_dev(&power[1..]);
         let threshold = p_mean + cfg.power_sigma * p_std;
 
-        let mut candidates: Vec<(usize, f64)> = power
-            .iter()
-            .enumerate()
-            .skip(1)
-            .filter(|&(k, &p)| {
-                if p <= threshold {
-                    return false;
-                }
-                let period = n_pad as f64 * dt / k as f64;
-                // Must observe enough full cycles and more than 2 bins/period.
-                span / period >= cfg.min_cycles && period >= 2.0 * dt
-            })
-            .map(|(k, &p)| (k, p))
-            .collect();
-        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-        candidates.truncate(cfg.max_candidates);
-        if candidates.is_empty() {
-            return Vec::new();
+        self.candidates.clear();
+        self.candidates.extend(
+            power
+                .iter()
+                .enumerate()
+                .skip(1)
+                .filter(|&(k, &p)| {
+                    if p <= threshold {
+                        return false;
+                    }
+                    let period = n_pad as f64 * dt / k as f64;
+                    // Must observe enough full cycles and more than 2 bins/period.
+                    span / period >= cfg.min_cycles && period >= 2.0 * dt
+                })
+                .map(|(k, &p)| (k, p)),
+        );
+        // Descending power with the bin index as tie-break: identical to the
+        // previous stable sort (candidates arrive in ascending-bin order),
+        // without the merge-buffer allocation.
+        self.candidates
+            .sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        self.candidates.truncate(cfg.max_candidates);
+        if self.candidates.is_empty() {
+            return;
         }
 
         // --- ACF validation --------------------------------------------------
         let max_lag = (n_bins / 2).max(2);
         autocorrelation_into(&self.signal, max_lag, &mut self.fft, &mut self.acf);
         let acf = &self.acf;
-        let mut validated: Vec<DetectedPeriod> = Vec::new();
-        for (k, pw) in candidates {
+        self.validated.clear();
+        for &(k, pw) in &self.candidates {
             let period = n_pad as f64 * dt / k as f64;
             let lag = (period / dt).round() as usize;
             if lag < 2 || lag >= acf.len() {
@@ -201,14 +255,15 @@ impl PeriodDetector {
                 continue;
             }
             let refined = refine_against_gaps(gaps, peak as f64 * dt, &mut self.matching);
-            validated.push(DetectedPeriod {
+            self.validated.push(DetectedPeriod {
                 period: refined,
                 acf_score: acf[peak],
                 power: pw,
             });
         }
 
-        merge_validated(validated, cfg.merge_tolerance)
+        merge_validated_in_place(&mut self.validated, cfg.merge_tolerance);
+        out.extend_from_slice(&self.validated);
     }
 }
 
@@ -261,35 +316,58 @@ fn refine_against_gaps(gaps: &[f64], coarse: f64, matching: &mut Vec<f64>) -> f6
     }
 }
 
+/// Stable insertion sort — the candidate set is bounded by
+/// `max_candidates` (50 by default), where insertion sort is both fastest
+/// and allocation-free, unlike the stdlib's stable `sort_by`.
+fn insertion_sort_by(v: &mut [DetectedPeriod], less: impl Fn(&DetectedPeriod, &DetectedPeriod) -> bool) {
+    for i in 1..v.len() {
+        let mut j = i;
+        while j > 0 && less(&v[j], &v[j - 1]) {
+            v.swap(j, j - 1);
+            j -= 1;
+        }
+    }
+}
+
 /// Merge near-duplicate validated periods (keep strongest) and drop
 /// multiples of a stronger shorter period (2T, 3T ACF hills of the same
-/// process). Result sorted by descending ACF score.
-fn merge_validated(mut periods: Vec<DetectedPeriod>, tol: f64) -> Vec<DetectedPeriod> {
-    periods.sort_by(|a, b| b.acf_score.partial_cmp(&a.acf_score).unwrap());
-    let mut kept: Vec<DetectedPeriod> = Vec::new();
-    // First pass: dedup near-equal periods.
-    for p in periods {
-        if kept.iter().any(|k| rel_close(k.period, p.period, tol)) {
+/// process), entirely in place. Result sorted by descending ACF score.
+fn merge_validated_in_place(periods: &mut Vec<DetectedPeriod>, tol: f64) {
+    insertion_sort_by(periods, |a, b| a.acf_score > b.acf_score);
+    // First pass: dedup near-equal periods (strongest wins), compacting the
+    // kept prefix in place.
+    let mut kept = 0;
+    for i in 0..periods.len() {
+        let p = periods[i];
+        if periods[..kept]
+            .iter()
+            .any(|k| rel_close(k.period, p.period, tol))
+        {
             continue;
         }
-        kept.push(p);
+        periods[kept] = p;
+        kept += 1;
     }
-    // Second pass: drop integer multiples of a kept shorter period.
-    let mut by_period = kept.clone();
-    by_period.sort_by(|a, b| a.period.partial_cmp(&b.period).unwrap());
-    let mut final_set: Vec<DetectedPeriod> = Vec::new();
-    for p in by_period {
-        let is_multiple = final_set.iter().any(|base| {
+    periods.truncate(kept);
+    // Second pass: drop integer multiples of a kept shorter period. Scanning
+    // in ascending period order means every potential base is already in the
+    // accepted prefix when its multiples are examined.
+    insertion_sort_by(periods, |a, b| a.period < b.period);
+    let mut kept = 0;
+    for i in 0..periods.len() {
+        let p = periods[i];
+        let is_multiple = periods[..kept].iter().any(|base| {
             let ratio = p.period / base.period;
             let nearest = ratio.round();
             nearest >= 2.0 && (ratio - nearest).abs() / nearest < tol
         });
         if !is_multiple {
-            final_set.push(p);
+            periods[kept] = p;
+            kept += 1;
         }
     }
-    final_set.sort_by(|a, b| b.acf_score.partial_cmp(&a.acf_score).unwrap());
-    final_set
+    periods.truncate(kept);
+    insertion_sort_by(periods, |a, b| a.acf_score > b.acf_score);
 }
 
 fn rel_close(a: f64, b: f64, tol: f64) -> bool {
@@ -435,6 +513,24 @@ mod tests {
     }
 
     #[test]
+    fn detect_into_matches_detect() {
+        // The zero-allocation entry point and the allocating wrapper must
+        // agree, including `out` being reused (and cleared) across calls.
+        let cfg = PeriodConfig::default();
+        let mut det = PeriodDetector::new(cfg.clone());
+        let mut out = Vec::new();
+        for seed in 0..4u64 {
+            let ts = periodic_events(40.0 + 11.0 * seed as f64, 86400.0, 1.0, seed);
+            det.detect_into(&ts, &mut out);
+            assert_eq!(out, detect_periods(&ts, &cfg));
+        }
+        // An aperiodic input after a periodic one must leave `out` empty.
+        let noise = random_events(500, 3600.0 * 8.0, 99);
+        det.detect_into(&noise, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
     fn batch_matches_serial_per_thread_count() {
         let cfg = PeriodConfig::default();
         let inputs: Vec<Vec<f64>> = (0..8)
@@ -449,7 +545,9 @@ mod tests {
         let serial: Vec<_> = inputs.iter().map(|ts| detect_periods(ts, &cfg)).collect();
         for par in [
             behaviot_par::Parallelism::Off,
+            behaviot_par::Parallelism::Fixed(2),
             behaviot_par::Parallelism::Fixed(3),
+            behaviot_par::Parallelism::Fixed(7),
             behaviot_par::Parallelism::Auto,
         ] {
             assert_eq!(detect_periods_batch(&inputs, &cfg, par), serial, "{par}");
@@ -458,7 +556,7 @@ mod tests {
 
     #[test]
     fn merge_drops_multiples() {
-        let periods = vec![
+        let mut periods = vec![
             DetectedPeriod {
                 period: 60.0,
                 acf_score: 0.9,
@@ -480,11 +578,38 @@ mod tests {
                 power: 3.0,
             },
         ];
-        let merged = merge_validated(periods, 0.1);
-        let vals: Vec<f64> = merged.iter().map(|p| p.period).collect();
+        merge_validated_in_place(&mut periods, 0.1);
+        let vals: Vec<f64> = periods.iter().map(|p| p.period).collect();
         assert!(vals.contains(&60.0));
         assert!(vals.contains(&95.0));
-        assert_eq!(merged.len(), 2, "{vals:?}");
+        assert_eq!(periods.len(), 2, "{vals:?}");
+    }
+
+    #[test]
+    fn merge_keeps_strongest_of_near_equals_regardless_of_order() {
+        // Ties and near-duplicates: the higher ACF score must win, and the
+        // result must be sorted by descending score.
+        let mut periods = vec![
+            DetectedPeriod {
+                period: 100.0,
+                acf_score: 0.5,
+                power: 1.0,
+            },
+            DetectedPeriod {
+                period: 102.0,
+                acf_score: 0.9,
+                power: 2.0,
+            },
+            DetectedPeriod {
+                period: 250.0,
+                acf_score: 0.7,
+                power: 3.0,
+            },
+        ];
+        merge_validated_in_place(&mut periods, 0.1);
+        assert_eq!(periods.len(), 2);
+        assert_eq!(periods[0].period, 102.0);
+        assert_eq!(periods[1].period, 250.0);
     }
 
     #[test]

@@ -23,37 +23,51 @@ pub fn std_dev(xs: &[f64]) -> f64 {
     variance(xs).sqrt()
 }
 
-/// Median of a mutable slice, sorting it in place — the allocation-free
+/// Median of a mutable slice, reordering it in place — the allocation-free
 /// primitive behind [`median`] for hot loops that own scratch buffers.
 /// Returns `0.0` for an empty slice.
+///
+/// Uses `O(n)` quickselect rather than a full sort: only the order statistic
+/// matters, and every caller in the workspace treats the slice as scratch
+/// afterwards. Selection picks the exact same order statistics a sort would,
+/// so the returned value is bit-identical to the previous sort-based
+/// implementation.
 pub fn median_in_place(xs: &mut [f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
     let n = xs.len();
+    let cmp = |a: &f64, b: &f64| a.partial_cmp(b).expect("NaN in median input");
+    let (_, &mut upper, _) = xs.select_nth_unstable_by(n / 2, cmp);
     if n % 2 == 1 {
-        xs[n / 2]
+        upper
     } else {
-        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+        // The lower middle is the maximum of the left partition.
+        let lower = xs[..n / 2]
+            .iter()
+            .copied()
+            .reduce(f64::max)
+            .expect("non-empty by n >= 2");
+        0.5 * (lower + upper)
     }
 }
 
-/// Median of a slice (linear-time selection not needed at our sizes; sorts a
-/// copy). Returns `0.0` for an empty slice.
+/// Median of a slice (selects on a copy). Returns `0.0` for an empty slice.
 pub fn median(xs: &[f64]) -> f64 {
     let mut v: Vec<f64> = xs.to_vec();
     median_in_place(&mut v)
 }
 
-/// Median absolute deviation computed destructively: `xs` is sorted and then
-/// overwritten with absolute deviations. Allocation-free counterpart of
+/// Median absolute deviation computed destructively: `xs` is reordered and
+/// then overwritten with absolute deviations. Allocation-free counterpart of
 /// [`median_abs_dev`].
 pub fn median_abs_dev_in_place(xs: &mut [f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
     let med = median_in_place(xs);
+    // Branch-free pass the compiler vectorizes; the multiset of deviations
+    // (hence the second median) is independent of the select reorder.
     for x in xs.iter_mut() {
         *x = (*x - med).abs();
     }

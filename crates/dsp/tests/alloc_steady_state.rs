@@ -1,0 +1,109 @@
+//! Pins the steady-state allocation contract of the period-detection hot
+//! path: after warm-up, `PeriodDetector::detect_into` performs **zero** heap
+//! allocations, for periodic and aperiodic inputs alike.
+//!
+//! A counting global allocator makes the contract checkable: the single test
+//! in this file (keep it single — the counter is process-global) runs each
+//! input once to grow the scratch buffers, then asserts the repeat passes
+//! allocate nothing. A regression — a stable sort sneaking back in, a
+//! buffer rebuilt per call, a twiddle table recomputed — fails with the
+//! exact allocation count.
+
+use behaviot_dsp::{PeriodConfig, PeriodDetector};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> usize {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Deterministic LCG (no rand dependency).
+struct Lcg(u64);
+impl Lcg {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn periodic_events(period: f64, span: f64, jitter: f64, seed: u64) -> Vec<f64> {
+    let mut rng = Lcg(seed);
+    let mut ts = Vec::new();
+    let mut t = 0.0;
+    while t < span {
+        ts.push(t + jitter * (rng.next_f64() - 0.5));
+        t += period;
+    }
+    ts
+}
+
+fn random_events(n: usize, span: f64, seed: u64) -> Vec<f64> {
+    let mut rng = Lcg(seed);
+    (0..n).map(|_| rng.next_f64() * span).collect()
+}
+
+#[test]
+fn detect_into_is_allocation_free_after_warmup() {
+    let inputs: Vec<Vec<f64>> = vec![
+        periodic_events(60.0, 86400.0, 1.0, 1),
+        periodic_events(236.0, 86400.0, 3.0, 2),
+        random_events(700, 36000.0, 3),
+        periodic_events(3603.0, 5.0 * 86400.0, 10.0, 4),
+        vec![0.0, 10.0, 20.0], // below min_events: early return
+        vec![5.0; 20],         // zero span: early return
+    ];
+
+    let mut det = PeriodDetector::new(PeriodConfig::default());
+    let mut out = Vec::new();
+
+    // Warm-up: grows every scratch buffer (incl. twiddle tables) to the
+    // largest input, initializes metric handles, and sizes `out`.
+    let mut expected = Vec::new();
+    for ts in &inputs {
+        det.detect_into(ts, &mut out);
+        expected.push(out.clone());
+    }
+
+    // Steady state: same inputs, warmed detector — zero allocations, and
+    // results identical to the warm-up pass (buffer reuse is inert).
+    for round in 0..3 {
+        for (i, ts) in inputs.iter().enumerate() {
+            let before = alloc_count();
+            det.detect_into(ts, &mut out);
+            let after = alloc_count();
+            assert_eq!(
+                after - before,
+                0,
+                "round {round} input {i}: {} allocations on the steady-state path",
+                after - before
+            );
+            assert_eq!(out, expected[i], "round {round} input {i}: result drifted");
+        }
+    }
+}

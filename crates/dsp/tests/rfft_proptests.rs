@@ -1,0 +1,71 @@
+//! Property tests pinning the real-input FFT to the complex FFT.
+//!
+//! `rfft` computes only the non-redundant half of each butterfly block and
+//! conjugate-mirrors the rest; the twiddle table is constructed so the
+//! mirrored entries are **bitwise** identical to what the full complex
+//! butterfly loop produces (see `fill_master` in `crates/dsp/src/fft.rs`).
+//! These tests enforce that claim over random real inputs for every
+//! power-of-two size up to 4096 — if a future kernel change breaks the exact
+//! symmetry (a re-derived twiddle, a reassociated butterfly), this fails at
+//! the first differing bit rather than as a mysterious golden drift.
+//!
+//! Caveat the tests are shaped around: when an intermediate value is exactly
+//! zero (possible only for structured inputs — impulse trains, constants,
+//! zero padding), the mirror may produce `-0.0` where the complex loop
+//! produces `+0.0`. Random dense inputs never hit exact cancellation, so the
+//! bit-level comparison is safe here; structured inputs are covered by a
+//! value-level (`==`, which treats ±0 as equal) unit test in `fft.rs`, and
+//! nothing downstream observes zero signs (`norm_sq` squares them away).
+
+use behaviot_dsp::{fft, rfft, Complex};
+use proptest::prelude::*;
+
+fn to_complex(xs: &[f64]) -> Vec<Complex> {
+    xs.iter().map(|&x| Complex::real(x)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// rfft output is bitwise identical to fft on real input, for every
+    /// power-of-two length 1..=4096.
+    #[test]
+    fn rfft_bitwise_equals_fft_on_real_input(
+        exp in 0usize..13,
+        vals in proptest::collection::vec(-1e3f64..1e3, 4096..4097),
+    ) {
+        let n = 1usize << exp;
+        let mut a = to_complex(&vals[..n]);
+        let mut b = a.clone();
+        fft(&mut a);
+        rfft(&mut b);
+        for (k, (x, y)) in a.iter().zip(&b).enumerate() {
+            prop_assert_eq!(x.re.to_bits(), y.re.to_bits(), "n={} bin {} re", n, k);
+            prop_assert_eq!(x.im.to_bits(), y.im.to_bits(), "n={} bin {} im", n, k);
+        }
+    }
+
+    /// The periodogram path (mean removal + zero padding + rfft) agrees with
+    /// one built on the complex fft, value-exactly per bin. Ragged lengths
+    /// exercise the padded tail, where exact-zero intermediates make ±0 the
+    /// only permitted difference — hence `==` rather than bit comparison.
+    #[test]
+    fn padded_rfft_value_equals_fft(
+        len in 2usize..500,
+        vals in proptest::collection::vec(-1e3f64..1e3, 512..513),
+    ) {
+        let sig = &vals[..len];
+        let n = len.next_power_of_two();
+        let mut a = to_complex(sig);
+        a.resize(n, Complex::default());
+        let mut b = a.clone();
+        fft(&mut a);
+        rfft(&mut b);
+        for (k, (x, y)) in a.iter().zip(&b).enumerate() {
+            prop_assert!(
+                x.re == y.re && x.im == y.im,
+                "len={} bin {}: fft {:?} rfft {:?}", len, k, x, y
+            );
+        }
+    }
+}

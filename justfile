@@ -33,6 +33,12 @@ trace:
 bench-obs:
     scripts/bench_obs.sh
 
+# DSP kernel benches (pre-rewrite baseline vs current rfft/table kernels,
+# plus 1/2/4/8-thread sweep curves) -> BENCH_dsp.json; enforces the ≥1.5x
+# single-thread kernel speedup bar and host metadata on every row
+bench-dsp:
+    scripts/bench_dsp.sh
+
 # Tier-1 gate only
 test:
     cargo build --release && cargo test -q

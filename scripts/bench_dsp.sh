@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Run the DSP kernel benches (pre-rewrite baseline vs current kernels, plus
+# the thread-scaling sweep) and write the machine-readable results to
+# BENCH_dsp.json. The acceptance bar for the DSP rewrite PR is the current
+# kernels at ≥1.5x the baseline on `dsp_periodogram_64k` and
+# `dsp_period_detect_batch_64series` (single-thread, same host); the check
+# below enforces it. Set BENCH_DSP_NO_ENFORCE=1 to record numbers without
+# failing (e.g. on a noisy shared box).
+#
+# The `sweep_*/tN` rows record the 1/2/4/8-thread speedup curves for
+# periodic training, batch period detection and forest fitting — clipped to
+# the host's cores, so a 1-core runner emits only `/t1` serial baselines.
+# Every row carries host_cores/host_cpu so the curves stay interpretable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Absolute path: cargo runs the bench with the package dir as cwd, so a
+# relative CRITERION_JSON would land in crates/bench/.
+out="$(pwd)/${1:-BENCH_dsp.json}"
+CRITERION_JSON="$out" cargo bench -p behaviot-bench --bench dsp
+echo "wrote $out"
+
+python3 scripts/check_bench_meta.py "$out"
+
+python3 - "$out" <<'EOF'
+import json, os, sys
+
+results = {r["id"]: r["mean_ns"] for r in json.load(open(sys.argv[1]))}
+fail = []
+for group in ("dsp_periodogram_64k", "dsp_period_detect_batch_64series"):
+    base = results[f"{group}/baseline"]
+    fast = results[f"{group}/fast"]
+    speedup = base / fast
+    print(f"{group}: {speedup:.2f}x (baseline {base:.0f} ns, fast {fast:.0f} ns)")
+    if speedup < 1.5:
+        fail.append(f"{group} speedup {speedup:.2f}x below the 1.5x bar")
+
+sweeps = sorted(k for k in results if k.startswith("sweep_"))
+by_group = {}
+for k in sweeps:
+    group, t = k.rsplit("/t", 1)
+    by_group.setdefault(group, {})[int(t)] = results[k]
+for group, curve in sorted(by_group.items()):
+    t1 = curve.get(1)
+    pts = ", ".join(
+        f"t{n}: {t1 / ns:.2f}x" if t1 else f"t{n}: {ns:.0f} ns"
+        for n, ns in sorted(curve.items())
+    )
+    print(f"{group}: {pts}")
+
+if fail:
+    msg = "FAIL: " + "; ".join(fail)
+    if os.environ.get("BENCH_DSP_NO_ENFORCE"):
+        print(msg, "(not enforced: BENCH_DSP_NO_ENFORCE set)")
+    else:
+        sys.exit(msg)
+else:
+    print("PASS: kernel speedups within the 1.5x bar")
+EOF

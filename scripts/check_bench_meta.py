@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Fail if a committed BENCH_*.json row is missing host metadata.
+
+Every row the criterion shim emits must carry `host_cores` (positive int)
+and `host_cpu` (non-empty string): a benchmark number is only interpretable
+with the hardware it was measured on — this repo once recorded a parallel
+bench on a 1-core container and the flat speedup read as a regression until
+someone thought to ask about the host. Usage:
+
+    python3 scripts/check_bench_meta.py BENCH_*.json
+
+Exits non-zero listing every offending (file, row) pair. Files that don't
+exist are skipped (the checker is run from verify.sh where not every BENCH
+file need be present).
+"""
+
+import json
+import os
+import sys
+
+
+def check_file(path):
+    problems = []
+    try:
+        rows = json.load(open(path))
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable ({e})"]
+    if not isinstance(rows, list):
+        return [f"{path}: expected a JSON array of bench rows"]
+    for i, row in enumerate(rows):
+        rid = row.get("id", f"row {i}")
+        cores = row.get("host_cores")
+        if not isinstance(cores, int) or cores < 1:
+            problems.append(f"{path}: {rid}: missing/invalid host_cores ({cores!r})")
+        cpu = row.get("host_cpu")
+        if not isinstance(cpu, str) or not cpu.strip():
+            problems.append(f"{path}: {rid}: missing/empty host_cpu ({cpu!r})")
+    return problems
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_bench_meta.py BENCH_*.json", file=sys.stderr)
+        return 2
+    problems = []
+    checked = 0
+    for path in argv[1:]:
+        if not os.path.exists(path):
+            continue
+        checked += 1
+        problems.extend(check_file(path))
+    if problems:
+        print(f"FAIL: {len(problems)} bench row(s) missing host metadata:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"PASS: host metadata present in every row of {checked} bench file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

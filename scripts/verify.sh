@@ -67,4 +67,10 @@ cargo clippy --release -q \
 echo "==> bench smoke: ingest paths must agree (tiny sample budget)"
 CRITERION_SAMPLE_MS=5 cargo bench -p behaviot-bench --bench ingest >/dev/null
 
+echo "==> bench smoke: DSP baseline/fast kernels must agree (tiny sample budget)"
+CRITERION_SAMPLE_MS=5 cargo bench -p behaviot-bench --bench dsp >/dev/null
+
+echo "==> committed BENCH files must carry host metadata"
+python3 scripts/check_bench_meta.py BENCH_*.json
+
 echo "verify: OK"

@@ -10,9 +10,13 @@
 //! Machine-readable output: when the `CRITERION_JSON` environment variable
 //! names a file, every measured benchmark is appended to it as a JSON array
 //! of `{id, mean_ns, median_ns, min_ns, samples, iters_per_sample,
-//! throughput_elems}` records when the process finishes its groups. This is
-//! how the repo's `BENCH_*.json` trajectories are produced (see
-//! `scripts/bench_pipeline.sh`).
+//! throughput_elems, host_cores, host_cpu}` records when the process
+//! finishes its groups. This is how the repo's `BENCH_*.json` trajectories
+//! are produced (see `scripts/bench_pipeline.sh`). The host fields exist
+//! because a committed number is only interpretable with the hardware it
+//! was measured on — a 1-core CI recording of a parallel bench is a serial
+//! baseline, not a scaling result (`scripts/check_bench_meta.py` enforces
+//! their presence).
 
 #![warn(missing_docs)]
 
@@ -214,13 +218,16 @@ impl Criterion {
         if path.is_empty() {
             return;
         }
+        let cores = host_cores();
+        let cpu = host_cpu_model();
         let rec = self.recorder.borrow();
         let mut out = String::from("[\n");
         for (i, m) in rec.results.iter().enumerate() {
             let _ = write!(
                 out,
                 "  {{\"id\": {:?}, \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
-                 \"samples\": {}, \"iters_per_sample\": {}, \"throughput_elems\": {}}}{}",
+                 \"samples\": {}, \"iters_per_sample\": {}, \"throughput_elems\": {}, \
+                 \"host_cores\": {}, \"host_cpu\": {:?}}}{}",
                 m.id,
                 m.mean_ns,
                 m.median_ns,
@@ -229,6 +236,8 @@ impl Criterion {
                 m.iters_per_sample,
                 m.throughput_elems
                     .map_or("null".to_string(), |e| e.to_string()),
+                cores,
+                cpu,
                 if i + 1 == rec.results.len() { "\n" } else { ",\n" }
             );
         }
@@ -237,6 +246,31 @@ impl Criterion {
             eprintln!("criterion shim: failed to write {path}: {e}");
         }
     }
+}
+
+/// CPUs available to this process.
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+}
+
+/// Best-effort CPU model string: `/proc/cpuinfo`'s `model name` on Linux,
+/// falling back to `arch-os` so the field is never empty.
+fn host_cpu_model() -> String {
+    if let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") {
+        for line in info.lines() {
+            if let Some(rest) = line.strip_prefix("model name") {
+                if let Some((_, model)) = rest.split_once(':') {
+                    let model = model.trim();
+                    if !model.is_empty() {
+                        return model.to_string();
+                    }
+                }
+            }
+        }
+    }
+    format!("{}-{}", std::env::consts::ARCH, std::env::consts::OS)
 }
 
 fn fmt_ns(ns: f64) -> String {
