@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks over the algorithmic substrates: FFT,
 //! period detection, DBSCAN, random forest, PFSM inference and scoring.
 
-use behaviot_cluster::{Dbscan, Standardizer};
+use behaviot_cluster::{Dbscan, FeatureMatrix, Standardizer};
 use behaviot_dsp::autocorr::autocorrelation;
 use behaviot_dsp::fft::periodogram;
 use behaviot_dsp::period::{detect_periods, PeriodConfig};
@@ -41,8 +41,9 @@ fn bench_dbscan(c: &mut Criterion) {
             (0..21).map(|_| c + rng.gen_range(-0.5..0.5)).collect()
         })
         .collect();
-    let std = Standardizer::fit(&pts).unwrap();
-    let t = std.transform_all(&pts);
+    let mut t = FeatureMatrix::from_rows(&pts);
+    let std = Standardizer::fit_matrix(&t).unwrap();
+    std.transform_matrix(&mut t);
     let mut g = c.benchmark_group("dbscan");
     g.sample_size(10);
     g.bench_function("fit_1500x21", |b| {
@@ -51,15 +52,15 @@ fn bench_dbscan(c: &mut Criterion) {
                 eps: 1.0,
                 min_pts: 4,
             }
-            .fit(&t)
+            .fit_matrix(&t)
         })
     });
     let (_, model) = Dbscan {
         eps: 1.0,
         min_pts: 4,
     }
-    .fit(&t);
-    g.bench_function("predict", |b| b.iter(|| model.predict(&t[7])));
+    .fit_matrix(&t);
+    g.bench_function("predict", |b| b.iter(|| model.predict(t.row(7))));
     g.finish();
 }
 

@@ -1,0 +1,298 @@
+//! Clustering-core benchmarks: pre-rewrite baseline vs. the flat-matrix /
+//! grid-indexed implementation. `scripts/bench_cluster.sh` runs this bench
+//! with `CRITERION_JSON` set to produce `BENCH_cluster.json`.
+//!
+//! Two groups, each with a `baseline` and a `fast` entry:
+//!
+//! * `dbscan_fit`: full DBSCAN training on a standardized 1200×21 multi-blob
+//!   feature matrix. The `baseline` entry runs the [`baseline`] module — a
+//!   faithful vendored copy of the crate as it stood before the rewrite
+//!   (`Vec<Vec<f64>>` points, O(n) full-scan neighbor queries recomputed up
+//!   to three times per point) — and the `fast` entry runs the live
+//!   grid-indexed [`behaviot_cluster::Dbscan::fit_matrix`].
+//!
+//! * `classify_stream`: the steady-state monitor path — standardize one
+//!   flow's features and test them against the trained cluster model, over a
+//!   mixed hit/miss stream. `baseline` allocates a transformed `Vec` per
+//!   flow and runs the first-match-wins full scan; `fast` reuses a scratch
+//!   buffer (`transform_into`) and early-exits via `matches`.
+//!
+//! The acceptance bar (enforced by the script) is `fast` ≥ 1.5× on both
+//! groups. Before timing anything the two implementations are checked for
+//! agreement on every bench input: identical labels, identical per-flow
+//! stream verdicts.
+
+use behaviot_cluster::{Dbscan, FeatureMatrix, Standardizer};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The clustering core exactly as it was before the flat-matrix rewrite,
+/// vendored so the speedup is measured against the real predecessor rather
+/// than a straw man. Kept allocation-for-allocation faithful: nested-`Vec`
+/// points, neighbor lists recomputed at every use, allocating transform.
+mod baseline {
+    pub const NOISE: i32 = -1;
+
+    pub struct Standardizer {
+        means: Vec<f64>,
+        stds: Vec<f64>,
+    }
+
+    impl Standardizer {
+        pub fn fit(points: &[Vec<f64>]) -> Option<Self> {
+            let dim = points.first()?.len();
+            let n = points.len() as f64;
+            let mut means = vec![0.0; dim];
+            for p in points {
+                assert_eq!(p.len(), dim, "inconsistent dimensions");
+                for (m, &x) in means.iter_mut().zip(p) {
+                    *m += x;
+                }
+            }
+            for m in means.iter_mut() {
+                *m /= n;
+            }
+            let mut stds = vec![0.0; dim];
+            for p in points {
+                for ((s, &m), &x) in stds.iter_mut().zip(&means).zip(p) {
+                    *s += (x - m) * (x - m);
+                }
+            }
+            for s in stds.iter_mut() {
+                *s = (*s / n).sqrt();
+                if *s < 1e-12 {
+                    *s = 1.0;
+                }
+            }
+            Some(Self { means, stds })
+        }
+
+        pub fn transform(&self, point: &[f64]) -> Vec<f64> {
+            assert_eq!(point.len(), self.means.len(), "dimension mismatch");
+            point
+                .iter()
+                .zip(self.means.iter().zip(&self.stds))
+                .map(|(&x, (&m, &s))| (x - m) / s)
+                .collect()
+        }
+
+        pub fn transform_all(&self, points: &[Vec<f64>]) -> Vec<Vec<f64>> {
+            points.iter().map(|p| self.transform(p)).collect()
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    pub struct Dbscan {
+        pub eps: f64,
+        pub min_pts: usize,
+    }
+
+    fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    impl Dbscan {
+        pub fn fit(&self, points: &[Vec<f64>]) -> (Vec<i32>, DbscanModel) {
+            let n = points.len();
+            let eps_sq = self.eps * self.eps;
+            let mut labels = vec![NOISE; n];
+            let mut visited = vec![false; n];
+            let mut cluster = 0i32;
+
+            let neighbors = |i: usize| -> Vec<usize> {
+                (0..n)
+                    .filter(|&j| dist_sq(&points[i], &points[j]) <= eps_sq)
+                    .collect()
+            };
+
+            for i in 0..n {
+                if visited[i] {
+                    continue;
+                }
+                visited[i] = true;
+                let nbrs = neighbors(i);
+                if nbrs.len() < self.min_pts {
+                    continue;
+                }
+                labels[i] = cluster;
+                let mut queue: Vec<usize> = nbrs;
+                let mut qi = 0;
+                while qi < queue.len() {
+                    let j = queue[qi];
+                    qi += 1;
+                    if labels[j] == NOISE {
+                        labels[j] = cluster;
+                    }
+                    if visited[j] {
+                        continue;
+                    }
+                    visited[j] = true;
+                    labels[j] = cluster;
+                    let jn = neighbors(j);
+                    if jn.len() >= self.min_pts {
+                        queue.extend(jn);
+                    }
+                }
+                cluster += 1;
+            }
+
+            let mut core_points = Vec::new();
+            let mut core_labels = Vec::new();
+            for i in 0..n {
+                if labels[i] == NOISE {
+                    continue;
+                }
+                if neighbors(i).len() >= self.min_pts {
+                    core_points.push(points[i].clone());
+                    core_labels.push(labels[i]);
+                }
+            }
+            (
+                labels,
+                DbscanModel {
+                    eps: self.eps,
+                    core_points,
+                    core_labels,
+                },
+            )
+        }
+    }
+
+    pub struct DbscanModel {
+        eps: f64,
+        core_points: Vec<Vec<f64>>,
+        core_labels: Vec<i32>,
+    }
+
+    impl DbscanModel {
+        pub fn predict(&self, point: &[f64]) -> Option<i32> {
+            let eps_sq = self.eps * self.eps;
+            let mut best: Option<(f64, i32)> = None;
+            for (cp, &lab) in self.core_points.iter().zip(&self.core_labels) {
+                let d = dist_sq(cp, point);
+                if d <= eps_sq && best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, lab));
+                }
+            }
+            best.map(|(_, lab)| lab)
+        }
+    }
+}
+
+const DIM: usize = 21;
+const N_TRAIN: usize = 1200;
+const EPS: f64 = 1.0;
+const MIN_PTS: usize = 4;
+
+/// Multi-blob training set shaped like standardized flow features: three
+/// dense event clusters plus a sprinkle of outliers.
+fn train_points() -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..N_TRAIN)
+        .map(|i| {
+            if i % 97 == 11 {
+                // Outlier: far from every blob, becomes noise.
+                (0..DIM).map(|_| rng.gen_range(-40.0..40.0)).collect()
+            } else {
+                let c = (i % 3) as f64 * 10.0;
+                (0..DIM).map(|_| c + rng.gen_range(-0.5..0.5)).collect()
+            }
+        })
+        .collect()
+}
+
+/// Monitor-path stream: mostly near-blob flows (cluster hits) with a
+/// fraction of user-like outliers (misses), in raw feature space.
+fn stream_points() -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(8);
+    (0..256)
+        .map(|i| {
+            if i % 5 == 0 {
+                (0..DIM).map(|_| rng.gen_range(-40.0..40.0)).collect()
+            } else {
+                let c = (i % 3) as f64 * 10.0;
+                (0..DIM).map(|_| c + rng.gen_range(-0.5..0.5)).collect()
+            }
+        })
+        .collect()
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let points = train_points();
+    let stream = stream_points();
+
+    // Baseline pipeline.
+    let old_std = baseline::Standardizer::fit(&points).unwrap();
+    let old_t = old_std.transform_all(&points);
+    let old_dbscan = baseline::Dbscan {
+        eps: EPS,
+        min_pts: MIN_PTS,
+    };
+    let (old_labels, old_model) = old_dbscan.fit(&old_t);
+
+    // Flat-matrix pipeline.
+    let mut matrix = FeatureMatrix::from_rows(&points);
+    let std = Standardizer::fit_matrix(&matrix).unwrap();
+    std.transform_matrix(&mut matrix);
+    let dbscan = Dbscan {
+        eps: EPS,
+        min_pts: MIN_PTS,
+    };
+    let (new_labels, new_model) = dbscan.fit_matrix(&matrix);
+
+    // Agreement gate: never time two kernels that disagree.
+    assert_eq!(new_labels, old_labels, "fit disagreement on bench input");
+    assert!(
+        old_labels.contains(&baseline::NOISE) && new_model.n_clusters() == 3,
+        "bench input must produce 3 clusters plus noise"
+    );
+    let mut scratch = Vec::new();
+    for (i, p) in stream.iter().enumerate() {
+        let old_hit = old_model.predict(&old_std.transform(p)).is_some();
+        std.transform_into(p, &mut scratch);
+        assert_eq!(
+            new_model.matches(&scratch),
+            old_hit,
+            "stream disagreement on flow {i}"
+        );
+    }
+
+    let mut g = c.benchmark_group("dbscan_fit");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N_TRAIN as u64));
+    g.bench_function("baseline", |b| b.iter(|| old_dbscan.fit(black_box(&old_t))));
+    g.bench_function("fast", |b| b.iter(|| dbscan.fit_matrix(black_box(&matrix))));
+    g.finish();
+
+    let mut g = c.benchmark_group("classify_stream");
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    g.bench_function("baseline", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &stream {
+                let t = old_std.transform(black_box(p));
+                if old_model.predict(&t).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.bench_function("fast", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for p in &stream {
+                std.transform_into(black_box(p), &mut scratch);
+                if new_model.matches(&scratch) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

@@ -12,14 +12,34 @@
 //! such as congestion defeat pure timers — the motivation for the second
 //! stage, ablated in `bench`).
 
-use behaviot_cluster::{Dbscan, DbscanModel, Standardizer};
+use behaviot_cluster::{Dbscan, DbscanModel, FeatureMatrix, Standardizer};
 use behaviot_dsp::period::{PeriodConfig, PeriodDetector};
 use behaviot_flows::FlowRecord;
 use behaviot_intern::{FxHashMap, Symbol};
 use behaviot_net::Proto;
 use behaviot_par::{par_map_init, Parallelism};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
+use std::sync::OnceLock;
+
+/// Cached handles for the clustering-stage metrics: the registry resolves
+/// names through a locked map (and allocates on first insert), so the
+/// per-group and per-flow paths look them up once.
+struct ClusterMetrics {
+    fit_points: behaviot_obs::Histogram,
+    predict_cores: behaviot_obs::Histogram,
+}
+
+fn cluster_metrics() -> &'static ClusterMetrics {
+    static M: OnceLock<ClusterMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = behaviot_obs::metrics();
+        ClusterMetrics {
+            fit_points: r.histogram("cluster.fit"),
+            predict_cores: r.histogram("cluster.predict"),
+        }
+    })
+}
 
 /// Key of one traffic group: device + destination + protocol. The
 /// destination is an interned [`Symbol`], so the key is `Copy` and hashes
@@ -102,10 +122,25 @@ impl PeriodicModel {
 
     /// Does the flow's feature vector fall into one of the idle-traffic
     /// clusters?
+    ///
+    /// Allocation-free: `scratch` holds the standardized point between
+    /// calls (it grows to the feature dimension once and is then reused).
+    /// This is the per-flow monitor-path check — the membership test
+    /// early-exits at the first core point within `eps`.
+    pub fn cluster_matches_with(&self, features: &[f64], scratch: &mut Vec<f64>) -> bool {
+        self.standardizer.transform_into(features, scratch);
+        cluster_metrics()
+            .predict_cores
+            .record(self.cluster.n_core_points() as u64);
+        self.cluster.matches(scratch)
+    }
+
+    /// Convenience wrapper over [`Self::cluster_matches_with`] with a local
+    /// scratch buffer (allocates; streaming callers should hold their own
+    /// scratch).
     pub fn cluster_matches(&self, features: &[f64]) -> bool {
-        self.cluster
-            .predict(&self.standardizer.transform(features))
-            .is_some()
+        let mut scratch = Vec::with_capacity(features.len());
+        self.cluster_matches_with(features, &mut scratch)
     }
 }
 
@@ -212,9 +247,13 @@ impl PeriodicModelSet {
         self.models.values().flat_map(|by_dest| by_dest.values())
     }
 
-    /// Models per device.
-    pub fn per_device(&self) -> HashMap<Ipv4Addr, usize> {
-        let mut out: HashMap<Ipv4Addr, usize> = HashMap::new();
+    /// Models per device, in device order.
+    ///
+    /// This crosses a report boundary (Table 4/9 regeneration), so the
+    /// return type is a `BTreeMap`: iteration order is the device address
+    /// order, not whatever a hash map's seed happens to produce.
+    pub fn per_device(&self) -> BTreeMap<Ipv4Addr, usize> {
+        let mut out: BTreeMap<Ipv4Addr, usize> = BTreeMap::new();
         for m in self.iter() {
             *out.entry(m.device).or_insert(0) += 1;
         }
@@ -249,18 +288,27 @@ fn train_group(
     if periods.is_empty() {
         return None;
     }
-    let mut feats: Vec<Vec<f64>> = flows.iter().map(|f| f.features.to_vec()).collect();
-    if feats.len() > cfg.dbscan_max_train {
-        let stride = feats.len() / cfg.dbscan_max_train + 1;
-        feats = feats.into_iter().step_by(stride).collect();
+    // Build the training matrix straight from the flows' inline feature
+    // arrays — one flat allocation, no per-flow `Vec`. Subsampling strides
+    // over row indices exactly as the old materialize-then-`step_by` did.
+    let stride = if flows.len() > cfg.dbscan_max_train {
+        flows.len() / cfg.dbscan_max_train + 1
+    } else {
+        1
+    };
+    let n_rows = flows.len().div_ceil(stride);
+    let mut matrix = FeatureMatrix::with_capacity(behaviot_flows::N_FEATURES, n_rows);
+    for f in flows.iter().step_by(stride) {
+        matrix.push_row(&f.features);
     }
-    let standardizer = Standardizer::fit(&feats).expect("non-empty group");
-    let transformed = standardizer.transform_all(&feats);
+    let standardizer = Standardizer::fit_matrix(&matrix).expect("non-empty group");
+    standardizer.transform_matrix(&mut matrix);
     let (_, cluster) = Dbscan {
         eps: cfg.dbscan_eps,
         min_pts: cfg.dbscan_min_pts,
     }
-    .fit(&transformed);
+    .fit_matrix(&matrix);
+    cluster_metrics().fit_points.record(matrix.n_rows() as u64);
     Some(PeriodicModel {
         device: key.0,
         destination: key.1,
@@ -280,6 +328,10 @@ fn train_group(
 pub struct PeriodicClassifier<'a> {
     set: &'a PeriodicModelSet,
     last_seen: FxHashMap<Shard, FxHashMap<Symbol, f64>>,
+    /// Standardized-features scratch for the cluster stage: reused across
+    /// flows so the steady-state classify path performs zero allocations
+    /// (pinned by `tests/classify_alloc.rs`).
+    scratch: Vec<f64>,
     /// Disable the DBSCAN second stage (timer-only ablation).
     pub timer_only: bool,
 }
@@ -290,6 +342,7 @@ impl<'a> PeriodicClassifier<'a> {
         Self {
             set,
             last_seen: FxHashMap::default(),
+            scratch: Vec::new(),
             timer_only: false,
         }
     }
@@ -326,7 +379,7 @@ impl<'a> PeriodicClassifier<'a> {
         if self.timer_only {
             return false;
         }
-        model.cluster_matches(&flow.features)
+        model.cluster_matches_with(&flow.features, &mut self.scratch)
     }
 
     /// Current elapsed-time (`T0`) of a group relative to `now`, if the

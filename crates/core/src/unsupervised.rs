@@ -9,8 +9,8 @@
 //! construction and deviation monitoring without any labeling effort.
 
 use crate::periodic::PeriodicModelSet;
-use behaviot_cluster::{Dbscan, DbscanModel, Standardizer};
-use behaviot_flows::{FeatureVector, FlowRecord};
+use behaviot_cluster::{Dbscan, DbscanModel, FeatureMatrix, Standardizer};
+use behaviot_flows::{FeatureVector, FlowRecord, N_FEATURES};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -64,16 +64,19 @@ impl UnsupervisedUserModels {
             if flows.len() < cfg.min_flows {
                 continue;
             }
-            let feats: Vec<Vec<f64>> = flows.iter().map(|f| f.features.to_vec()).collect();
-            let Some(standardizer) = Standardizer::fit(&feats) else {
+            let mut matrix = FeatureMatrix::with_capacity(N_FEATURES, flows.len());
+            for f in &flows {
+                matrix.push_row(&f.features);
+            }
+            let Some(standardizer) = Standardizer::fit_matrix(&matrix) else {
                 continue;
             };
-            let transformed = standardizer.transform_all(&feats);
+            standardizer.transform_matrix(&mut matrix);
             let (_, model) = Dbscan {
                 eps: cfg.eps,
                 min_pts: cfg.min_pts,
             }
-            .fit(&transformed);
+            .fit_matrix(&matrix);
             if model.n_clusters() > 0 {
                 per_device.insert(device, (standardizer, model));
             }
@@ -95,7 +98,9 @@ impl UnsupervisedUserModels {
     /// `None` when the flow matches no discovered cluster.
     pub fn classify(&self, device: Ipv4Addr, features: &FeatureVector) -> Option<String> {
         let (standardizer, model) = self.per_device.get(&device)?;
-        let cluster = model.predict(&standardizer.transform(features))?;
+        let mut scratch = Vec::with_capacity(features.len());
+        standardizer.transform_into(features, &mut scratch);
+        let cluster = model.predict(&scratch)?;
         Some(format!("cluster-{cluster}"))
     }
 }

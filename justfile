@@ -39,6 +39,12 @@ bench-obs:
 bench-dsp:
     scripts/bench_dsp.sh
 
+# Clustering-core benches (pre-rewrite baseline vs flat-matrix grid-indexed
+# DBSCAN + alloc-free classify stream) -> BENCH_cluster.json; enforces the
+# ≥1.5x speedup bar on both groups and host metadata on every row
+bench-cluster:
+    scripts/bench_cluster.sh
+
 # Tier-1 gate only
 test:
     cargo build --release && cargo test -q

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Run the clustering-core benches (pre-rewrite baseline vs the flat-matrix /
+# grid-indexed implementation) and write the machine-readable results to
+# BENCH_cluster.json. The acceptance bar for the flat-matrix rewrite PR is
+# the current implementation at ≥1.5x the baseline on `dbscan_fit` and
+# `classify_stream` (same host); the check below enforces it. Set
+# BENCH_CLUSTER_NO_ENFORCE=1 to record numbers without failing (e.g. on a
+# noisy shared box).
+#
+# The bench itself gates on agreement before timing: identical DBSCAN labels
+# and identical per-flow stream verdicts between the vendored baseline and
+# the live crate. Every row carries host_cores/host_cpu metadata.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Absolute path: cargo runs the bench with the package dir as cwd, so a
+# relative CRITERION_JSON would land in crates/bench/.
+out="$(pwd)/${1:-BENCH_cluster.json}"
+CRITERION_JSON="$out" cargo bench -p behaviot-bench --bench cluster
+echo "wrote $out"
+
+python3 scripts/check_bench_meta.py "$out"
+
+python3 - "$out" <<'EOF'
+import json, os, sys
+
+results = {r["id"]: r["mean_ns"] for r in json.load(open(sys.argv[1]))}
+fail = []
+for group in ("dbscan_fit", "classify_stream"):
+    base = results[f"{group}/baseline"]
+    fast = results[f"{group}/fast"]
+    speedup = base / fast
+    print(f"{group}: {speedup:.2f}x (baseline {base:.0f} ns, fast {fast:.0f} ns)")
+    if speedup < 1.5:
+        fail.append(f"{group} speedup {speedup:.2f}x below the 1.5x bar")
+
+if fail:
+    msg = "FAIL: " + "; ".join(fail)
+    if os.environ.get("BENCH_CLUSTER_NO_ENFORCE"):
+        print(msg, "(not enforced: BENCH_CLUSTER_NO_ENFORCE set)")
+    else:
+        sys.exit(msg)
+else:
+    print("PASS: clustering speedups within the 1.5x bar")
+EOF

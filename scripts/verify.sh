@@ -29,6 +29,9 @@ cargo run --release -q -p behaviot-bench --bin chaos -- --seeds 3 --max-drop-fra
 echo "==> metrics determinism: snapshots identical under off/fixed/auto"
 cargo test --release -q -p behaviot-harness --test metrics_determinism
 
+echo "==> alloc contract: steady-state classify performs zero heap allocations"
+cargo test --release -q -p behaviot --test classify_alloc
+
 echo "==> trace smoke: obs_smoke must emit every stage's spans + metrics"
 obs_tmp="$(mktemp -d)"
 trap 'rm -rf "$obs_tmp"' EXIT
@@ -49,7 +52,7 @@ assert not missing, f"trace missing spans: {sorted(missing)}"
 metrics = {json.loads(l)["metric"] for l in open(sys.argv[2]) if l.strip()}
 need_prefixes = {
     "ingest.", "flows.", "events.", "periodic.", "dsp.", "forest.",
-    "pfsm.", "system.", "par.",
+    "pfsm.", "system.", "par.", "cluster.",
 }
 bare = {p for p in need_prefixes if not any(m.startswith(p) for m in metrics)}
 assert not bare, f"metrics missing stage prefixes: {sorted(bare)}"
@@ -69,6 +72,9 @@ CRITERION_SAMPLE_MS=5 cargo bench -p behaviot-bench --bench ingest >/dev/null
 
 echo "==> bench smoke: DSP baseline/fast kernels must agree (tiny sample budget)"
 CRITERION_SAMPLE_MS=5 cargo bench -p behaviot-bench --bench dsp >/dev/null
+
+echo "==> bench smoke: cluster baseline/fast cores must agree (tiny sample budget)"
+CRITERION_SAMPLE_MS=5 cargo bench -p behaviot-bench --bench cluster >/dev/null
 
 echo "==> committed BENCH files must carry host metadata"
 python3 scripts/check_bench_meta.py BENCH_*.json
