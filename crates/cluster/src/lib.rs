@@ -208,6 +208,31 @@ impl Standardizer {
         self.means.len()
     }
 
+    /// The fitted parameters as `(means, stds)` slices — the serialization
+    /// surface used by the model store.
+    pub fn params(&self) -> (&[f64], &[f64]) {
+        (&self.means, &self.stds)
+    }
+
+    /// Rebuild a standardizer from previously exported parameters.
+    ///
+    /// Validates the invariants [`Self::fit_matrix`] guarantees: equal
+    /// lengths, finite means, and finite strictly-positive stds. Returns a
+    /// static reason on violation (loaders turn it into their own error
+    /// type) — never panics.
+    pub fn from_params(means: Vec<f64>, stds: Vec<f64>) -> Result<Self, &'static str> {
+        if means.len() != stds.len() {
+            return Err("means/stds length mismatch");
+        }
+        if means.iter().any(|m| !m.is_finite()) {
+            return Err("non-finite mean");
+        }
+        if stds.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+            return Err("non-positive or non-finite std");
+        }
+        Ok(Self { means, stds })
+    }
+
     /// Transform one point into a caller-provided scratch buffer (cleared
     /// first). Allocation-free once the buffer's capacity has grown — this
     /// is the per-flow monitor-path API.
@@ -618,6 +643,72 @@ impl DbscanModel {
         best.map(|(_, _, lab)| lab)
     }
 
+    /// Neighborhood radius the model was fitted with.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Feature dimension of the core points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The flat label-partitioned core-point matrix (`n_core_points() * dim`
+    /// values, row-major).
+    pub fn cores(&self) -> &[f64] {
+        &self.cores
+    }
+
+    /// Original training index of each stored core row (the predict
+    /// tie-break order).
+    pub fn core_orig(&self) -> &[u32] {
+        &self.core_orig
+    }
+
+    /// Label partition offsets: cluster `k` owns core rows
+    /// `label_offsets()[k]..label_offsets()[k+1]`.
+    pub fn label_offsets(&self) -> &[usize] {
+        &self.label_offsets
+    }
+
+    /// Rebuild a model from previously exported parts, validating every
+    /// structural invariant [`Dbscan::fit_matrix`] guarantees so a
+    /// corrupted snapshot can never produce a model whose `predict` indexes
+    /// out of bounds. Never panics.
+    pub fn from_parts(
+        eps: f64,
+        dim: usize,
+        cores: Vec<f64>,
+        core_orig: Vec<u32>,
+        label_offsets: Vec<usize>,
+    ) -> Result<Self, &'static str> {
+        if !eps.is_finite() || eps < 0.0 {
+            return Err("bad eps");
+        }
+        if cores.len() != core_orig.len() * dim {
+            return Err("cores/core_orig size mismatch");
+        }
+        if cores.iter().any(|c| !c.is_finite()) {
+            return Err("non-finite core coordinate");
+        }
+        if label_offsets.is_empty() || label_offsets[0] != 0 {
+            return Err("label offsets must start at 0");
+        }
+        if label_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("label offsets must be non-decreasing");
+        }
+        if *label_offsets.last().expect("non-empty checked above") != core_orig.len() {
+            return Err("label offsets must end at the core count");
+        }
+        Ok(Self {
+            eps,
+            dim,
+            cores,
+            core_orig,
+            label_offsets,
+        })
+    }
+
     /// Does the point lie within `eps` of *any* core point? Equivalent to
     /// `self.predict(point).is_some()` but returns at the first hit — the
     /// per-flow monitor-path check, allocation-free.
@@ -837,6 +928,46 @@ mod tests {
         }
         .fit_matrix(&m);
         assert_eq!(model.n_clusters(), 2);
+    }
+
+    #[test]
+    fn model_parts_roundtrip_and_reject_corruption() {
+        let pts = blob(0.0, 0.0, 40, 0.5, 21);
+        let (_, model) = Dbscan {
+            eps: 1.0,
+            min_pts: 4,
+        }
+        .fit(&pts);
+        let rebuilt = DbscanModel::from_parts(
+            model.eps(),
+            model.dim(),
+            model.cores().to_vec(),
+            model.core_orig().to_vec(),
+            model.label_offsets().to_vec(),
+        )
+        .unwrap();
+        for p in &pts {
+            assert_eq!(rebuilt.predict(p), model.predict(p));
+            assert_eq!(rebuilt.matches(p), model.matches(p));
+        }
+        // Structural corruption is rejected, never panics.
+        assert!(DbscanModel::from_parts(f64::NAN, 2, vec![], vec![], vec![0]).is_err());
+        assert!(DbscanModel::from_parts(1.0, 2, vec![0.0], vec![0], vec![0, 1]).is_err());
+        assert!(DbscanModel::from_parts(1.0, 1, vec![0.0], vec![0], vec![1, 1]).is_err());
+        assert!(DbscanModel::from_parts(1.0, 1, vec![0.0], vec![0], vec![0, 2]).is_err());
+        assert!(DbscanModel::from_parts(1.0, 1, vec![f64::NAN], vec![0], vec![0, 1]).is_err());
+        assert!(DbscanModel::from_parts(1.0, 1, vec![0.0], vec![0], vec![]).is_err());
+
+        let s = Standardizer::fit(&pts).unwrap();
+        let (means, stds) = s.params();
+        let s2 = Standardizer::from_params(means.to_vec(), stds.to_vec()).unwrap();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        s.transform_into(&pts[0], &mut a);
+        s2.transform_into(&pts[0], &mut b);
+        assert_eq!(a, b);
+        assert!(Standardizer::from_params(vec![0.0], vec![1.0, 1.0]).is_err());
+        assert!(Standardizer::from_params(vec![f64::INFINITY], vec![1.0]).is_err());
+        assert!(Standardizer::from_params(vec![0.0], vec![0.0]).is_err());
     }
 
     #[test]

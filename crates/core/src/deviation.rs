@@ -115,7 +115,15 @@ pub fn long_term_deviations(model: &SystemModel, traces: &[Vec<String>]) -> Vec<
             });
         }
     }
-    results.sort_by(|a, b| b.z.partial_cmp(&a.z).unwrap_or(std::cmp::Ordering::Equal));
+    // Total order: z descending, then labels — the HashMaps above iterate
+    // in a per-instance random order, so a z-only sort would leave tied
+    // results (e.g. several z = inf) nondeterministically arranged, which
+    // breaks replay invariance (tests/store_replay.rs).
+    results.sort_by(|a, b| {
+        b.z.partial_cmp(&a.z)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (&a.from, &a.to).cmp(&(&b.from, &b.to)))
+    });
     results
 }
 

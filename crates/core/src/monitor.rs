@@ -85,6 +85,22 @@ impl Default for MonitorConfig {
     }
 }
 
+/// The monitor's cross-window streaming state, exported for durable
+/// checkpoints. All three collections are sorted on export so the encoding
+/// is deterministic regardless of hash-map iteration order; restoring them
+/// into a fresh [`Monitor`] reproduces the exact deviation stream the
+/// uninterrupted monitor would have emitted (pinned by
+/// `tests/store_replay.rs`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MonitorState {
+    /// Per-group count-up timers: last event time per periodic group.
+    pub last_seen: Vec<(GroupKey, f64)>,
+    /// Devices whose ongoing silence has already been reported.
+    pub absence_flagged: Vec<Ipv4Addr>,
+    /// Long-term transitions currently in the deviating state.
+    pub long_flagged: Vec<(Symbol, Symbol)>,
+}
+
 /// The streaming monitor. Feed it capture windows (e.g. one day at a
 /// time); it keeps per-group count-up timers across windows.
 pub struct Monitor {
@@ -126,6 +142,47 @@ impl Monitor {
     /// The system model.
     pub fn system(&self) -> &SystemModel {
         &self.system
+    }
+
+    /// The monitor configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.cfg
+    }
+
+    /// Snapshot the cross-window streaming state, sorted deterministically
+    /// (timers by group key, flags by address / transition labels).
+    pub fn export_state(&self) -> MonitorState {
+        let mut last_seen: Vec<(GroupKey, f64)> =
+            self.last_seen.iter().map(|(&k, &t)| (k, t)).collect();
+        last_seen.sort_by_key(|&(k, _)| k);
+        let mut absence_flagged: Vec<Ipv4Addr> = self.absence_flagged.iter().copied().collect();
+        absence_flagged.sort();
+        let mut long_flagged: Vec<(Symbol, Symbol)> = self.long_flagged.iter().copied().collect();
+        long_flagged.sort();
+        MonitorState {
+            last_seen,
+            absence_flagged,
+            long_flagged,
+        }
+    }
+
+    /// Rebuild a monitor from models plus previously exported streaming
+    /// state. `restore(m, s, c, monitor.export_state())` continues the
+    /// deviation stream exactly where `monitor` left off.
+    pub fn restore(
+        models: BehavIoT,
+        system: SystemModel,
+        cfg: MonitorConfig,
+        state: MonitorState,
+    ) -> Self {
+        Self {
+            models,
+            system,
+            cfg,
+            last_seen: state.last_seen.into_iter().collect(),
+            absence_flagged: state.absence_flagged.into_iter().collect(),
+            long_flagged: state.long_flagged.into_iter().collect(),
+        }
     }
 
     fn device_label(&self, ip: Ipv4Addr) -> String {

@@ -142,6 +142,50 @@ impl PeriodicModel {
         let mut scratch = Vec::with_capacity(features.len());
         self.cluster_matches_with(features, &mut scratch)
     }
+
+    /// The fitted feature standardizer (serialization surface).
+    pub fn standardizer(&self) -> &Standardizer {
+        &self.standardizer
+    }
+
+    /// The fitted idle-traffic DBSCAN model (serialization surface).
+    pub fn cluster(&self) -> &DbscanModel {
+        &self.cluster
+    }
+
+    /// Rebuild a model from previously exported parts. The standardizer and
+    /// cluster carry their own structural validation (see
+    /// [`Standardizer::from_params`] / [`DbscanModel::from_parts`]); this
+    /// checks the pieces agree with each other and the period list is
+    /// usable.
+    pub fn from_parts(
+        device: Ipv4Addr,
+        destination: Symbol,
+        proto: Proto,
+        periods: Vec<f64>,
+        n_train: usize,
+        standardizer: Standardizer,
+        cluster: DbscanModel,
+    ) -> Result<Self, &'static str> {
+        if periods.is_empty() {
+            return Err("empty period list");
+        }
+        if periods.iter().any(|p| !p.is_finite() || *p <= 0.0) {
+            return Err("non-finite or non-positive period");
+        }
+        if standardizer.dim() != cluster.dim() {
+            return Err("standardizer/cluster dimension mismatch");
+        }
+        Ok(Self {
+            device,
+            destination,
+            proto,
+            periods,
+            n_train,
+            standardizer,
+            cluster,
+        })
+    }
 }
 
 /// The set of periodic models of a deployment, keyed by traffic group.
@@ -271,6 +315,36 @@ impl PeriodicModelSet {
     /// Training configuration (exposed for ablation benches).
     pub fn config(&self) -> &PeriodicTrainConfig {
         &self.cfg
+    }
+
+    /// Rebuild a model set from previously exported models plus the
+    /// training configuration and coverage. Two models for the same
+    /// `(device, destination, proto)` group are a hard error — silently
+    /// letting the last one win would mask a corrupted or hand-edited
+    /// snapshot — and the duplicated [`GroupKey`] is returned so the caller
+    /// can name it.
+    pub fn from_models(
+        models: Vec<PeriodicModel>,
+        cfg: PeriodicTrainConfig,
+        train_coverage: f64,
+    ) -> Result<Self, GroupKey> {
+        let mut map: FxHashMap<Shard, FxHashMap<Symbol, PeriodicModel>> = FxHashMap::default();
+        let mut n_models = 0usize;
+        for m in models {
+            let key: GroupKey = (m.device, m.destination, m.proto);
+            let by_dest = map.entry((key.0, key.2)).or_default();
+            if by_dest.contains_key(&key.1) {
+                return Err(key);
+            }
+            by_dest.insert(key.1, m);
+            n_models += 1;
+        }
+        Ok(Self {
+            models: map,
+            n_models,
+            cfg,
+            train_coverage,
+        })
     }
 }
 

@@ -9,6 +9,12 @@
 //! The format is deliberately simple (no external serializers): one record
 //! per line, `|`-separated fields, strings percent-escaped. A header line
 //! carries a format version; loading rejects unknown versions.
+//!
+//! The `save_* -> String` half of this API is **deprecated**: the
+//! `behaviot-store` crate supersedes it with versioned, hash-checked,
+//! atomically-written directory snapshots covering every trained artifact
+//! (not just the system model and a lossy periodic inventory). The loaders
+//! remain supported so gateways can still ingest previously shipped files.
 
 use crate::system::{SystemModel, SystemModelConfig};
 use behaviot_pfsm::TraceLog;
@@ -31,6 +37,14 @@ pub enum PersistError {
         /// What went wrong.
         reason: &'static str,
     },
+    /// Two records claim the same logical key. Last-wins acceptance would
+    /// mask a corrupted or concatenated artifact, so this is a hard error.
+    Duplicate {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+        /// The duplicated key.
+        key: String,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -40,6 +54,9 @@ impl std::fmt::Display for PersistError {
             PersistError::BadVersion(v) => write!(f, "unsupported format version {v}"),
             PersistError::BadRecord { line, reason } => {
                 write!(f, "bad record at line {line}: {reason}")
+            }
+            PersistError::Duplicate { line, key } => {
+                write!(f, "duplicate record at line {line}: {key}")
             }
         }
     }
@@ -85,6 +102,9 @@ fn unescape(s: &str) -> String {
 /// Serialize a system model: the training traces (the PFSM is re-inferred
 /// deterministically on load — traces are the canonical artifact, exactly
 /// what the paper's release ships) plus the configuration.
+#[deprecated(
+    note = "superseded by behaviot-store versioned snapshots (ModelStore::save)"
+)]
 pub fn save_system_model(model: &SystemModel) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "behaviot-system|v{FORMAT_VERSION}");
@@ -111,6 +131,7 @@ pub fn load_system_model(data: &str) -> Result<SystemModel, PersistError> {
         return Err(PersistError::BadVersion(version));
     }
     let mut cfg = SystemModelConfig::default();
+    let mut cfg_seen = false;
     let mut traces: Vec<Vec<String>> = Vec::new();
     for (i, line) in lines {
         if line.is_empty() {
@@ -119,6 +140,13 @@ pub fn load_system_model(data: &str) -> Result<SystemModel, PersistError> {
         let mut parts = line.split('|');
         match parts.next() {
             Some("cfg") => {
+                if cfg_seen {
+                    return Err(PersistError::Duplicate {
+                        line: i + 1,
+                        key: "cfg".to_string(),
+                    });
+                }
+                cfg_seen = true;
                 let gap: f64 =
                     parts
                         .next()
@@ -161,6 +189,9 @@ pub fn load_system_model(data: &str) -> Result<SystemModel, PersistError> {
 /// on a gateway yields timer-based classification immediately; the DBSCAN
 /// stage retrains locally from the first idle day (its training input is
 /// unlabeled by definition).
+#[deprecated(
+    note = "superseded by behaviot-store versioned snapshots (ModelStore::save)"
+)]
 pub fn save_periodic_inventory(models: &crate::BehavIoT) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "behaviot-periodic|v{FORMAT_VERSION}");
@@ -207,6 +238,8 @@ pub fn load_periodic_inventory(data: &str) -> Result<Vec<PeriodicInventoryEntry>
         return Err(PersistError::BadVersion(version));
     }
     let mut out = Vec::new();
+    let mut seen: std::collections::HashSet<(std::net::Ipv4Addr, String, String)> =
+        std::collections::HashSet::new();
     for (i, line) in lines {
         if line.is_empty() {
             continue;
@@ -238,6 +271,12 @@ pub fn load_periodic_inventory(data: &str) -> Result<Vec<PeriodicInventoryEntry>
         if periods.is_empty() || periods.iter().any(|p| !p.is_finite() || *p <= 0.0) {
             return Err(bad("bad period"));
         }
+        if !seen.insert((device, destination.clone(), proto.clone())) {
+            return Err(PersistError::Duplicate {
+                line: i + 1,
+                key: format!("{device}|{destination}|{proto}"),
+            });
+        }
         out.push(PeriodicInventoryEntry {
             device,
             destination,
@@ -250,6 +289,9 @@ pub fn load_periodic_inventory(data: &str) -> Result<Vec<PeriodicInventoryEntry>
 
 /// Convenience: serialize the traces held by a [`TraceLog`] (the raw
 /// artifact the paper's public release contains).
+#[deprecated(
+    note = "superseded by behaviot-store versioned snapshots (ModelStore::save)"
+)]
 pub fn save_trace_log(log: &TraceLog) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "behaviot-traces|v{FORMAT_VERSION}");
@@ -282,6 +324,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn system_model_roundtrip() {
         let model = SystemModel::from_traces(&traces(), &SystemModelConfig::default());
         let text = save_system_model(&model);
@@ -345,6 +388,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn periodic_inventory_roundtrip() {
         let models = trained_models();
         let text = save_periodic_inventory(&models);
@@ -378,6 +422,39 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_cfg_rejected() {
+        let text = "behaviot-system|v1\ncfg|60\ncfg|90\ntrace|a\n";
+        assert_eq!(
+            load_system_model(text).err(),
+            Some(PersistError::Duplicate {
+                line: 3,
+                key: "cfg".to_string(),
+            })
+        );
+    }
+
+    #[test]
+    fn duplicate_inventory_rejected() {
+        let text = "behaviot-periodic|v1\n\
+                    model|1.2.3.4|d.example|TCP|60\n\
+                    model|1.2.3.4|d.example|TCP|90\n";
+        assert_eq!(
+            load_periodic_inventory(text),
+            Err(PersistError::Duplicate {
+                line: 3,
+                key: "1.2.3.4|d.example|TCP".to_string(),
+            })
+        );
+        // Same destination under a different proto or device is fine.
+        let ok = "behaviot-periodic|v1\n\
+                  model|1.2.3.4|d.example|TCP|60\n\
+                  model|1.2.3.4|d.example|UDP|60\n\
+                  model|1.2.3.5|d.example|TCP|60\n";
+        assert_eq!(load_periodic_inventory(ok).unwrap().len(), 3);
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn trace_log_save() {
         let mut log = TraceLog::new();
         log.push_trace(&["a", "b"]);

@@ -134,6 +134,13 @@ impl SystemModel {
         self.cfg.trace_gap
     }
 
+    /// The full configuration the model was inferred with (serialization
+    /// surface: persisting the config + training traces is enough to
+    /// rebuild the model bit-identically via [`SystemModel::from_traces`]).
+    pub fn config(&self) -> &SystemModelConfig {
+        &self.cfg
+    }
+
     /// The devices the system model covers (the prefix before `:` of every
     /// vocabulary label). Events from other devices cannot be judged by
     /// this model and are excluded from monitoring traces.

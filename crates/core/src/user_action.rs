@@ -179,6 +179,46 @@ impl UserActionModels {
         }
         best
     }
+
+    /// The confidence threshold the classifiers were configured with
+    /// (serialization surface).
+    pub fn confidence_threshold(&self) -> f64 {
+        self.confidence_threshold
+    }
+
+    /// Every device's `(activity, forest)` list, sorted by device address
+    /// (serialization surface — deterministic order regardless of hash-map
+    /// iteration).
+    pub fn device_models(&self) -> Vec<(Ipv4Addr, &[(Symbol, RandomForest)])> {
+        let mut out: Vec<(Ipv4Addr, &[(Symbol, RandomForest)])> = self
+            .models
+            .iter()
+            .map(|(&d, v)| (d, v.as_slice()))
+            .collect();
+        out.sort_by_key(|(d, _)| *d);
+        out
+    }
+
+    /// Rebuild from previously exported per-device model lists. Two entries
+    /// for the same device are a hard error (the duplicated address is
+    /// returned); silently merging or last-wins would mask a corrupted
+    /// snapshot.
+    pub fn from_parts(
+        device_models: Vec<(Ipv4Addr, Vec<(Symbol, RandomForest)>)>,
+        confidence_threshold: f64,
+    ) -> Result<Self, Ipv4Addr> {
+        let mut models: FxHashMap<Ipv4Addr, Vec<(Symbol, RandomForest)>> = FxHashMap::default();
+        for (device, list) in device_models {
+            if models.contains_key(&device) {
+                return Err(device);
+            }
+            models.insert(device, list);
+        }
+        Ok(Self {
+            models,
+            confidence_threshold,
+        })
+    }
 }
 
 #[cfg(test)]

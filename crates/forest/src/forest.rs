@@ -157,6 +157,25 @@ impl RandomForest {
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
+
+    /// The fitted trees (the serialization surface used by the model
+    /// store).
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// Rebuild a forest from previously exported trees and out-of-bag
+    /// score. Tree-level validation happens in
+    /// [`DecisionTree::from_nodes`]; this only rejects a non-finite score.
+    pub fn from_trees(
+        trees: Vec<DecisionTree>,
+        oob_score: Option<f64>,
+    ) -> Result<Self, &'static str> {
+        if oob_score.is_some_and(|s| !s.is_finite()) {
+            return Err("non-finite oob score");
+        }
+        Ok(Self { trees, oob_score })
+    }
 }
 
 #[cfg(test)]
@@ -267,6 +286,30 @@ mod tests {
         );
         assert!(f.predict(&[1.5]));
         assert_eq!(f.predict_proba(&[1.5]), 1.0);
+    }
+
+    #[test]
+    fn trees_export_roundtrip() {
+        let (x, y) = dataset(80, 6);
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            &RandomForestConfig {
+                n_trees: 6,
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        let rebuilt = RandomForest::from_trees(f.trees().to_vec(), f.oob_score()).unwrap();
+        assert_eq!(rebuilt.n_trees(), f.n_trees());
+        assert_eq!(rebuilt.oob_score(), f.oob_score());
+        for xi in &x {
+            assert_eq!(
+                rebuilt.predict_proba(xi).to_bits(),
+                f.predict_proba(xi).to_bits()
+            );
+        }
+        assert!(RandomForest::from_trees(vec![], Some(f64::NAN)).is_err());
     }
 
     #[test]

@@ -17,4 +17,4 @@ pub mod forest;
 pub mod tree;
 
 pub use forest::{RandomForest, RandomForestConfig};
-pub use tree::{DecisionTree, MaxFeatures, TreeConfig};
+pub use tree::{DecisionTree, MaxFeatures, NodeSpec, TreeConfig};

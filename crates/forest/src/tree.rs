@@ -66,6 +66,28 @@ enum Node {
     },
 }
 
+/// Serializable view of one tree node — the export/import surface used by
+/// the model store. Indexes refer to the tree's flat node arena.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeSpec {
+    /// Terminal node carrying the positive-class probability.
+    Leaf {
+        /// Fraction of positive training samples in the leaf.
+        prob: f64,
+    },
+    /// Internal split on `feature <= threshold`.
+    Split {
+        /// Feature index tested at this node.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Arena index of the `<= threshold` child.
+        left: usize,
+        /// Arena index of the `> threshold` child.
+        right: usize,
+    },
+}
+
 /// A fitted binary-classification decision tree. Stored as a flat node
 /// arena; prediction walks from node 0.
 #[derive(Debug, Clone)]
@@ -237,6 +259,92 @@ impl DecisionTree {
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
     }
+
+    /// Expected feature-vector dimension.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The node arena as serializable specs (root is index 0).
+    pub fn export_nodes(&self) -> Vec<NodeSpec> {
+        self.nodes
+            .iter()
+            .map(|n| match *n {
+                Node::Leaf { prob } => NodeSpec::Leaf { prob },
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => NodeSpec::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                },
+            })
+            .collect()
+    }
+
+    /// Rebuild a tree from exported nodes.
+    ///
+    /// Validates the builder's structural invariants so a corrupted
+    /// snapshot can never produce a tree whose `predict_proba` indexes out
+    /// of bounds or cycles forever: every split's children must point
+    /// *forward* in the arena (`build` pushes children after their parent's
+    /// reserved slot), probabilities must be finite in `[0, 1]`, and
+    /// thresholds finite. Never panics.
+    pub fn from_nodes(nodes: Vec<NodeSpec>, n_features: usize) -> Result<Self, &'static str> {
+        if nodes.is_empty() {
+            return Err("empty node arena");
+        }
+        let n = nodes.len();
+        for (i, node) in nodes.iter().enumerate() {
+            match *node {
+                NodeSpec::Leaf { prob } => {
+                    if !prob.is_finite() || !(0.0..=1.0).contains(&prob) {
+                        return Err("leaf probability outside [0, 1]");
+                    }
+                }
+                NodeSpec::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    if feature >= n_features {
+                        return Err("split feature out of range");
+                    }
+                    if !threshold.is_finite() {
+                        return Err("non-finite split threshold");
+                    }
+                    // Forward-pointing children guarantee both bounds and
+                    // termination of the prediction walk.
+                    if left <= i || right <= i || left >= n || right >= n {
+                        return Err("split child index out of order");
+                    }
+                }
+            }
+        }
+        let nodes = nodes
+            .into_iter()
+            .map(|n| match n {
+                NodeSpec::Leaf { prob } => Node::Leaf { prob },
+                NodeSpec::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                },
+            })
+            .collect();
+        Ok(Self { nodes, n_features })
+    }
 }
 
 #[cfg(test)]
@@ -343,6 +451,52 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_fit_panics() {
         DecisionTree::fit(&[], &[], &TreeConfig::default(), &mut rng());
+    }
+
+    #[test]
+    fn node_export_import_roundtrip() {
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64, (i * 7 % 13) as f64])
+            .collect();
+        let y: Vec<bool> = (0..40).map(|i| i >= 20).collect();
+        let t = DecisionTree::fit(&x, &y, &TreeConfig::default(), &mut rng());
+        let rebuilt = DecisionTree::from_nodes(t.export_nodes(), t.n_features()).unwrap();
+        assert_eq!(rebuilt.n_nodes(), t.n_nodes());
+        for xi in &x {
+            assert_eq!(rebuilt.predict_proba(xi).to_bits(), t.predict_proba(xi).to_bits());
+        }
+    }
+
+    #[test]
+    fn from_nodes_rejects_corruption() {
+        let leaf = |p| NodeSpec::Leaf { prob: p };
+        let split = |f, th, l, r| NodeSpec::Split {
+            feature: f,
+            threshold: th,
+            left: l,
+            right: r,
+        };
+        assert!(DecisionTree::from_nodes(vec![], 2).is_err());
+        assert!(DecisionTree::from_nodes(vec![leaf(1.5)], 2).is_err());
+        assert!(DecisionTree::from_nodes(vec![leaf(f64::NAN)], 2).is_err());
+        // Child pointing at itself / backwards / out of bounds.
+        assert!(DecisionTree::from_nodes(vec![split(0, 1.0, 0, 1), leaf(0.5)], 2).is_err());
+        assert!(DecisionTree::from_nodes(vec![split(0, 1.0, 1, 5), leaf(0.5)], 2).is_err());
+        assert!(
+            DecisionTree::from_nodes(vec![leaf(0.5), split(0, 1.0, 0, 0), leaf(0.5)], 2).is_err()
+        );
+        // Bad feature index / threshold.
+        assert!(
+            DecisionTree::from_nodes(vec![split(7, 1.0, 1, 2), leaf(0.0), leaf(1.0)], 2).is_err()
+        );
+        assert!(DecisionTree::from_nodes(
+            vec![split(0, f64::INFINITY, 1, 2), leaf(0.0), leaf(1.0)],
+            2
+        )
+        .is_err());
+        // A well-formed arena is accepted.
+        let ok = DecisionTree::from_nodes(vec![split(0, 1.0, 1, 2), leaf(0.0), leaf(1.0)], 2);
+        assert_eq!(ok.unwrap().predict_proba(&[2.0, 0.0]), 1.0);
     }
 
     #[test]

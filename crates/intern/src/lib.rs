@@ -250,6 +250,15 @@ impl Interner {
         self.inner.read().expect("interner poisoned").strings.len()
     }
 
+    /// Snapshot of every interned string in id order (id `i` is element
+    /// `i`). Re-interning the returned sequence into a fresh interner, in
+    /// order, reproduces the same id assignment — the property the model
+    /// store's interner artifact relies on for warm-starting a restored
+    /// process.
+    pub fn export(&self) -> Vec<&'static str> {
+        self.inner.read().expect("interner poisoned").strings.clone()
+    }
+
     /// Is the interner empty?
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -263,6 +272,13 @@ impl Default for Interner {
 }
 
 static GLOBAL: Interner = Interner::new();
+
+/// Snapshot the process-global interner's strings in id order (see
+/// [`Interner::export`]). A restored process re-interning these, in order,
+/// before any other interning reproduces the saved id assignment.
+pub fn export_global() -> Vec<&'static str> {
+    GLOBAL.export()
+}
 
 // ---------------------------------------------------------------------------
 // Symbol
@@ -392,6 +408,23 @@ mod tests {
         assert_eq!(a.as_str(), "devs.tplinkcloud.com");
         let c = Symbol::intern("other.example.com");
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn export_preserves_id_order() {
+        let it = Interner::new();
+        for s in ["gamma", "alpha", "beta"] {
+            it.intern(s);
+        }
+        assert_eq!(it.export(), vec!["gamma", "alpha", "beta"]);
+        // Replaying the export into a fresh interner reproduces ids.
+        let it2 = Interner::new();
+        for s in it.export() {
+            it2.intern(s);
+        }
+        assert_eq!(it2.intern("alpha").id(), it.intern("alpha").id());
+        Symbol::intern("export-probe");
+        assert!(export_global().contains(&"export-probe"));
     }
 
     #[test]

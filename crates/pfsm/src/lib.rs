@@ -139,6 +139,17 @@ impl TraceLog {
     pub fn resolve<S: AsRef<str>>(&self, events: &[S]) -> Vec<Option<EventId>> {
         events.iter().map(|e| self.vocab.get(e.as_ref())).collect()
     }
+
+    /// Every trace as string labels, in insertion order — the serialization
+    /// surface used by the model store. Feeding the result back through
+    /// [`Self::push_trace`] on a fresh log reproduces an equivalent log
+    /// (same traces, same dense-id assignment).
+    pub fn labeled_traces(&self) -> Vec<Vec<&'static str>> {
+        self.traces
+            .iter()
+            .map(|t| t.iter().map(|&id| self.vocab.name(id)).collect())
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -169,5 +180,20 @@ mod tests {
         assert_eq!(log.vocab.len(), 2);
         let r = log.resolve(&["a", "zzz"]);
         assert!(r[0].is_some() && r[1].is_none());
+    }
+
+    #[test]
+    fn labeled_traces_roundtrip() {
+        let mut log = TraceLog::new();
+        log.push_trace(&["a", "b", "a"]);
+        log.push_trace(&["c"]);
+        let labels = log.labeled_traces();
+        assert_eq!(labels, vec![vec!["a", "b", "a"], vec!["c"]]);
+        let mut log2 = TraceLog::new();
+        for t in &labels {
+            log2.push_trace(t);
+        }
+        assert_eq!(log2.traces, log.traces);
+        assert_eq!(log2.vocab.len(), log.vocab.len());
     }
 }

@@ -520,6 +520,34 @@ pub fn write_pcap(records: &[PcapRecord]) -> Vec<u8> {
     out
 }
 
+/// Apply one deterministic byte-level mutation to an arbitrary buffer —
+/// the corruption primitive the model-store contract tests reuse. `kind`
+/// selects the mutation family (`kind % 3`): 0 XOR-flips the byte at
+/// `pos % len` (`value | 1` guarantees the byte actually changes), 1
+/// inserts `value` at `pos % (len + 1)`, 2 truncates the buffer to
+/// `pos % len` bytes. An empty buffer maps every kind to an insert so the
+/// mutation is never a no-op.
+pub fn mutate_bytes(buf: &mut Vec<u8>, kind: u8, pos: usize, value: u8) {
+    if buf.is_empty() {
+        buf.push(value);
+        return;
+    }
+    match kind % 3 {
+        0 => {
+            let i = pos % buf.len();
+            buf[i] ^= value | 1;
+        }
+        1 => {
+            let i = pos % (buf.len() + 1);
+            buf.insert(i, value);
+        }
+        _ => {
+            let i = pos % buf.len();
+            buf.truncate(i);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -540,6 +568,23 @@ mod tests {
             .iter()
             .map(|r| matches!(classify_frame(r.ts, &r.data), FrameClass::Flow(_)))
             .collect()
+    }
+
+    #[test]
+    fn mutate_bytes_always_changes_buffer() {
+        for kind in 0..6u8 {
+            for pos in [0usize, 1, 7, 100] {
+                for value in [0u8, 1, 0x80, 0xFF] {
+                    let orig: Vec<u8> = (0..13).collect();
+                    let mut buf = orig.clone();
+                    mutate_bytes(&mut buf, kind, pos, value);
+                    assert_ne!(buf, orig, "kind={kind} pos={pos} value={value}");
+                }
+            }
+        }
+        let mut empty = Vec::new();
+        mutate_bytes(&mut empty, 2, 0, 9);
+        assert_eq!(empty, vec![9]);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub use datasets::{
     activity_dataset, idle_dataset, routine_dataset, uncontrolled_day, IncidentScript,
     UncontrolledConfig,
 };
-pub use faults::{write_pcap, ExpectedCounts, Fault, FaultPlan, CLOCK_JUMP_DELTA};
+pub use faults::{mutate_bytes, write_pcap, ExpectedCounts, Fault, FaultPlan, CLOCK_JUMP_DELTA};
 pub use gen::{Capture, TrafficGenerator};
 pub use label::{label_flows, LabeledFlow};
 pub use types::{

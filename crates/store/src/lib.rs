@@ -1,0 +1,720 @@
+//! **behaviot-store** — durable, versioned, schema-validated snapshots of
+//! every model the BehavIoT pipeline produces.
+//!
+//! A snapshot is a directory of small pipe-separated text artifacts plus a
+//! `MANIFEST` that pins the format version and, in v2, the byte length and
+//! FxHash64 content hash of every artifact. The store guarantees:
+//!
+//! * **Atomicity** — every artifact (and the manifest itself) is written to
+//!   a `.tmp` sibling and `rename`d into place; the manifest is written
+//!   last, so a crash mid-save leaves the previous snapshot loadable.
+//! * **Replay invariance** — floats use shortest-round-trip canonical text
+//!   ([`format::fmt_f64`]), collections are sorted before rendering, and
+//!   the PFSM is re-inferred deterministically from its persisted training
+//!   traces. A restored [`behaviot::Monitor`] therefore continues the exact
+//!   deviation stream of the uninterrupted run (`tests/store_replay.rs`).
+//! * **Corruption detection, never panics** — any byte flip, insertion, or
+//!   truncation in any artifact surfaces as a typed [`StoreError`] whose
+//!   [`StoreError::artifact`] pinpoints the failing artifact (v2 manifests
+//!   store length + hash; parses are fully validated).
+//! * **O(changed-devices) checkpoints** — [`ModelStore::checkpoint`]
+//!   re-renders only the per-device artifacts whose device is in the
+//!   caller's changed set, reusing the previous manifest entries (and
+//!   on-disk files) for the rest.
+//!
+//! The store supersedes the ad-hoc TSV helpers in `behaviot::persist`
+//! (now deprecated): those covered only the periodic inventory and system
+//! traces, silently accepted duplicate records, and had no integrity
+//! metadata or atomicity story.
+
+#![warn(missing_docs)]
+
+pub mod format;
+
+mod artifacts;
+
+use behaviot::{BehavIoT, Monitor, MonitorConfig, MonitorState, SystemModel};
+use behaviot_intern::{FxHashSet, FxHasher, Symbol};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::hash::Hasher;
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+
+/// Current snapshot format version. v1 lacked the per-artifact byte length
+/// and content hash in the manifest (same artifact encodings); v2 snapshots
+/// detect any single-byte corruption before parsing.
+pub const FORMAT_VERSION: u32 = 2;
+
+const MANIFEST_FILE: &str = "MANIFEST";
+const MANIFEST_MAGIC: &str = "behaviot-store";
+
+/// Everything that can go wrong saving or loading a snapshot. Loads never
+/// panic: corrupted, truncated, or hand-mangled snapshots all surface here,
+/// and [`StoreError::artifact`] names the failing artifact when one is
+/// known.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Filesystem error reading or writing an artifact.
+    Io {
+        /// Artifact (or `MANIFEST`) being accessed.
+        artifact: String,
+        /// Stringified OS error.
+        detail: String,
+    },
+    /// The manifest itself is malformed.
+    BadManifest {
+        /// 1-based manifest line.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The manifest declares a format version this build cannot read.
+    BadVersion(u32),
+    /// A required artifact is absent from the manifest.
+    MissingArtifact {
+        /// The missing artifact's name.
+        artifact: String,
+    },
+    /// An artifact's bytes disagree with the manifest's recorded length or
+    /// content hash (v2 only).
+    HashMismatch {
+        /// The corrupted artifact.
+        artifact: String,
+    },
+    /// A record inside an artifact failed validation.
+    BadRecord {
+        /// The artifact containing the record.
+        artifact: String,
+        /// 1-based line within the artifact.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// Two records claim the same logical key (model group, activity,
+    /// device) — last-wins would mask a corrupted or hand-edited snapshot,
+    /// so this is a hard error.
+    Duplicate {
+        /// The artifact containing the duplicate.
+        artifact: String,
+        /// The duplicated key.
+        key: String,
+    },
+    /// A model to be saved contains a non-finite float — it is already
+    /// corrupt in memory and must not be persisted.
+    NonFinite {
+        /// The artifact being rendered.
+        artifact: String,
+    },
+}
+
+impl StoreError {
+    /// The artifact this error pinpoints, when one is known.
+    pub fn artifact(&self) -> Option<&str> {
+        match self {
+            StoreError::Io { artifact, .. }
+            | StoreError::MissingArtifact { artifact }
+            | StoreError::HashMismatch { artifact }
+            | StoreError::BadRecord { artifact, .. }
+            | StoreError::Duplicate { artifact, .. }
+            | StoreError::NonFinite { artifact } => Some(artifact),
+            StoreError::BadManifest { .. } | StoreError::BadVersion(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { artifact, detail } => write!(f, "io error on {artifact}: {detail}"),
+            StoreError::BadManifest { line, reason } => {
+                write!(f, "bad manifest (line {line}): {reason}")
+            }
+            StoreError::BadVersion(v) => write!(f, "unsupported snapshot format version {v}"),
+            StoreError::MissingArtifact { artifact } => {
+                write!(f, "required artifact {artifact} missing from manifest")
+            }
+            StoreError::HashMismatch { artifact } => {
+                write!(f, "artifact {artifact} failed its integrity check")
+            }
+            StoreError::BadRecord {
+                artifact,
+                line,
+                reason,
+            } => write!(f, "bad record in {artifact} (line {line}): {reason}"),
+            StoreError::Duplicate { artifact, key } => {
+                write!(f, "duplicate key {key} in {artifact}")
+            }
+            StoreError::NonFinite { artifact } => {
+                write!(f, "non-finite value while rendering {artifact}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+fn io_err(artifact: &str, e: std::io::Error) -> StoreError {
+    StoreError::Io {
+        artifact: artifact.to_string(),
+        detail: e.to_string(),
+    }
+}
+
+/// What to persist in a snapshot. The device models are mandatory; the
+/// system model, monitor state, metrics text, and interner table are
+/// opt-in.
+///
+/// The interner is opt-in (default off in struct literals via
+/// `include_interner: false`) because the process-global symbol table grows
+/// monotonically: two otherwise-identical saves taken at different points
+/// of one process would differ in the interner artifact alone.
+pub struct SnapshotSpec<'a> {
+    /// The trained device behavior models.
+    pub models: &'a BehavIoT,
+    /// The system behavior model, if one was inferred.
+    pub system: Option<&'a SystemModel>,
+    /// Streaming-monitor configuration + exported state, for kill/restore.
+    pub monitor: Option<(&'a MonitorConfig, MonitorState)>,
+    /// Opaque metrics text (e.g. a JSONL metrics dump). Stored
+    /// hash-protected but never parsed.
+    pub metrics_jsonl: Option<&'a str>,
+    /// Also snapshot the process-global interner (warm-start aid).
+    pub include_interner: bool,
+}
+
+impl<'a> SnapshotSpec<'a> {
+    /// Minimal spec: just the device models.
+    pub fn new(models: &'a BehavIoT) -> Self {
+        Self {
+            models,
+            system: None,
+            monitor: None,
+            metrics_jsonl: None,
+            include_interner: false,
+        }
+    }
+}
+
+/// Everything a snapshot contained, reconstructed.
+pub struct LoadedSnapshot {
+    /// Manifest format version the snapshot was written with.
+    pub version: u32,
+    /// The device behavior models.
+    pub models: BehavIoT,
+    /// The system model, if persisted.
+    pub system: Option<SystemModel>,
+    /// Monitor configuration, if persisted.
+    pub monitor_cfg: Option<MonitorConfig>,
+    /// Monitor streaming state, if persisted.
+    pub monitor_state: Option<MonitorState>,
+    /// Opaque metrics text, if persisted.
+    pub metrics_jsonl: Option<String>,
+}
+
+impl LoadedSnapshot {
+    /// Rebuild the streaming monitor, continuing exactly where the saved
+    /// one left off. `None` when the snapshot carried no system model or no
+    /// monitor artifact.
+    pub fn into_monitor(self) -> Option<Monitor> {
+        let system = self.system?;
+        let cfg = self.monitor_cfg?;
+        let state = self.monitor_state.unwrap_or_default();
+        Some(Monitor::restore(self.models, system, cfg, state))
+    }
+}
+
+/// One artifact ready to hit the disk (or reused from the old manifest).
+struct Entry {
+    name: String,
+    file: String,
+    hash: u64,
+    bytes: u64,
+}
+
+/// The snapshot directory handle.
+pub struct ModelStore {
+    root: PathBuf,
+}
+
+fn hash_bytes(b: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(b);
+    h.finish()
+}
+
+/// Classification of a manifest artifact name. Unknown names are an error:
+/// accepting them would let a corrupted *name* silently drop an optional
+/// artifact from the load.
+enum ArtifactKind {
+    PeriodicCfg,
+    PeriodicDevice(Ipv4Addr),
+    UserCfg,
+    UserDevice(Ipv4Addr),
+    Names,
+    System,
+    Monitor,
+    Interner,
+    Metrics,
+}
+
+fn classify_artifact(name: &str) -> Option<ArtifactKind> {
+    match name {
+        "periodic.cfg" => Some(ArtifactKind::PeriodicCfg),
+        "user.cfg" => Some(ArtifactKind::UserCfg),
+        "names" => Some(ArtifactKind::Names),
+        "system" => Some(ArtifactKind::System),
+        "monitor" => Some(ArtifactKind::Monitor),
+        "interner" => Some(ArtifactKind::Interner),
+        "metrics" => Some(ArtifactKind::Metrics),
+        _ => {
+            if let Some(ip) = name.strip_prefix("periodic@") {
+                return ip.parse().ok().map(ArtifactKind::PeriodicDevice);
+            }
+            if let Some(ip) = name.strip_prefix("user@") {
+                return ip.parse().ok().map(ArtifactKind::UserDevice);
+            }
+            None
+        }
+    }
+}
+
+impl ModelStore {
+    /// Open (creating if needed) a snapshot directory.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| io_err("<root>", e))?;
+        Ok(Self { root })
+    }
+
+    /// The snapshot directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Write a full v2 snapshot (every artifact re-rendered).
+    pub fn save(&self, spec: &SnapshotSpec<'_>) -> Result<(), StoreError> {
+        self.write_snapshot(spec, FORMAT_VERSION, None)
+    }
+
+    /// Write a full snapshot in the *previous* (v1) manifest format — no
+    /// per-artifact length/hash. Exists so the v1→v2 migration path stays
+    /// executable and regression-tested; new code should use
+    /// [`Self::save`].
+    pub fn save_v1(&self, spec: &SnapshotSpec<'_>) -> Result<(), StoreError> {
+        self.write_snapshot(spec, 1, None)
+    }
+
+    /// Incremental v2 snapshot: per-device artifacts whose device symbol
+    /// (`Symbol::intern_ipv4`) is *not* in `changed` are carried over from
+    /// the previous manifest without being re-rendered, re-hashed, or
+    /// re-written — the save cost is O(changed devices + globals), not
+    /// O(fleet). Devices present in `changed` but absent from the spec are
+    /// dropped from the manifest. Global artifacts are always re-rendered.
+    pub fn checkpoint(
+        &self,
+        spec: &SnapshotSpec<'_>,
+        changed: &FxHashSet<Symbol>,
+    ) -> Result<(), StoreError> {
+        self.write_snapshot(spec, FORMAT_VERSION, Some(changed))
+    }
+
+    fn write_snapshot(
+        &self,
+        spec: &SnapshotSpec<'_>,
+        version: u32,
+        changed: Option<&FxHashSet<Symbol>>,
+    ) -> Result<(), StoreError> {
+        let mut span = behaviot_obs::span!("store.save", version = version);
+        let m = behaviot_obs::metrics();
+        m.counter("store.saves").inc();
+
+        // Previous manifest entries, reusable only for v2→v2 checkpoints.
+        let old: HashMap<String, Entry> = match changed {
+            Some(_) => self
+                .read_manifest_entries()
+                .ok()
+                .filter(|(v, _)| *v == FORMAT_VERSION)
+                .map(|(_, entries)| entries.into_iter().map(|e| (e.name.clone(), e)).collect())
+                .unwrap_or_default(),
+            None => HashMap::new(),
+        };
+        let reusable = |device: Ipv4Addr, name: &str| -> Option<&Entry> {
+            let changed = changed?;
+            if changed.contains(&Symbol::intern_ipv4(device)) {
+                return None;
+            }
+            old.get(name)
+        };
+
+        let mut entries: Vec<Entry> = Vec::new();
+        let mut written = 0u64;
+        let mut reused = 0u64;
+
+        // -- global artifacts (always re-rendered) -----------------------
+        let models = spec.models;
+        let pc = artifacts::render_periodic_cfg(
+            "periodic.cfg",
+            models.periodic.config(),
+            models.periodic.train_coverage,
+        )?;
+        entries.push(self.put("periodic.cfg", "periodic.cfg", &pc)?);
+        let uc = artifacts::render_user_cfg("user.cfg", models.user.confidence_threshold())?;
+        entries.push(self.put("user.cfg", "user.cfg", &uc)?);
+        entries.push(self.put("names", "names.tsv", &artifacts::render_names(&models.names))?);
+        written += 3;
+        if let Some(system) = spec.system {
+            let body = artifacts::render_system("system", system)?;
+            entries.push(self.put("system", "system.tsv", &body)?);
+            written += 1;
+        }
+        if let Some((cfg, state)) = &spec.monitor {
+            let body = artifacts::render_monitor("monitor", cfg, state)?;
+            entries.push(self.put("monitor", "monitor.tsv", &body)?);
+            written += 1;
+        }
+        if let Some(metrics_text) = spec.metrics_jsonl {
+            entries.push(self.put("metrics", "metrics.jsonl", metrics_text)?);
+            written += 1;
+        }
+        if spec.include_interner {
+            let strings = behaviot_intern::export_global();
+            let body = artifacts::render_interner(&strings);
+            entries.push(self.put("interner", "interner.tsv", &body)?);
+            written += 1;
+        }
+
+        // -- per-device artifacts (reused when unchanged) ----------------
+        let mut periodic_by_dev: std::collections::BTreeMap<Ipv4Addr, Vec<&behaviot::PeriodicModel>> =
+            std::collections::BTreeMap::new();
+        for pm in models.periodic.iter() {
+            periodic_by_dev.entry(pm.device).or_default().push(pm);
+        }
+        for (device, mut dev_models) in periodic_by_dev {
+            dev_models.sort_by_key(|pm| (pm.destination, pm.proto));
+            let name = format!("periodic@{device}");
+            if let Some(e) = reusable(device, &name) {
+                entries.push(Entry::clone_of(e));
+                reused += 1;
+                continue;
+            }
+            let file = format!("{name}.tsv");
+            let body = artifacts::render_periodic_device(&name, &dev_models)?;
+            let e = self.put(&name, &file, &body)?;
+            entries.push(e);
+            written += 1;
+        }
+        for (device, list) in models.user.device_models() {
+            let name = format!("user@{device}");
+            if let Some(e) = reusable(device, &name) {
+                entries.push(Entry::clone_of(e));
+                reused += 1;
+                continue;
+            }
+            let file = format!("{name}.tsv");
+            let body = artifacts::render_user_device(&name, list)?;
+            let e = self.put(&name, &file, &body)?;
+            entries.push(e);
+            written += 1;
+        }
+
+        // -- manifest (last: its rename commits the snapshot) ------------
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut manifest = format!("{MANIFEST_MAGIC}|v{version}\n");
+        for e in &entries {
+            if version >= 2 {
+                manifest.push_str(&format!(
+                    "artifact|{}|{}|{:016x}|{}\n",
+                    e.name, e.file, e.hash, e.bytes
+                ));
+            } else {
+                manifest.push_str(&format!("artifact|{}|{}\n", e.name, e.file));
+            }
+        }
+        // v2: the manifest protects the artifacts, and this line protects
+        // the manifest — without it a byte flip inside an artifact *name*
+        // (say, one digit of a device address) could redirect a hash check
+        // at intact bytes and load the wrong model silently.
+        if version >= 2 {
+            manifest.push_str(&format!("check|{:016x}\n", hash_bytes(manifest.as_bytes())));
+        }
+        self.write_atomic(MANIFEST_FILE, manifest.as_bytes())
+            .map_err(|e| io_err(MANIFEST_FILE, e))?;
+
+        // Best-effort cleanup of files no longer referenced (e.g. a device
+        // dropped between checkpoints). Failure is not an error: the
+        // manifest already excludes them.
+        self.sweep_orphans(&entries);
+
+        m.counter("store.artifacts_written").add(written);
+        m.counter("store.artifacts_reused").add(reused);
+        span.record("written", written as usize);
+        span.record("reused", reused as usize);
+        Ok(())
+    }
+
+    /// Render-and-write one artifact atomically, returning its manifest
+    /// entry.
+    fn put(&self, name: &str, file: &str, body: &str) -> Result<Entry, StoreError> {
+        self.write_atomic(file, body.as_bytes())
+            .map_err(|e| io_err(name, e))?;
+        Ok(Entry {
+            name: name.to_string(),
+            file: file.to_string(),
+            hash: hash_bytes(body.as_bytes()),
+            bytes: body.len() as u64,
+        })
+    }
+
+    fn write_atomic(&self, file: &str, bytes: &[u8]) -> std::io::Result<()> {
+        let tmp = self.root.join(format!("{file}.tmp"));
+        let dst = self.root.join(file);
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, &dst)
+    }
+
+    fn sweep_orphans(&self, entries: &[Entry]) {
+        let referenced: std::collections::HashSet<&str> =
+            entries.iter().map(|e| e.file.as_str()).collect();
+        let Ok(dir) = fs::read_dir(&self.root) else {
+            return;
+        };
+        for d in dir.flatten() {
+            let fname = d.file_name();
+            let Some(fname) = fname.to_str() else { continue };
+            let droppable = fname.ends_with(".tsv")
+                || fname.ends_with(".cfg")
+                || fname.ends_with(".jsonl")
+                || fname.ends_with(".tmp");
+            if droppable && !referenced.contains(fname) {
+                let _ = fs::remove_file(d.path());
+            }
+        }
+    }
+
+    /// Parse the manifest into (version, entries). v1 entries carry zeroed
+    /// hash/length (integrity checking is skipped for them on load).
+    fn read_manifest_entries(&self) -> Result<(u32, Vec<Entry>), StoreError> {
+        let raw = fs::read_to_string(self.root.join(MANIFEST_FILE))
+            .map_err(|e| io_err(MANIFEST_FILE, e))?;
+        let Some(header) = raw.lines().next() else {
+            return Err(StoreError::BadManifest {
+                line: 1,
+                reason: "empty manifest".to_string(),
+            });
+        };
+        let version = match header.split_once('|') {
+            Some((MANIFEST_MAGIC, v)) => {
+                let n: u32 = v
+                    .strip_prefix('v')
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| StoreError::BadManifest {
+                        line: 1,
+                        reason: "bad version field".to_string(),
+                    })?;
+                if n == 0 || n > FORMAT_VERSION {
+                    return Err(StoreError::BadVersion(n));
+                }
+                n
+            }
+            _ => {
+                return Err(StoreError::BadManifest {
+                    line: 1,
+                    reason: "bad magic".to_string(),
+                })
+            }
+        };
+        // v2 manifests end with a `check|<hash>` line over everything
+        // before it: the artifact hashes protect the artifact bytes, this
+        // protects the manifest itself (artifact names included).
+        let body: &str = if version >= 2 {
+            let n_lines = raw.lines().count();
+            let bad_check = || StoreError::BadManifest {
+                line: n_lines,
+                reason: "missing or malformed integrity check line".to_string(),
+            };
+            let trimmed = raw.strip_suffix('\n').unwrap_or(&raw);
+            let (prefix, last) = trimmed
+                .rfind('\n')
+                .map(|p| (&raw[..p + 1], &trimmed[p + 1..]))
+                .ok_or_else(bad_check)?;
+            let expect = last
+                .strip_prefix("check|")
+                .and_then(|h| u64::from_str_radix(h, 16).ok())
+                .ok_or_else(bad_check)?;
+            if hash_bytes(prefix.as_bytes()) != expect {
+                return Err(StoreError::BadManifest {
+                    line: n_lines,
+                    reason: "manifest failed its integrity check".to_string(),
+                });
+            }
+            prefix
+        } else {
+            &raw
+        };
+        let mut entries = Vec::new();
+        let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for (i, line) in body.lines().enumerate().skip(1) {
+            let ln = i + 1;
+            let fields: Vec<&str> = line.split('|').collect();
+            let want = if version >= 2 { 5 } else { 3 };
+            if fields.len() != want || fields[0] != "artifact" {
+                return Err(StoreError::BadManifest {
+                    line: ln,
+                    reason: "bad artifact line".to_string(),
+                });
+            }
+            let name = fields[1].to_string();
+            if classify_artifact(&name).is_none() {
+                return Err(StoreError::BadManifest {
+                    line: ln,
+                    reason: format!("unknown artifact name {name}"),
+                });
+            }
+            if !seen.insert(name.clone()) {
+                return Err(StoreError::BadManifest {
+                    line: ln,
+                    reason: format!("duplicate artifact {name}"),
+                });
+            }
+            let (hash, bytes) = if version >= 2 {
+                let hash = u64::from_str_radix(fields[3], 16).map_err(|_| {
+                    StoreError::BadManifest {
+                        line: ln,
+                        reason: "bad content hash".to_string(),
+                    }
+                })?;
+                let bytes: u64 =
+                    fields[4]
+                        .parse()
+                        .map_err(|_| StoreError::BadManifest {
+                            line: ln,
+                            reason: "bad byte count".to_string(),
+                        })?;
+                (hash, bytes)
+            } else {
+                (0, 0)
+            };
+            entries.push(Entry {
+                name,
+                file: fields[2].to_string(),
+                hash,
+                bytes,
+            });
+        }
+        Ok((version, entries))
+    }
+
+    /// Load and validate the snapshot. Every failure mode — missing files,
+    /// corrupt bytes, malformed records, duplicate keys — returns a typed
+    /// [`StoreError`]; this function never panics on untrusted input.
+    pub fn load(&self) -> Result<LoadedSnapshot, StoreError> {
+        let mut span = behaviot_obs::span!("store.load");
+        behaviot_obs::metrics().counter("store.loads").inc();
+        let (version, entries) = self.read_manifest_entries()?;
+        span.record("version", version as usize);
+        span.record("artifacts", entries.len());
+
+        // Read + integrity-check every artifact up front: a load either
+        // sees a fully consistent snapshot or fails.
+        let mut contents: HashMap<String, String> = HashMap::new();
+        for e in &entries {
+            let raw = fs::read(self.root.join(&e.file)).map_err(|err| io_err(&e.name, err))?;
+            if version >= 2 && (raw.len() as u64 != e.bytes || hash_bytes(&raw) != e.hash) {
+                return Err(StoreError::HashMismatch {
+                    artifact: e.name.clone(),
+                });
+            }
+            let text = String::from_utf8(raw).map_err(|_| StoreError::BadRecord {
+                artifact: e.name.clone(),
+                line: 0,
+                reason: "artifact is not valid UTF-8".to_string(),
+            })?;
+            contents.insert(e.name.clone(), text);
+        }
+        for required in ["periodic.cfg", "user.cfg", "names"] {
+            if !contents.contains_key(required) {
+                return Err(StoreError::MissingArtifact {
+                    artifact: required.to_string(),
+                });
+            }
+        }
+
+        // Interner warm start first, so symbol ids in a fresh process are
+        // assigned in snapshot order before any model parsing interns.
+        if let Some(body) = contents.get("interner") {
+            artifacts::parse_interner("interner", body)?;
+        }
+
+        let (pcfg, coverage) = artifacts::parse_periodic_cfg("periodic.cfg", &contents["periodic.cfg"])?;
+        let confidence = artifacts::parse_user_cfg("user.cfg", &contents["user.cfg"])?;
+        let names = artifacts::parse_names("names", &contents["names"])?;
+
+        let mut periodic_models = Vec::new();
+        let mut user_models: Vec<(Ipv4Addr, Vec<(Symbol, behaviot_forest::RandomForest)>)> =
+            Vec::new();
+        for e in &entries {
+            match classify_artifact(&e.name) {
+                Some(ArtifactKind::PeriodicDevice(ip)) => {
+                    periodic_models.extend(artifacts::parse_periodic_device(
+                        &e.name,
+                        ip,
+                        &contents[&e.name],
+                    )?);
+                }
+                Some(ArtifactKind::UserDevice(ip)) => {
+                    user_models.push((ip, artifacts::parse_user_device(&e.name, &contents[&e.name])?));
+                }
+                _ => {}
+            }
+        }
+        let periodic = behaviot::PeriodicModelSet::from_models(periodic_models, pcfg, coverage)
+            .map_err(|(device, dest, proto)| StoreError::Duplicate {
+                artifact: format!("periodic@{device}"),
+                key: format!("{dest}|{proto}"),
+            })?;
+        let user = behaviot::UserActionModels::from_parts(user_models, confidence).map_err(
+            |device| StoreError::Duplicate {
+                artifact: format!("user@{device}"),
+                key: device.to_string(),
+            },
+        )?;
+
+        let system = match contents.get("system") {
+            Some(body) => Some(artifacts::parse_system("system", body)?),
+            None => None,
+        };
+        let (monitor_cfg, monitor_state) = match contents.get("monitor") {
+            Some(body) => {
+                let (cfg, state) = artifacts::parse_monitor("monitor", body)?;
+                (Some(cfg), Some(state))
+            }
+            None => (None, None),
+        };
+
+        Ok(LoadedSnapshot {
+            version,
+            models: BehavIoT {
+                periodic,
+                user,
+                names,
+            },
+            system,
+            monitor_cfg,
+            monitor_state,
+            metrics_jsonl: contents.remove("metrics"),
+        })
+    }
+}
+
+impl Entry {
+    fn clone_of(e: &Entry) -> Entry {
+        Entry {
+            name: e.name.clone(),
+            file: e.file.clone(),
+            hash: e.hash,
+            bytes: e.bytes,
+        }
+    }
+}

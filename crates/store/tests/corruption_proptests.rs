@@ -1,0 +1,246 @@
+//! Corruption properties: mutate any byte of any snapshot file — flip,
+//! insert, or truncate, via the same `behaviot_sim::faults::mutate_bytes`
+//! primitive the fault-tolerance suite uses — and every `load` must return
+//! a typed [`StoreError`], never panic, with the error pinpointing the
+//! mutated artifact whenever the mutation hit an artifact file (the
+//! manifest's per-artifact length + FxHash64 make that detection exact,
+//! and the manifest's own trailing check line covers mutations of the
+//! manifest itself, artifact names included).
+
+use behaviot::{
+    BehavIoT, MonitorConfig, MonitorState, PeriodicModel, PeriodicModelSet, PeriodicTrainConfig,
+    SystemModel, SystemModelConfig, UserActionModels,
+};
+use behaviot_cluster::{DbscanModel, Standardizer};
+use behaviot_forest::{DecisionTree, NodeSpec, RandomForest};
+use behaviot_intern::Symbol;
+use behaviot_net::Proto;
+use behaviot_sim::faults::mutate_bytes;
+use behaviot_store::{ModelStore, SnapshotSpec, StoreError};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::fs;
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "behaviot-store-corrupt-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Small two-device fixture built straight through the `from_parts` APIs
+/// (no training) so each proptest case is cheap. Every artifact kind is
+/// present: periodic + user device files, all three global configs, the
+/// system model, monitor state, and an opaque metrics blob.
+fn fixture() -> (BehavIoT, SystemModel) {
+    let dim = 3;
+    let mk_periodic = |ip: Ipv4Addr, dest: &str, n_cores: usize| {
+        let std = Standardizer::from_params(vec![0.5; dim], vec![1.25; dim]).unwrap();
+        let cluster = DbscanModel::from_parts(
+            0.75,
+            dim,
+            vec![1.5; n_cores * dim],
+            (0..n_cores as u32).collect(),
+            vec![0, n_cores],
+        )
+        .unwrap();
+        PeriodicModel::from_parts(
+            ip,
+            Symbol::intern(dest),
+            Proto::Tcp,
+            vec![120.0, 3603.5],
+            40,
+            std,
+            cluster,
+        )
+        .unwrap()
+    };
+    let a = Ipv4Addr::new(10, 0, 0, 1);
+    let b = Ipv4Addr::new(10, 0, 0, 2);
+    let periodic = PeriodicModelSet::from_models(
+        vec![mk_periodic(a, "hb.cloud.com", 2), mk_periodic(b, "tele.cloud.com", 1)],
+        PeriodicTrainConfig::default(),
+        0.875,
+    )
+    .unwrap();
+    let tree = DecisionTree::from_nodes(
+        vec![
+            NodeSpec::Split {
+                feature: 1,
+                threshold: 0.25,
+                left: 1,
+                right: 2,
+            },
+            NodeSpec::Leaf { prob: 0.125 },
+            NodeSpec::Leaf { prob: 0.875 },
+        ],
+        dim,
+    )
+    .unwrap();
+    let forest = RandomForest::from_trees(vec![tree], Some(0.75)).unwrap();
+    let user = UserActionModels::from_parts(
+        vec![(a, vec![(Symbol::intern("on_off"), forest)])],
+        0.9,
+    )
+    .unwrap();
+    let mut names = HashMap::new();
+    names.insert(a, "plug".to_string());
+    names.insert(b, "camera".to_string());
+    let system = SystemModel::from_traces(
+        &[vec!["plug:on_off".to_string()]],
+        &SystemModelConfig::default(),
+    );
+    (
+        BehavIoT {
+            periodic,
+            user,
+            names,
+        },
+        system,
+    )
+}
+
+fn save_fixture(store: &ModelStore, models: &BehavIoT, system: &SystemModel) {
+    let cfg = MonitorConfig::default();
+    let state = MonitorState {
+        last_seen: vec![(
+            (Ipv4Addr::new(10, 0, 0, 1), Symbol::intern("hb.cloud.com"), Proto::Tcp),
+            1234.5,
+        )],
+        absence_flagged: vec![Ipv4Addr::new(10, 0, 0, 2)],
+        long_flagged: vec![(Symbol::intern("plug:on_off"), Symbol::intern("FINAL"))],
+    };
+    let spec = SnapshotSpec {
+        models,
+        system: Some(system),
+        monitor: Some((&cfg, state)),
+        metrics_jsonl: Some("{\"counter\":{\"store.saves\":1}}\n"),
+        include_interner: false,
+    };
+    store.save(&spec).unwrap();
+}
+
+/// Manifest artifact name for a snapshot file.
+fn artifact_of(file: &str) -> String {
+    file.strip_suffix(".tsv")
+        .or_else(|| file.strip_suffix(".jsonl"))
+        .unwrap_or(file)
+        .to_string()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Flip / insert / truncate anywhere in any snapshot file: load always
+    /// returns `StoreError` (no panic, no silent success), and when the
+    /// mutation hit an artifact file the error names exactly that
+    /// artifact.
+    #[test]
+    fn mutated_snapshot_always_errors(
+        file_sel in any::<usize>(),
+        kind in any::<u8>(),
+        pos in any::<usize>(),
+        value in any::<u8>(),
+    ) {
+        let (models, system) = fixture();
+        let dir = temp_dir();
+        let store = ModelStore::open(&dir).unwrap();
+        save_fixture(&store, &models, &system);
+        store.load().expect("pristine snapshot must load");
+
+        let mut files: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        files.sort();
+        let target = files[file_sel % files.len()].clone();
+        let path = dir.join(&target);
+        let mut bytes = fs::read(&path).unwrap();
+        let before = bytes.clone();
+        mutate_bytes(&mut bytes, kind, pos, value);
+        prop_assert!(bytes != before, "mutation must change the file");
+        fs::write(&path, &bytes).unwrap();
+
+        let err = store.load().map(|_| ()).expect_err("corruption must not load");
+        if target != "MANIFEST" {
+            let expected = artifact_of(&target);
+            prop_assert_eq!(
+                err.artifact(),
+                Some(expected.as_str()),
+                "wrong artifact pinpointed for {} ({:?})",
+                target,
+                err
+            );
+            match err {
+                StoreError::HashMismatch { .. } | StoreError::Io { .. } => {}
+                other => panic!("artifact corruption should fail integrity, got {other:?}"),
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// A deleted artifact file errors (with the artifact named) instead of
+/// panicking or loading partially.
+#[test]
+fn deleted_artifact_file_errors() {
+    let (models, system) = fixture();
+    let dir = temp_dir();
+    let store = ModelStore::open(&dir).unwrap();
+    save_fixture(&store, &models, &system);
+
+    fs::remove_file(dir.join("names.tsv")).unwrap();
+    let err = store.load().map(|_| ()).unwrap_err();
+    assert_eq!(err.artifact(), Some("names"), "{err:?}");
+
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// An empty manifest is a `BadManifest`, not a panic; a missing manifest
+/// is an `Io` on `MANIFEST`.
+#[test]
+fn degenerate_manifests_error() {
+    let (models, system) = fixture();
+    let dir = temp_dir();
+    let store = ModelStore::open(&dir).unwrap();
+    save_fixture(&store, &models, &system);
+
+    fs::write(dir.join("MANIFEST"), b"").unwrap();
+    assert!(matches!(
+        store.load().map(|_| ()).unwrap_err(),
+        StoreError::BadManifest { .. }
+    ));
+
+    fs::remove_file(dir.join("MANIFEST")).unwrap();
+    let err = store.load().map(|_| ()).unwrap_err();
+    assert_eq!(err.artifact(), Some("MANIFEST"));
+
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A future format version is refused up front.
+#[test]
+fn future_version_refused() {
+    let (models, system) = fixture();
+    let dir = temp_dir();
+    let store = ModelStore::open(&dir).unwrap();
+    save_fixture(&store, &models, &system);
+
+    let manifest = fs::read_to_string(dir.join("MANIFEST")).unwrap();
+    let bumped = manifest.replacen("behaviot-store|v2", "behaviot-store|v99", 1);
+    fs::write(dir.join("MANIFEST"), bumped).unwrap();
+    assert_eq!(
+        store.load().map(|_| ()).unwrap_err(),
+        StoreError::BadVersion(99)
+    );
+
+    fs::remove_dir_all(&dir).unwrap();
+}

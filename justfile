@@ -45,6 +45,13 @@ bench-dsp:
 bench-cluster:
     scripts/bench_cluster.sh
 
+# Durable-store contract suite: kill-and-restore replay invariance, byte
+# fixed point, v1 migration, plus the round-trip and corruption proptests
+store-replay:
+    cargo test --release -q -p behaviot-harness --test store_replay
+    cargo test --release -q -p behaviot-store --test roundtrip_proptests
+    cargo test --release -q -p behaviot-store --test corruption_proptests
+
 # Tier-1 gate only
 test:
     cargo build --release && cargo test -q

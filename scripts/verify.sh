@@ -32,6 +32,13 @@ cargo test --release -q -p behaviot-harness --test metrics_determinism
 echo "==> alloc contract: steady-state classify performs zero heap allocations"
 cargo test --release -q -p behaviot --test classify_alloc
 
+echo "==> store: replay-invariant contract suite (kill/restore, fixed point, v1 migration)"
+cargo test --release -q -p behaviot-harness --test store_replay
+
+echo "==> store: corrupt-load smoke (byte-flip/insert/truncate proptests never panic)"
+cargo test --release -q -p behaviot-store --test corruption_proptests
+cargo test --release -q -p behaviot-store --test roundtrip_proptests
+
 echo "==> trace smoke: obs_smoke must emit every stage's spans + metrics"
 obs_tmp="$(mktemp -d)"
 trap 'rm -rf "$obs_tmp"' EXIT
@@ -64,7 +71,7 @@ cargo clippy --release -q \
   -p behaviot-par -p behaviot-dsp -p behaviot-forest -p behaviot-flows \
   -p behaviot -p behaviot-bench -p behaviot-harness \
   -p behaviot-intern -p behaviot-net -p behaviot-pfsm -p behaviot-sim \
-  -p behaviot-obs \
+  -p behaviot-obs -p behaviot-store \
   --all-targets -- -D warnings
 
 echo "==> bench smoke: ingest paths must agree (tiny sample budget)"

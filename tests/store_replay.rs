@@ -1,0 +1,422 @@
+//! Replay-invariant contract tests for `behaviot-store` (the durable model
+//! store).
+//!
+//! The headline contract: a monitor that is **killed mid-stream, snapshotted,
+//! and restored from disk** emits *exactly* the deviation stream the
+//! uninterrupted monitor would have emitted — and its final snapshot is
+//! **byte-for-byte identical** to the uninterrupted run's. That holds under
+//! `Parallelism::Off` and `Parallelism::Fixed(2)` training alike, across
+//! kill points that land mid-absence-flag and mid-long-term-flag.
+//!
+//! Also pinned here:
+//! * save → load → save is a byte fixed point (canonical rendering),
+//! * a v1 (previous format) snapshot migrates losslessly to v2,
+//! * `checkpoint` genuinely skips unchanged devices (proved behaviorally:
+//!   corrupt an unchanged device's file on disk, checkpoint, and the stale
+//!   bytes — and stale manifest hash — are still there),
+//! * no in-repo caller of the deprecated `behaviot::persist::save_*` API
+//!   remains outside the persist module itself.
+
+use behaviot::{BehavIoT, Deviation, Monitor, MonitorConfig, SystemModel, SystemModelConfig};
+use behaviot::{TrainConfig, TrainingData};
+use behaviot_flows::{FlowRecord, N_FEATURES};
+use behaviot_intern::{FxHashSet, Symbol};
+use behaviot_net::Proto;
+use behaviot_par::Parallelism;
+use behaviot_store::{ModelStore, SnapshotSpec, StoreError};
+use std::collections::HashMap;
+use std::fs;
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+
+const DEV: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 10);
+const DEV_B: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 11);
+
+fn flow_from(device: Ipv4Addr, dest: &str, start: f64, size: f64) -> FlowRecord {
+    let mut features = [0.0; N_FEATURES];
+    features[0] = size;
+    features[1] = size;
+    features[2] = size;
+    features[11] = 2.0;
+    FlowRecord {
+        device,
+        remote: Ipv4Addr::new(52, 0, 0, 1),
+        device_port: 30000,
+        remote_port: 443,
+        proto: Proto::Tcp,
+        domain: Some(dest.into()),
+        start,
+        end: start + 0.1,
+        n_packets: 4,
+        total_bytes: size as u64 * 4,
+        features,
+    }
+}
+
+fn flow(dest: &str, start: f64, size: f64) -> FlowRecord {
+    flow_from(DEV, dest, start, size)
+}
+
+/// One plug: heartbeat to `hb.cloud.com` every 100 s, a learnable
+/// `on_off` activity on `ctl.cloud.com`, and a system model trained on
+/// regular single-event traces.
+fn trained(par: Parallelism) -> (BehavIoT, SystemModel) {
+    let idle: Vec<FlowRecord> = (0..600)
+        .map(|i| flow("hb.cloud.com", i as f64 * 100.0, 120.0))
+        .collect();
+    let activity: Vec<(FlowRecord, Option<String>)> = (0..40)
+        .flat_map(|i| {
+            vec![
+                (
+                    flow("ctl.cloud.com", i as f64 * 75.0, 800.0),
+                    Some("on_off".to_string()),
+                ),
+                (flow("hb.cloud.com", 10.0 + i as f64 * 75.0, 120.0), None),
+            ]
+        })
+        .collect();
+    let refs: Vec<(&FlowRecord, Option<&str>)> =
+        activity.iter().map(|(f, l)| (f, l.as_deref())).collect();
+    let mut names = HashMap::new();
+    names.insert(DEV, "plug".to_string());
+    let data = TrainingData::from_flows(idle, refs, names);
+    let cfg = TrainConfig {
+        parallelism: par,
+        ..Default::default()
+    };
+    let models = BehavIoT::train(&data, &cfg);
+    let traces: Vec<Vec<String>> = (0..30).map(|_| vec!["plug:on_off".to_string()]).collect();
+    let system = SystemModel::from_traces(&traces, &SystemModelConfig::default());
+    (models, system)
+}
+
+const WINDOW: f64 = 2000.0;
+const N_WINDOWS: usize = 10;
+
+/// Deterministic 10-window stream exercising every piece of cross-window
+/// monitor state: windows 3-4 are silent (absence flagged once, then the
+/// flag suppresses the repeat), window 5 resumes traffic and floods
+/// doubled `on_off` pairs (long-term flag set), window 6 keeps flooding
+/// (flag suppresses the repeat), the rest are healthy heartbeats.
+fn window_flows(w: usize) -> Vec<FlowRecord> {
+    let t0 = w as f64 * WINDOW;
+    let mut flows = Vec::new();
+    match w {
+        3 | 4 => {}
+        5 | 6 => {
+            for i in 0..20 {
+                flows.push(flow("hb.cloud.com", t0 + i as f64 * 100.0, 120.0));
+            }
+            for i in 0..8 {
+                let t = t0 + 100.0 + i as f64 * 200.0;
+                flows.push(flow("ctl.cloud.com", t, 800.0));
+                flows.push(flow("ctl.cloud.com", t + 5.0, 800.0));
+            }
+        }
+        _ => {
+            for i in 0..20 {
+                flows.push(flow("hb.cloud.com", t0 + i as f64 * 100.0, 120.0));
+            }
+            if w.is_multiple_of(2) {
+                flows.push(flow("ctl.cloud.com", t0 + 1500.0, 800.0));
+            }
+        }
+    }
+    flows
+}
+
+/// Stable textual rendering of a deviation stream. `{:?}` floats are
+/// shortest-round-trip, so equal strings mean bit-equal scores.
+fn render(devs: &[Deviation]) -> String {
+    devs.iter()
+        .map(|d| {
+            format!(
+                "{:?}|{:?}|{:?}|{:?}|{}|{}",
+                d.ts, d.kind, d.score, d.threshold, d.subject, d.detail
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn run_windows(monitor: &mut Monitor, range: std::ops::Range<usize>) -> Vec<String> {
+    range
+        .map(|w| {
+            let t0 = w as f64 * WINDOW;
+            render(&monitor.process_window(&window_flows(w), t0, t0 + WINDOW))
+        })
+        .collect()
+}
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "behaviot-store-replay-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every file in the snapshot directory, sorted by name, with its bytes.
+fn snapshot_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn save_monitor(store: &ModelStore, monitor: &Monitor) {
+    let spec = SnapshotSpec {
+        models: monitor.models(),
+        system: Some(monitor.system()),
+        monitor: Some((monitor.config(), monitor.export_state())),
+        metrics_jsonl: None,
+        include_interner: false,
+    };
+    store.save(&spec).unwrap();
+}
+
+/// The headline differential: for each kill point, run to the kill,
+/// snapshot, restore from disk, and finish — the post-kill deviation
+/// stream and the final snapshot must match the uninterrupted run
+/// exactly.
+fn kill_and_restore(par: Parallelism, tag: &str) {
+    let (models, system) = trained(par);
+
+    // Uninterrupted reference run.
+    let mut reference = Monitor::new(models.clone(), system.clone(), MonitorConfig::default());
+    let ref_stream = run_windows(&mut reference, 0..N_WINDOWS);
+    assert!(
+        ref_stream.iter().any(|w| !w.is_empty()),
+        "fixture produced no deviations at all: {ref_stream:?}"
+    );
+    let ref_dir = temp_store(&format!("{tag}-ref"));
+    let ref_store = ModelStore::open(&ref_dir).unwrap();
+    save_monitor(&ref_store, &reference);
+    let ref_final = snapshot_bytes(&ref_dir);
+
+    // Kill points covering mid-absence (4) and mid-long-term-flag (6).
+    for kill in [1, 4, 6, 8] {
+        let mut first = Monitor::new(models.clone(), system.clone(), MonitorConfig::default());
+        let pre = run_windows(&mut first, 0..kill);
+        assert_eq!(pre, ref_stream[..kill], "pre-kill stream diverged (k={kill})");
+
+        let dir = temp_store(&format!("{tag}-k{kill}"));
+        let store = ModelStore::open(&dir).unwrap();
+        save_monitor(&store, &first);
+        drop(first); // the "kill": nothing survives but the snapshot
+
+        let loaded = store.load().unwrap();
+        let mut restored = loaded.into_monitor().expect("snapshot carried a monitor");
+        let post = run_windows(&mut restored, kill..N_WINDOWS);
+        assert_eq!(
+            post,
+            ref_stream[kill..],
+            "post-restore stream diverged (k={kill}, {par})"
+        );
+
+        save_monitor(&store, &restored);
+        assert_eq!(
+            snapshot_bytes(&dir),
+            ref_final,
+            "final snapshot differs from uninterrupted run's (k={kill}, {par})"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+    fs::remove_dir_all(&ref_dir).unwrap();
+}
+
+#[test]
+fn kill_and_restore_matches_uninterrupted_serial() {
+    kill_and_restore(Parallelism::Off, "off");
+}
+
+#[test]
+fn kill_and_restore_matches_uninterrupted_fixed2() {
+    kill_and_restore(Parallelism::Fixed(2), "fixed2");
+}
+
+/// save → load → save into a second directory is a byte fixed point:
+/// loading loses nothing and re-rendering is canonical.
+#[test]
+fn snapshot_restore_snapshot_fixed_point() {
+    let (models, system) = trained(Parallelism::Off);
+    let mut monitor = Monitor::new(models, system, MonitorConfig::default());
+    let _ = run_windows(&mut monitor, 0..7); // accumulate non-trivial state
+
+    let dir_a = temp_store("fixed-point-a");
+    let store_a = ModelStore::open(&dir_a).unwrap();
+    save_monitor(&store_a, &monitor);
+
+    let restored = store_a.load().unwrap().into_monitor().unwrap();
+    let dir_b = temp_store("fixed-point-b");
+    let store_b = ModelStore::open(&dir_b).unwrap();
+    save_monitor(&store_b, &restored);
+
+    assert_eq!(snapshot_bytes(&dir_a), snapshot_bytes(&dir_b));
+    fs::remove_dir_all(&dir_a).unwrap();
+    fs::remove_dir_all(&dir_b).unwrap();
+}
+
+/// A previous-format (v1, no per-artifact hashes) snapshot loads, reports
+/// its version, and migrates losslessly: the migrated v2 snapshot drives
+/// the exact same deviation stream the original models would.
+#[test]
+fn v1_snapshot_migrates_losslessly() {
+    let (models, system) = trained(Parallelism::Off);
+    let mut original = Monitor::new(models.clone(), system.clone(), MonitorConfig::default());
+    let ref_stream = run_windows(&mut original, 0..N_WINDOWS);
+
+    let dir_v1 = temp_store("migrate-v1");
+    let store_v1 = ModelStore::open(&dir_v1).unwrap();
+    let spec = SnapshotSpec {
+        models: &models,
+        system: Some(&system),
+        monitor: Some((&MonitorConfig::default(), Default::default())),
+        metrics_jsonl: None,
+        include_interner: false,
+    };
+    store_v1.save_v1(&spec).unwrap();
+
+    let loaded = store_v1.load().unwrap();
+    assert_eq!(loaded.version, 1, "v1 snapshot must report version 1");
+
+    // Migrate: re-save what was loaded as v2, then run from the migrated
+    // snapshot.
+    let dir_v2 = temp_store("migrate-v2");
+    let store_v2 = ModelStore::open(&dir_v2).unwrap();
+    let migrated_spec = SnapshotSpec {
+        models: &loaded.models,
+        system: loaded.system.as_ref(),
+        monitor: Some((
+            loaded.monitor_cfg.as_ref().unwrap(),
+            loaded.monitor_state.clone().unwrap(),
+        )),
+        metrics_jsonl: None,
+        include_interner: false,
+    };
+    store_v2.save(&migrated_spec).unwrap();
+
+    let migrated = store_v2.load().unwrap();
+    assert_eq!(migrated.version, behaviot_store::FORMAT_VERSION);
+    let mut replayed = migrated.into_monitor().unwrap();
+    assert_eq!(run_windows(&mut replayed, 0..N_WINDOWS), ref_stream);
+
+    fs::remove_dir_all(&dir_v1).unwrap();
+    fs::remove_dir_all(&dir_v2).unwrap();
+}
+
+/// `checkpoint` must be O(changed devices): artifacts of devices outside
+/// the changed set are *not* re-rendered or re-written. Proved
+/// behaviorally — corrupt device A's file on disk, checkpoint with only B
+/// changed, and the corruption (plus the stale manifest entry) survives;
+/// checkpoint with A changed and the file heals.
+#[test]
+fn checkpoint_skips_unchanged_devices() {
+    // Two devices so "changed" can be a strict subset.
+    let idle: Vec<FlowRecord> = (0..600)
+        .flat_map(|i| {
+            vec![
+                flow_from(DEV, "hb.cloud.com", i as f64 * 100.0, 120.0),
+                flow_from(DEV_B, "tele.cloud.com", i as f64 * 150.0, 200.0),
+            ]
+        })
+        .collect();
+    let mut names = HashMap::new();
+    names.insert(DEV, "plug".to_string());
+    names.insert(DEV_B, "camera".to_string());
+    let data = TrainingData::from_flows(idle, std::iter::empty(), names);
+    let models = BehavIoT::train(&data, &TrainConfig::default());
+    assert!(
+        models.periodic.iter().any(|m| m.device == DEV)
+            && models.periodic.iter().any(|m| m.device == DEV_B),
+        "fixture needs periodic models on both devices"
+    );
+
+    let dir = temp_store("checkpoint");
+    let store = ModelStore::open(&dir).unwrap();
+    let spec = SnapshotSpec::new(&models);
+    store.save(&spec).unwrap();
+    store.load().unwrap();
+
+    // Corrupt device A's periodic artifact behind the store's back.
+    let victim = dir.join(format!("periodic@{DEV}.tsv"));
+    let mut bytes = fs::read(&victim).unwrap();
+    bytes.push(b'x');
+    fs::write(&victim, &bytes).unwrap();
+
+    // Checkpoint with only B changed: A must be carried over untouched,
+    // so the corruption is still on disk and still detected.
+    let mut changed: FxHashSet<Symbol> = FxHashSet::default();
+    changed.insert(Symbol::intern_ipv4(DEV_B));
+    store.checkpoint(&spec, &changed).unwrap();
+    let err = store.load().map(|_| ()).unwrap_err();
+    assert_eq!(
+        err,
+        StoreError::HashMismatch {
+            artifact: format!("periodic@{DEV}"),
+        },
+        "unchanged device was unexpectedly re-written"
+    );
+
+    // Checkpoint with A changed: its artifact is re-rendered and the
+    // snapshot is whole again.
+    let mut changed: FxHashSet<Symbol> = FxHashSet::default();
+    changed.insert(Symbol::intern_ipv4(DEV));
+    store.checkpoint(&spec, &changed).unwrap();
+    store.load().unwrap();
+
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The deprecated `behaviot::persist::save_*` string API must have no
+/// in-repo callers left (outside the persist module's own tests). This
+/// complements the `#[deprecated]` attribute: clippy runs with
+/// `-D warnings`, so a new caller fails CI twice.
+#[test]
+fn no_in_repo_persist_callers_remain() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    // Built at runtime so this test's own source never matches itself.
+    let needles: Vec<String> = ["periodic_inventory", "system_model", "trace_log"]
+        .iter()
+        .map(|s| format!("save_{s}("))
+        .collect();
+    let mut offenders = Vec::new();
+    let mut stack = vec![root.join("crates"), root.join("tests"), root.join("examples")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                if p.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "rs")
+                && !p.ends_with("core/src/persist.rs")
+                && !p.ends_with("tests/store_replay.rs")
+            {
+                let Ok(text) = fs::read_to_string(&p) else {
+                    continue;
+                };
+                if needles.iter().any(|n| text.contains(n.as_str())) {
+                    offenders.push(p);
+                }
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "deprecated persist::save_* still called from: {offenders:?}"
+    );
+}
