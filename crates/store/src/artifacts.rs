@@ -671,6 +671,16 @@ pub(crate) fn parse_monitor(
         trace_gap: pf(artifact, 1, c[6], "trace gap")?,
     };
     let mut state = MonitorState::default();
+    // Duplicate keys are a hard error, matching every other artifact:
+    // `Monitor::restore` collects these records into maps/sets, so
+    // last-wins would silently mask a corrupted or hand-edited snapshot.
+    let mut seen_timers: FxHashSet<(Ipv4Addr, Symbol, Proto)> = FxHashSet::default();
+    let mut seen_absent: FxHashSet<Ipv4Addr> = FxHashSet::default();
+    let mut seen_long: FxHashSet<(Symbol, Symbol)> = FxHashSet::default();
+    let dup = |key: String| StoreError::Duplicate {
+        artifact: artifact.to_string(),
+        key,
+    };
     for (i, line) in lines {
         let ln = i + 1;
         let fields: Vec<&str> = line.split('|').collect();
@@ -680,16 +690,25 @@ pub(crate) fn parse_monitor(
                 let dest = Symbol::intern(&pstr(artifact, ln, fields[2])?);
                 let proto = pproto(artifact, ln, fields[3])?;
                 let ts = pf(artifact, ln, fields[4], "timer timestamp")?;
+                if !seen_timers.insert((ip, dest, proto)) {
+                    return Err(dup(format!("timer|{ip}|{dest}|{proto}")));
+                }
                 state.last_seen.push(((ip, dest, proto), ts));
             }
             "absent" if fields.len() == 2 => {
-                state.absence_flagged.push(pip(artifact, ln, fields[1])?);
+                let ip = pip(artifact, ln, fields[1])?;
+                if !seen_absent.insert(ip) {
+                    return Err(dup(format!("absent|{ip}")));
+                }
+                state.absence_flagged.push(ip);
             }
             "long" if fields.len() == 3 => {
-                state.long_flagged.push((
-                    Symbol::intern(&pstr(artifact, ln, fields[1])?),
-                    Symbol::intern(&pstr(artifact, ln, fields[2])?),
-                ));
+                let from = Symbol::intern(&pstr(artifact, ln, fields[1])?);
+                let to = Symbol::intern(&pstr(artifact, ln, fields[2])?);
+                if !seen_long.insert((from, to)) {
+                    return Err(dup(format!("long|{from}|{to}")));
+                }
+                state.long_flagged.push((from, to));
             }
             _ => return Err(bad(artifact, ln, "unknown record kind")),
         }

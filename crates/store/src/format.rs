@@ -9,10 +9,11 @@
 //!   Save→load→save is therefore byte-stable, and restored models compute
 //!   bit-identical results. Non-finite values are rejected at both ends:
 //!   a model containing NaN/∞ is corrupt and must not round-trip silently.
-//! * **Percent escaping** — [`escape`] protects the three bytes with
-//!   structural meaning (`|` field separator, `\n` record separator, `%`
-//!   itself), so arbitrary destination domains, device names, and activity
-//!   labels survive unchanged.
+//! * **Percent escaping** — [`escape`] protects the bytes with structural
+//!   meaning (`|` field separator, `\n` record separator, `\r` — which
+//!   `str::lines` would silently strip before a `\n` — and `%` itself), so
+//!   arbitrary destination domains, device names, and activity labels
+//!   survive unchanged.
 
 /// Canonical text encoding of a finite `f64`. Returns `None` for NaN and
 /// infinities — non-finite values never enter a snapshot.
@@ -34,8 +35,10 @@ pub fn parse_f64(s: &str) -> Option<f64> {
     Some(v)
 }
 
-/// Escape `%`, `|`, and newline so arbitrary strings can live in one
-/// pipe-separated field.
+/// Escape `%`, `|`, `\n`, and `\r` so arbitrary strings can live in one
+/// pipe-separated field. `\r` must be escaped because all parsers split on
+/// `str::lines`, which strips a `\r` preceding each `\n` — unescaped, a
+/// string ending in `\r` would lose that byte on load.
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -43,6 +46,7 @@ pub fn escape(s: &str) -> String {
             '%' => out.push_str("%25"),
             '|' => out.push_str("%7C"),
             '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
             c => out.push(c),
         }
     }
@@ -61,6 +65,7 @@ pub fn unescape(s: &str) -> Option<String> {
                 "%25" => out.push('%'),
                 "%7C" => out.push('|'),
                 "%0A" => out.push('\n'),
+                "%0D" => out.push('\r'),
                 _ => return None,
             }
             i += 3;
@@ -110,9 +115,12 @@ mod tests {
 
     #[test]
     fn escaping_round_trips() {
-        for s in ["", "plain", "a|b", "100%|done", "line\nbreak", "%7C", "%"] {
+        for s in [
+            "", "plain", "a|b", "100%|done", "line\nbreak", "%7C", "%", "trailing\r",
+            "crlf\r\nmid", "\r",
+        ] {
             let e = escape(s);
-            assert!(!e.contains('|') && !e.contains('\n'));
+            assert!(!e.contains('|') && !e.contains('\n') && !e.contains('\r'));
             assert_eq!(unescape(&e).unwrap(), s);
         }
         assert!(unescape("%7").is_none());

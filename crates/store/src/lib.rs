@@ -5,9 +5,15 @@
 //! `MANIFEST` that pins the format version and, in v2, the byte length and
 //! FxHash64 content hash of every artifact. The store guarantees:
 //!
-//! * **Atomicity** — every artifact (and the manifest itself) is written to
-//!   a `.tmp` sibling and `rename`d into place; the manifest is written
-//!   last, so a crash mid-save leaves the previous snapshot loadable.
+//! * **Atomicity** — artifact files are **content-addressed**
+//!   (`<stem>-<fxhash64>.<ext>`), so a save never overwrites a file the
+//!   committed manifest references with different bytes; each file is
+//!   written to a `.tmp` sibling, fsynced, and `rename`d into place, the
+//!   directory is fsynced, and only then is the manifest renamed in — the
+//!   manifest rename is the *sole* commit point, so a crash (or power
+//!   loss) at any instant mid-save leaves the previous snapshot loadable.
+//!   Files from superseded snapshots are swept only after commit, and the
+//!   sweep touches nothing but the store's own naming scheme.
 //! * **Replay invariance** — floats use shortest-round-trip canonical text
 //!   ([`format::fmt_f64`]), collections are sorted before rendering, and
 //!   the PFSM is re-inferred deterministically from its persisted training
@@ -280,6 +286,37 @@ fn classify_artifact(name: &str) -> Option<ArtifactKind> {
     }
 }
 
+/// The on-disk stem + extension an artifact's files use (the content hash
+/// goes between them: `<stem>-<fxhash64:016x>.<ext>`).
+fn artifact_stem_ext(name: &str) -> (&str, &str) {
+    match name {
+        "periodic.cfg" => ("periodic", "cfg"),
+        "user.cfg" => ("user", "cfg"),
+        "metrics" => (name, "jsonl"),
+        _ => (name, "tsv"),
+    }
+}
+
+/// The logical artifact a store-written file name belongs to: either the
+/// current content-addressed form `<stem>-<16 hex>.<ext>` or the pre-hash
+/// fixed form `<stem>.<ext>`. `None` for anything the store would never
+/// have written itself.
+fn file_artifact_name(file: &str) -> Option<String> {
+    let (mut stem, ext) = file.rsplit_once('.')?;
+    if let Some((s, h)) = stem.rsplit_once('-') {
+        if h.len() == 16 && h.bytes().all(|b| b.is_ascii_hexdigit()) {
+            stem = s;
+        }
+    }
+    let name = if ext == "cfg" {
+        format!("{stem}.cfg")
+    } else {
+        stem.to_string()
+    };
+    classify_artifact(&name)?;
+    (artifact_stem_ext(&name) == (stem, ext)).then_some(name)
+}
+
 impl ModelStore {
     /// Open (creating if needed) a snapshot directory.
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
@@ -359,29 +396,29 @@ impl ModelStore {
             models.periodic.config(),
             models.periodic.train_coverage,
         )?;
-        entries.push(self.put("periodic.cfg", "periodic.cfg", &pc)?);
+        entries.push(self.put("periodic.cfg", &pc)?);
         let uc = artifacts::render_user_cfg("user.cfg", models.user.confidence_threshold())?;
-        entries.push(self.put("user.cfg", "user.cfg", &uc)?);
-        entries.push(self.put("names", "names.tsv", &artifacts::render_names(&models.names))?);
+        entries.push(self.put("user.cfg", &uc)?);
+        entries.push(self.put("names", &artifacts::render_names(&models.names))?);
         written += 3;
         if let Some(system) = spec.system {
             let body = artifacts::render_system("system", system)?;
-            entries.push(self.put("system", "system.tsv", &body)?);
+            entries.push(self.put("system", &body)?);
             written += 1;
         }
         if let Some((cfg, state)) = &spec.monitor {
             let body = artifacts::render_monitor("monitor", cfg, state)?;
-            entries.push(self.put("monitor", "monitor.tsv", &body)?);
+            entries.push(self.put("monitor", &body)?);
             written += 1;
         }
         if let Some(metrics_text) = spec.metrics_jsonl {
-            entries.push(self.put("metrics", "metrics.jsonl", metrics_text)?);
+            entries.push(self.put("metrics", metrics_text)?);
             written += 1;
         }
         if spec.include_interner {
             let strings = behaviot_intern::export_global();
             let body = artifacts::render_interner(&strings);
-            entries.push(self.put("interner", "interner.tsv", &body)?);
+            entries.push(self.put("interner", &body)?);
             written += 1;
         }
 
@@ -399,9 +436,8 @@ impl ModelStore {
                 reused += 1;
                 continue;
             }
-            let file = format!("{name}.tsv");
             let body = artifacts::render_periodic_device(&name, &dev_models)?;
-            let e = self.put(&name, &file, &body)?;
+            let e = self.put(&name, &body)?;
             entries.push(e);
             written += 1;
         }
@@ -412,14 +448,17 @@ impl ModelStore {
                 reused += 1;
                 continue;
             }
-            let file = format!("{name}.tsv");
             let body = artifacts::render_user_device(&name, list)?;
-            let e = self.put(&name, &file, &body)?;
+            let e = self.put(&name, &body)?;
             entries.push(e);
             written += 1;
         }
 
-        // -- manifest (last: its rename commits the snapshot) ------------
+        // -- manifest (last: its rename is the sole commit point) --------
+        // Make every staged artifact durable *before* the commit: a power
+        // loss after the manifest rename must not be able to lose an
+        // artifact rename that the manifest now depends on.
+        self.sync_dir().map_err(|e| io_err("<root>", e))?;
         entries.sort_by(|a, b| a.name.cmp(&b.name));
         let mut manifest = format!("{MANIFEST_MAGIC}|v{version}\n");
         for e in &entries {
@@ -441,10 +480,12 @@ impl ModelStore {
         }
         self.write_atomic(MANIFEST_FILE, manifest.as_bytes())
             .map_err(|e| io_err(MANIFEST_FILE, e))?;
+        self.sync_dir().map_err(|e| io_err("<root>", e))?;
 
-        // Best-effort cleanup of files no longer referenced (e.g. a device
-        // dropped between checkpoints). Failure is not an error: the
-        // manifest already excludes them.
+        // Best-effort cleanup of files from superseded snapshots (e.g. a
+        // device dropped between checkpoints, or a changed artifact's old
+        // content-addressed file). Strictly after commit, and failure is
+        // not an error: the manifest already excludes them.
         self.sweep_orphans(&entries);
 
         m.counter("store.artifacts_written").add(written);
@@ -454,26 +495,55 @@ impl ModelStore {
         Ok(())
     }
 
-    /// Render-and-write one artifact atomically, returning its manifest
-    /// entry.
-    fn put(&self, name: &str, file: &str, body: &str) -> Result<Entry, StoreError> {
-        self.write_atomic(file, body.as_bytes())
+    /// Stage one artifact under its content-addressed file name, returning
+    /// its manifest entry. Because the name embeds the content hash, a
+    /// file referenced by the committed manifest is only ever overwritten
+    /// with byte-identical content — the staged file cannot corrupt the
+    /// previous snapshot.
+    fn put(&self, name: &str, body: &str) -> Result<Entry, StoreError> {
+        let hash = hash_bytes(body.as_bytes());
+        let (stem, ext) = artifact_stem_ext(name);
+        let file = format!("{stem}-{hash:016x}.{ext}");
+        self.write_atomic(&file, body.as_bytes())
             .map_err(|e| io_err(name, e))?;
         Ok(Entry {
             name: name.to_string(),
-            file: file.to_string(),
-            hash: hash_bytes(body.as_bytes()),
+            file,
+            hash,
             bytes: body.len() as u64,
         })
     }
 
+    /// Write to a `.tmp` sibling, fsync, and rename into place, so `file`
+    /// is only ever observed whole — even across power loss.
     fn write_atomic(&self, file: &str, bytes: &[u8]) -> std::io::Result<()> {
         let tmp = self.root.join(format!("{file}.tmp"));
         let dst = self.root.join(file);
-        fs::write(&tmp, bytes)?;
+        let mut f = fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut f, bytes)?;
+        f.sync_all()?;
+        drop(f);
         fs::rename(&tmp, &dst)
     }
 
+    /// Fsync the snapshot directory itself, making completed renames
+    /// durable. No-op where directories cannot be opened for sync.
+    fn sync_dir(&self) -> std::io::Result<()> {
+        #[cfg(unix)]
+        {
+            fs::File::open(&self.root)?.sync_all()
+        }
+        #[cfg(not(unix))]
+        {
+            Ok(())
+        }
+    }
+
+    /// Remove files from superseded snapshots. Runs only after the new
+    /// manifest has committed, and deletes *only* unreferenced files
+    /// matching the store's own naming scheme ([`file_artifact_name`], or
+    /// a `.tmp` staging sibling of one) — a store opened on a directory
+    /// containing foreign files never touches them.
     fn sweep_orphans(&self, entries: &[Entry]) {
         let referenced: std::collections::HashSet<&str> =
             entries.iter().map(|e| e.file.as_str()).collect();
@@ -483,11 +553,12 @@ impl ModelStore {
         for d in dir.flatten() {
             let fname = d.file_name();
             let Some(fname) = fname.to_str() else { continue };
-            let droppable = fname.ends_with(".tsv")
-                || fname.ends_with(".cfg")
-                || fname.ends_with(".jsonl")
-                || fname.ends_with(".tmp");
-            if droppable && !referenced.contains(fname) {
+            if fname == MANIFEST_FILE || referenced.contains(fname) {
+                continue;
+            }
+            let base = fname.strip_suffix(".tmp").unwrap_or(fname);
+            let ours = base == MANIFEST_FILE && base != fname;
+            if ours || file_artifact_name(base).is_some() {
                 let _ = fs::remove_file(d.path());
             }
         }
@@ -576,6 +647,21 @@ impl ModelStore {
                 return Err(StoreError::BadManifest {
                     line: ln,
                     reason: format!("duplicate artifact {name}"),
+                });
+            }
+            // The file field must be a plain name inside the store root —
+            // a mangled (v1: unchecked) manifest must not be able to read
+            // files elsewhere on disk or shadow the manifest itself.
+            let file = fields[2];
+            if file.is_empty()
+                || file == MANIFEST_FILE
+                || file.contains('/')
+                || file.contains('\\')
+                || file.contains("..")
+            {
+                return Err(StoreError::BadManifest {
+                    line: ln,
+                    reason: format!("bad artifact file name {file}"),
                 });
             }
             let (hash, bytes) = if version >= 2 {

@@ -128,12 +128,50 @@ fn save_fixture(store: &ModelStore, models: &BehavIoT, system: &SystemModel) {
     store.save(&spec).unwrap();
 }
 
-/// Manifest artifact name for a snapshot file.
-fn artifact_of(file: &str) -> String {
-    file.strip_suffix(".tsv")
-        .or_else(|| file.strip_suffix(".jsonl"))
-        .unwrap_or(file)
-        .to_string()
+fn hash_bytes(b: &[u8]) -> u64 {
+    use std::hash::Hasher;
+    let mut h = behaviot_intern::FxHasher::default();
+    h.write(b);
+    h.finish()
+}
+
+/// Re-pin the manifest's per-artifact hash/length fields and its check
+/// line to whatever is on disk, so a test can hand-edit artifact content
+/// and still reach the record parsers behind the integrity layer.
+fn rehash_manifest(dir: &std::path::Path) {
+    let manifest = fs::read_to_string(dir.join("MANIFEST")).unwrap();
+    let mut out = String::new();
+    for line in manifest.lines() {
+        let f: Vec<&str> = line.split('|').collect();
+        if f.len() == 5 && f[0] == "artifact" {
+            let bytes = fs::read(dir.join(f[2])).unwrap();
+            out.push_str(&format!(
+                "artifact|{}|{}|{:016x}|{}\n",
+                f[1],
+                f[2],
+                hash_bytes(&bytes),
+                bytes.len()
+            ));
+        } else if f[0] != "check" {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out.push_str(&format!("check|{:016x}\n", hash_bytes(out.as_bytes())));
+    fs::write(dir.join("MANIFEST"), out).unwrap();
+}
+
+/// file → artifact-name mapping, read from the pristine manifest (file
+/// names are content-addressed, so they aren't predictable up front).
+fn artifact_by_file(dir: &std::path::Path) -> HashMap<String, String> {
+    fs::read_to_string(dir.join("MANIFEST"))
+        .unwrap()
+        .lines()
+        .filter_map(|l| {
+            let f: Vec<&str> = l.split('|').collect();
+            (f.len() == 5 && f[0] == "artifact").then(|| (f[2].to_string(), f[1].to_string()))
+        })
+        .collect()
 }
 
 proptest! {
@@ -155,6 +193,7 @@ proptest! {
         let store = ModelStore::open(&dir).unwrap();
         save_fixture(&store, &models, &system);
         store.load().expect("pristine snapshot must load");
+        let artifacts = artifact_by_file(&dir);
 
         let mut files: Vec<String> = fs::read_dir(&dir)
             .unwrap()
@@ -171,7 +210,7 @@ proptest! {
 
         let err = store.load().map(|_| ()).expect_err("corruption must not load");
         if target != "MANIFEST" {
-            let expected = artifact_of(&target);
+            let expected = &artifacts[&target];
             prop_assert_eq!(
                 err.artifact(),
                 Some(expected.as_str()),
@@ -197,11 +236,51 @@ fn deleted_artifact_file_errors() {
     let store = ModelStore::open(&dir).unwrap();
     save_fixture(&store, &models, &system);
 
-    fs::remove_file(dir.join("names.tsv")).unwrap();
+    let names_file = artifact_by_file(&dir)
+        .into_iter()
+        .find(|(_, a)| a == "names")
+        .map(|(f, _)| f)
+        .unwrap();
+    fs::remove_file(dir.join(names_file)).unwrap();
     let err = store.load().map(|_| ()).unwrap_err();
     assert_eq!(err.artifact(), Some("names"), "{err:?}");
 
     fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Duplicated monitor records (timer / absent / long) are a hard
+/// `StoreError::Duplicate`, not last-wins: `Monitor::restore` collapses
+/// these records into maps/sets, so accepting repeats would silently mask
+/// a corrupted or hand-edited snapshot — the same policy every other
+/// artifact already enforces.
+#[test]
+fn duplicate_monitor_records_rejected() {
+    for kind in ["timer|", "absent|", "long|"] {
+        let (models, system) = fixture();
+        let dir = temp_dir();
+        let store = ModelStore::open(&dir).unwrap();
+        save_fixture(&store, &models, &system);
+
+        let monitor_file = artifact_by_file(&dir)
+            .into_iter()
+            .find(|(_, a)| a == "monitor")
+            .map(|(f, _)| f)
+            .unwrap();
+        let path = dir.join(&monitor_file);
+        let text = fs::read_to_string(&path).unwrap();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with(kind))
+            .expect("fixture carries one record of each kind");
+        fs::write(&path, format!("{text}{line}\n")).unwrap();
+        rehash_manifest(&dir);
+
+        match store.load().map(|_| ()).unwrap_err() {
+            StoreError::Duplicate { ref artifact, .. } => assert_eq!(artifact, "monitor"),
+            other => panic!("expected Duplicate for repeated {kind} record, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
 }
 
 /// An empty manifest is a `BadManifest`, not a panic; a missing manifest

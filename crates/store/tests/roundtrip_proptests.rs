@@ -179,7 +179,9 @@ proptest! {
         let mut names = HashMap::new();
         for d in 0..n_devices {
             let ip = Ipv4Addr::new(10, 0, 0, 1 + d as u8);
-            names.insert(ip, format!("dev-{d}"));
+            // A trailing \r is the nastiest string case: unescaped it would
+            // be silently eaten by `str::lines` on load.
+            names.insert(ip, format!("dev-{d}\r"));
             let n_cores = (seeds.len() + d) % 3;
             models.push(periodic_model(ip, &format!("p{d}.example|.com"), Proto::Tcp, dim, n_cores, &seeds));
             if d % 2 == 0 {
@@ -201,7 +203,7 @@ proptest! {
         let behaviot = BehavIoT { periodic, user, names };
 
         let system = SystemModel::from_traces(
-            &[vec!["dev-1:on_off".to_string()], vec!["dev-1:mo%tion".to_string(), "dev-1:on_off".to_string()]],
+            &[vec!["dev-1:on_off".to_string()], vec!["dev-1:mo%tion\r".to_string(), "dev-1:on_off".to_string()]],
             &SystemModelConfig::default(),
         );
         let state = MonitorState {
@@ -212,7 +214,7 @@ proptest! {
                 })
                 .collect(),
             absence_flagged: (0..n_devices / 2).map(|d| Ipv4Addr::new(10, 0, 0, 1 + d as u8)).collect(),
-            long_flagged: vec![(Symbol::intern("a:x"), Symbol::intern("b:y"))],
+            long_flagged: vec![(Symbol::intern("a:x\r"), Symbol::intern("b:\r\ny"))],
         };
         let cfg = MonitorConfig::default();
         let spec = SnapshotSpec {

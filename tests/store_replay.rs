@@ -10,6 +10,11 @@
 //!
 //! Also pinned here:
 //! * save → load → save is a byte fixed point (canonical rendering),
+//! * a kill at *any point mid-save* — any prefix of the new snapshot's
+//!   artifact files staged, manifest rename never reached — leaves the
+//!   previously committed snapshot loadable and byte-identical (artifact
+//!   files are content-addressed; the manifest rename is the sole commit
+//!   point),
 //! * a v1 (previous format) snapshot migrates losslessly to v2,
 //! * `checkpoint` genuinely skips unchanged devices (proved behaviorally:
 //!   corrupt an unchanged device's file on disk, checkpoint, and the stale
@@ -173,6 +178,20 @@ fn snapshot_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
     out
 }
 
+/// The on-disk file of the artifact whose file name starts with `prefix`
+/// (file names are content-addressed, so the exact name isn't predictable).
+fn find_artifact_file(dir: &Path, prefix: &str) -> PathBuf {
+    fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(prefix))
+        })
+        .unwrap_or_else(|| panic!("no file matching {prefix}* in {dir:?}"))
+}
+
 fn save_monitor(store: &ModelStore, monitor: &Monitor) {
     let spec = SnapshotSpec {
         models: monitor.models(),
@@ -266,6 +285,83 @@ fn snapshot_restore_snapshot_fixed_point() {
     fs::remove_dir_all(&dir_b).unwrap();
 }
 
+/// Crashing *between* completed saves is the easy case; the hard one is a
+/// kill mid-staging: some of the next snapshot's artifact files have
+/// landed on disk, but the manifest rename never happened. Because
+/// artifact files are content-addressed and the manifest rename is the
+/// sole commit point, every such prefix state must leave the previously
+/// committed snapshot loadable — and a retried save must converge to
+/// exactly the snapshot the crashed one was writing.
+#[test]
+fn mid_save_kill_leaves_previous_snapshot_loadable() {
+    let (models, system) = trained(Parallelism::Off);
+    let mut monitor = Monitor::new(models, system, MonitorConfig::default());
+    let _ = run_windows(&mut monitor, 0..3);
+
+    // Snapshot A: committed, and its canonical bytes pinned from a twin
+    // directory (the main dir will accumulate staged debris below).
+    let dir = temp_store("midsave");
+    let store = ModelStore::open(&dir).unwrap();
+    save_monitor(&store, &monitor);
+    let manifest_a = fs::read(dir.join("MANIFEST")).unwrap();
+    let pristine_a = temp_store("midsave-pristine");
+    save_monitor(&ModelStore::open(&pristine_a).unwrap(), &monitor);
+    let bytes_a = snapshot_bytes(&pristine_a);
+
+    // Snapshot B = the same monitor a few windows later. Content-addressed
+    // file names are directory-independent, so saving B into a sibling
+    // directory yields byte-for-byte the files a save of B would stage in
+    // `dir` before its manifest rename.
+    let _ = run_windows(&mut monitor, 3..7);
+    let side = temp_store("midsave-side");
+    save_monitor(&ModelStore::open(&side).unwrap(), &monitor);
+    let staged: Vec<(String, Vec<u8>)> = snapshot_bytes(&side)
+        .into_iter()
+        .filter(|(name, _)| name != "MANIFEST")
+        .collect();
+    assert!(
+        staged.iter().any(|(name, _)| !dir.join(name).exists()),
+        "fixture must stage at least one genuinely new artifact file"
+    );
+
+    // Kill after every prefix of the staging sequence: k files landed,
+    // manifest rename never reached.
+    for k in 0..=staged.len() {
+        for (name, bytes) in &staged[..k] {
+            fs::write(dir.join(name), bytes).unwrap();
+        }
+        assert_eq!(
+            fs::read(dir.join("MANIFEST")).unwrap(),
+            manifest_a,
+            "staging must never touch the committed manifest (k={k})"
+        );
+        let loaded = ModelStore::open(&dir).unwrap().load().unwrap_or_else(|e| {
+            panic!("previous snapshot must stay loadable after mid-save kill (k={k}): {e}")
+        });
+        // ...and not just loadable: byte-identically snapshot A.
+        let resave = temp_store("midsave-resave");
+        save_monitor(
+            &ModelStore::open(&resave).unwrap(),
+            &loaded.into_monitor().unwrap(),
+        );
+        assert_eq!(
+            snapshot_bytes(&resave),
+            bytes_a,
+            "loaded snapshot drifted from A after mid-save kill (k={k})"
+        );
+        fs::remove_dir_all(&resave).unwrap();
+    }
+
+    // Recovery: retrying the interrupted save commits B and sweeps A's
+    // superseded files — the directory converges to a clean save of B.
+    save_monitor(&store, &monitor);
+    assert_eq!(snapshot_bytes(&dir), snapshot_bytes(&side));
+
+    for d in [dir, pristine_a, side] {
+        fs::remove_dir_all(&d).unwrap();
+    }
+}
+
 /// A previous-format (v1, no per-artifact hashes) snapshot loads, reports
 /// its version, and migrates losslessly: the migrated v2 snapshot drives
 /// the exact same deviation stream the original models would.
@@ -348,7 +444,7 @@ fn checkpoint_skips_unchanged_devices() {
     store.load().unwrap();
 
     // Corrupt device A's periodic artifact behind the store's back.
-    let victim = dir.join(format!("periodic@{DEV}.tsv"));
+    let victim = find_artifact_file(&dir, &format!("periodic@{DEV}-"));
     let mut bytes = fs::read(&victim).unwrap();
     bytes.push(b'x');
     fs::write(&victim, &bytes).unwrap();
