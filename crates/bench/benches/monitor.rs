@@ -1,0 +1,456 @@
+//! Monitor serving-path benchmarks: pre-rewrite String pipeline vs. the
+//! symbol-native zero-alloc window path. `scripts/bench_monitor.sh` runs
+//! this bench with `CRITERION_JSON` set to produce `BENCH_monitor.json`.
+//!
+//! * `monitor_window`: a multi-window serving stream (heartbeats + routine
+//!   user traces, with one misactivation window and one late-heartbeat
+//!   window so every deviation metric fires) through a fully warmed
+//!   monitor. The `baseline` entry runs the [`baseline`] module — a
+//!   faithful vendored copy of `Monitor::process_window` as it stood
+//!   before the rewrite, driving the live deprecated String APIs
+//!   (`infer_events` + `traces_from_events` + `long_term_deviations`, one
+//!   String per event, two Viterbi passes per trace) — and the `fast`
+//!   entry runs the live [`behaviot::Monitor`].
+//!
+//! * `sweep_monitor_window/tN`: the same stream served by 8 independent
+//!   monitor shards (multi-tenant serving), fanned out at each thread
+//!   count of [`behaviot_par::sweep_thread_counts`].
+//!
+//! The acceptance bar (enforced by the script) is `fast` ≥ 1.5× on
+//! `monitor_window`. Before timing anything, both implementations process
+//! the full stream from a cold start and their deviation streams are
+//! asserted **byte-identical** (`{:#?}` of every window's output) — the
+//! timings are only comparable because the outputs are indistinguishable.
+
+use behaviot::deviation::long_term_threshold;
+use behaviot::periodic::GroupKey;
+use behaviot::{
+    BehavIoT, Deviation, DeviationKind, Monitor, MonitorConfig, SystemModel, SystemModelConfig,
+    TrainConfig, TrainingData,
+};
+use behaviot_flows::{FlowRecord, N_FEATURES};
+use behaviot_intern::{FxHashMap, FxHashSet, Symbol};
+use behaviot_par::{par_map, sweep_thread_counts, Parallelism};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::net::Ipv4Addr;
+use std::sync::Mutex;
+
+/// The monitor serving path exactly as it was before the symbol-native
+/// rewrite, vendored so the speedup is measured against the real
+/// predecessor rather than a straw man. The window body is copied
+/// verbatim; it drives the deprecated String APIs — whose bodies are the
+/// original implementations — so every per-window allocation (event
+/// `Vec`s, one `String` per user event, the per-window `known_devices`
+/// set, two Viterbi passes per trace, String-labeled long-term rows) is
+/// faithfully reproduced.
+#[allow(deprecated)]
+mod baseline {
+    use super::*;
+    use behaviot::deviation::{long_term_deviations, periodic_metric_multi};
+    use behaviot::system::traces_from_events;
+
+    pub struct BaselineMonitor {
+        models: BehavIoT,
+        system: SystemModel,
+        cfg: MonitorConfig,
+        last_seen: FxHashMap<GroupKey, f64>,
+        absence_flagged: FxHashSet<Ipv4Addr>,
+        long_flagged: FxHashSet<(Symbol, Symbol)>,
+    }
+
+    impl BaselineMonitor {
+        pub fn new(models: BehavIoT, system: SystemModel, cfg: MonitorConfig) -> Self {
+            Self {
+                models,
+                system,
+                cfg,
+                last_seen: FxHashMap::default(),
+                absence_flagged: FxHashSet::default(),
+                long_flagged: FxHashSet::default(),
+            }
+        }
+
+        fn device_label(&self, ip: Ipv4Addr) -> String {
+            self.models
+                .names
+                .get(&ip)
+                .cloned()
+                .unwrap_or_else(|| ip.to_string())
+        }
+
+        pub fn process_window(
+            &mut self,
+            flows: &[FlowRecord],
+            window_start: f64,
+            window_end: f64,
+        ) -> Vec<Deviation> {
+            let events = self.models.infer_events(flows);
+            let mut out = Vec::new();
+
+            let mut worst_gap: FxHashMap<Ipv4Addr, (f64, f64, Symbol)> = FxHashMap::default();
+            let mut worst_absent: FxHashMap<Ipv4Addr, (f64, Symbol)> = FxHashMap::default();
+            for e in &events {
+                let key: GroupKey = (e.device, e.destination, e.proto);
+                let Some(model) = self.models.periodic.get(&key) else {
+                    continue;
+                };
+                self.absence_flagged.remove(&e.device);
+                if let Some(prev) = self.last_seen.insert(key, e.ts) {
+                    let gap = e.ts - prev;
+                    let score = periodic_metric_multi(
+                        gap,
+                        &model.periods,
+                        self.models.periodic.config().max_missed,
+                    );
+                    if score > self.cfg.periodic_threshold {
+                        let entry = worst_gap
+                            .entry(e.device)
+                            .or_insert((0.0, e.ts, e.destination));
+                        if score > entry.0 {
+                            *entry = (score, e.ts, e.destination);
+                        }
+                    }
+                }
+            }
+            for model in self.models.periodic.iter() {
+                let key: GroupKey = (model.device, model.destination, model.proto);
+                let Some(&last) = self.last_seen.get(&key) else {
+                    continue;
+                };
+                let elapsed = window_end - last;
+                let score = periodic_metric_multi(
+                    elapsed,
+                    &model.periods,
+                    self.models.periodic.config().max_missed,
+                );
+                if elapsed > model.period()
+                    && score > self.cfg.periodic_threshold
+                    && !self.absence_flagged.contains(&model.device)
+                {
+                    let entry = worst_absent
+                        .entry(model.device)
+                        .or_insert((0.0, model.destination));
+                    if score > entry.0 {
+                        *entry = (score, model.destination);
+                    }
+                }
+            }
+            for device in worst_absent.keys() {
+                self.absence_flagged.insert(*device);
+            }
+            for (device, (score, ts, dest)) in worst_gap {
+                out.push(Deviation {
+                    ts,
+                    kind: DeviationKind::PeriodicTiming,
+                    score,
+                    threshold: self.cfg.periodic_threshold,
+                    subject: self.device_label(device),
+                    detail: format!("periodic traffic to {dest} arrived off schedule"),
+                });
+            }
+            let devices_with_models: std::collections::HashSet<Ipv4Addr> =
+                self.models.periodic.iter().map(|m| m.device).collect();
+            if worst_absent.len() >= 5 && worst_absent.len() * 10 >= devices_with_models.len() * 8 {
+                let worst = worst_absent
+                    .values()
+                    .map(|(s, _)| *s)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                out.push(Deviation {
+                    ts: window_end,
+                    kind: DeviationKind::PeriodicTiming,
+                    score: worst,
+                    threshold: self.cfg.periodic_threshold,
+                    subject: format!("{} devices", worst_absent.len()),
+                    detail: "periodic traffic overdue across the testbed (network outage)"
+                        .to_string(),
+                });
+            } else {
+                for (device, (score, dest)) in worst_absent {
+                    out.push(Deviation {
+                        ts: window_end,
+                        kind: DeviationKind::PeriodicTiming,
+                        score,
+                        threshold: self.cfg.periodic_threshold,
+                        subject: self.device_label(device),
+                        detail: format!("periodic traffic to {dest} is overdue (possible outage)"),
+                    });
+                }
+            }
+
+            let known = self.system.known_devices();
+            let traces: Vec<Vec<String>> =
+                traces_from_events(&events, &self.models.names, self.cfg.trace_gap)
+                    .into_iter()
+                    .map(|t| {
+                        t.into_iter()
+                            .filter(|label| {
+                                label.split(':').next().is_some_and(|d| known.contains(d))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .filter(|t: &Vec<String>| !t.is_empty())
+                    .collect();
+            let st_threshold = self.system.short_term_threshold(self.cfg.short_sigma);
+            for t in &traces {
+                let score = self.system.short_term_metric(t);
+                if score > st_threshold {
+                    out.push(Deviation {
+                        ts: window_start,
+                        kind: DeviationKind::ShortTerm,
+                        score,
+                        threshold: st_threshold,
+                        subject: t.join(" -> "),
+                        detail: "user-event trace is improbable under the system model".to_string(),
+                    });
+                }
+            }
+
+            let crit = long_term_threshold(self.cfg.long_confidence);
+            let mut still_deviating: FxHashSet<(Symbol, Symbol)> = FxHashSet::default();
+            for r in long_term_deviations(&self.system, &traces) {
+                if r.n < self.cfg.long_min_n {
+                    continue;
+                }
+                let count_diff = (r.observed_p - r.model_p).abs() * r.n as f64;
+                if r.z > crit && count_diff >= self.cfg.long_min_count_diff {
+                    let key = (Symbol::intern(&r.from), Symbol::intern(&r.to));
+                    still_deviating.insert(key);
+                    if self.long_flagged.contains(&key) {
+                        continue;
+                    }
+                    out.push(Deviation {
+                        ts: window_start,
+                        kind: DeviationKind::LongTerm,
+                        score: r.z,
+                        threshold: crit,
+                        subject: format!("{} -> {}", r.from, r.to),
+                        detail: format!(
+                            "transition frequency {:.2} deviates from modeled {:.2} over {} departures",
+                            r.observed_p, r.model_p, r.n
+                        ),
+                    });
+                }
+            }
+            self.long_flagged = still_deviating;
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload: a small smart-home testbed with per-device heartbeats and a
+// routine of multi-device user traces, deterministic end to end.
+
+const N_DEV: usize = 6;
+const N_WINDOWS: usize = 6;
+const WINDOW_SECS: f64 = 3600.0;
+/// Routine trace shapes over device indices (all trained into the PFSM).
+const PATTERNS: &[&[usize]] = &[&[0, 1], &[1, 2, 3], &[2, 0], &[3, 4, 5, 0], &[4, 5], &[5, 3]];
+
+fn dev_ip(d: usize) -> Ipv4Addr {
+    Ipv4Addr::new(192, 168, 1, 10 + d as u8)
+}
+
+fn flow(d: usize, dest: &str, start: f64, size: f64) -> FlowRecord {
+    let mut features = [0.0; N_FEATURES];
+    features[0] = size;
+    features[1] = size;
+    features[2] = size;
+    features[11] = 2.0;
+    FlowRecord {
+        device: dev_ip(d),
+        remote: Ipv4Addr::new(52, 0, 0, 1),
+        device_port: 30000,
+        remote_port: 443,
+        proto: behaviot_net::Proto::Tcp,
+        domain: Some(Symbol::intern(dest)),
+        start,
+        end: start + 0.1,
+        n_packets: 4,
+        total_bytes: size as u64 * 4,
+        features,
+    }
+}
+
+fn hb_dest(d: usize) -> String {
+    format!("hb{d}.cloud.com")
+}
+
+fn trained() -> (BehavIoT, SystemModel) {
+    // Idle: one heartbeat group per device, period 100 s.
+    let mut idle = Vec::new();
+    for d in 0..N_DEV {
+        for i in 0..600 {
+            idle.push(flow(d, &hb_dest(d), i as f64 * 100.0, 120.0));
+        }
+    }
+    // Activity: per device, "on_off" events at size 800 (clear positives).
+    let mut activity: Vec<(FlowRecord, Option<&str>)> = Vec::new();
+    let mut act_flows = Vec::new();
+    for d in 0..N_DEV {
+        for i in 0..60 {
+            act_flows.push(flow(d, "ctl.cloud.com", i as f64 * 75.0, 800.0));
+        }
+    }
+    for f in &act_flows {
+        activity.push((f.clone(), Some("on_off")));
+    }
+    let names: std::collections::HashMap<Ipv4Addr, String> =
+        (0..N_DEV).map(|d| (dev_ip(d), format!("dev{d}"))).collect();
+    let data = TrainingData::from_flows(idle, activity.iter().map(|(f, l)| (f, *l)), names);
+    // Small forests keep total bench runtime inside CI budgets; flow
+    // classification cost is identical on both sides of the comparison.
+    let mut cfg = TrainConfig {
+        parallelism: Parallelism::Off,
+        ..Default::default()
+    };
+    cfg.user.forest.n_trees = 12;
+    let models = BehavIoT::train(&data, &cfg);
+
+    // System model: the routine patterns, repeated.
+    let mut traces: Vec<Vec<String>> = Vec::new();
+    for _ in 0..30 {
+        for pat in PATTERNS {
+            traces.push(pat.iter().map(|&d| format!("dev{d}:on_off")).collect());
+        }
+    }
+    let system = SystemModel::from_traces(&traces, &SystemModelConfig::default());
+    (models, system)
+}
+
+/// The serving stream: `N_WINDOWS` hour-long windows. Every window carries
+/// heartbeats and a routine of user traces; window 3 adds misactivation
+/// bursts (unseen repeated pairs → short/long-term deviations) and window 4
+/// delays one heartbeat by 8 periods (→ off-schedule periodic deviation).
+fn windows() -> Vec<(Vec<FlowRecord>, f64, f64)> {
+    let mut out = Vec::new();
+    for w in 0..N_WINDOWS {
+        let t0 = w as f64 * WINDOW_SECS;
+        let mut flows = Vec::new();
+        for d in 0..N_DEV {
+            for i in 0..36 {
+                let ts = t0 + i as f64 * 100.0;
+                if w == 4 && d == 2 && (18..26).contains(&i) {
+                    continue; // 8 skipped beats: the resume arrives 9 periods late
+                }
+                flows.push(flow(d, &hb_dest(d), ts, 120.0));
+            }
+        }
+        // Routine user traces: each pattern three times per window, events
+        // 5 s apart within a trace, traces 120 s apart.
+        let mut t = t0 + 30.0;
+        for rep in 0..3 {
+            for pat in PATTERNS {
+                for (j, &d) in pat.iter().enumerate() {
+                    flows.push(flow(d, "ctl.cloud.com", t + j as f64 * 5.0, 800.0));
+                }
+                t += 120.0;
+            }
+            let _ = rep;
+        }
+        if w == 3 {
+            // Misactivation: dev0 firing in unseen triples, many times.
+            for k in 0..20 {
+                let base = t + k as f64 * 120.0;
+                for j in 0..3 {
+                    flows.push(flow(0, "ctl.cloud.com", base + j as f64 * 5.0, 800.0));
+                }
+            }
+        }
+        flows.sort_by(|a, b| a.start.total_cmp(&b.start));
+        out.push((flows, t0, t0 + WINDOW_SECS));
+    }
+    out
+}
+
+fn bench_monitor(c: &mut Criterion) {
+    let (models, system) = trained();
+    let cfg = MonitorConfig::default();
+    let stream = windows();
+    let total_flows: u64 = stream.iter().map(|(f, _, _)| f.len() as u64).sum();
+
+    // Agreement gate: from a cold start, the two implementations must emit
+    // byte-identical deviation streams over the full workload — and the
+    // workload must actually exercise every metric.
+    let mut base = baseline::BaselineMonitor::new(models.clone(), system.clone(), cfg.clone());
+    let mut fast = Monitor::new(models.clone(), system.clone(), cfg.clone());
+    let mut base_stream: Vec<Vec<Deviation>> = Vec::new();
+    let mut fast_stream: Vec<Vec<Deviation>> = Vec::new();
+    for (flows, s, e) in &stream {
+        base_stream.push(base.process_window(flows, *s, *e));
+        fast_stream.push(fast.process_window(flows, *s, *e));
+    }
+    assert_eq!(
+        format!("{base_stream:#?}"),
+        format!("{fast_stream:#?}"),
+        "deviation streams diverged between baseline and fast monitors"
+    );
+    let kinds: std::collections::HashSet<&str> = fast_stream
+        .iter()
+        .flatten()
+        .map(|d| d.kind.label())
+        .collect();
+    for need in ["periodic", "short-term", "long-term"] {
+        assert!(
+            kinds.contains(need),
+            "bench workload must raise a {need} deviation (got {kinds:?})"
+        );
+    }
+
+    // Timed region: replay the same stream through warmed monitors. The
+    // replays are identical work iteration over iteration (timers overwrite
+    // the same keys, the same deviations re-emit), so both entries measure
+    // the steady-state serving cost of the full window pipeline.
+    let mut g = c.benchmark_group("monitor_window");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(total_flows));
+    g.bench_function("baseline", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for (flows, s, e) in &stream {
+                n += base.process_window(black_box(flows), *s, *e).len();
+            }
+            n
+        })
+    });
+    g.bench_function("fast", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for (flows, s, e) in &stream {
+                n += fast.process_window(black_box(flows), *s, *e).len();
+            }
+            n
+        })
+    });
+    g.finish();
+
+    // Thread sweep: 8 independent monitor shards (multi-tenant serving),
+    // each replaying the stream, fanned out with the pipeline executor.
+    let shards: Vec<Mutex<Monitor>> = (0..8)
+        .map(|_| Mutex::new(Monitor::new(models.clone(), system.clone(), cfg.clone())))
+        .collect();
+    let idxs: Vec<usize> = (0..shards.len()).collect();
+    let serve = |par: Parallelism| {
+        par_map(par, &idxs, |&i| {
+            let mut m = shards[i].lock().unwrap();
+            let mut n = 0usize;
+            for (flows, s, e) in &stream {
+                n += m.process_window(flows, *s, *e).len();
+            }
+            n
+        })
+    };
+    serve(Parallelism::Off); // warm every shard's scratch
+    let mut g = c.benchmark_group("sweep_monitor_window");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(total_flows * shards.len() as u64));
+    for &n in &sweep_thread_counts() {
+        g.bench_function(format!("t{n}"), |b| {
+            b.iter(|| serve(Parallelism::Fixed(n)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_monitor);
+criterion_main!(benches);

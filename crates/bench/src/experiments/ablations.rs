@@ -6,7 +6,8 @@
 use crate::prep::{time_folds, Prepared};
 use crate::report::{pct, table};
 use behaviot::periodic::{PeriodicClassifier, PeriodicModelSet, PeriodicTrainConfig};
-use behaviot::system::{traces_from_events, SystemModel, SystemModelConfig};
+use behaviot::system::{traces_from_events_syms, SystemModel, SystemModelConfig};
+use behaviot_intern::Symbol;
 use behaviot_flows::{assemble_flows, FlowConfig};
 use behaviot_pfsm::{PfsmConfig, SeqGraph, TraceLog};
 use behaviot_sim::{self as sim, TruthLabel};
@@ -80,7 +81,7 @@ fn smoothing(p: &Prepared) -> String {
     let mut total = 0usize;
     for t in test {
         let mut t2 = t.clone();
-        t2.insert(t2.len() / 2, "ghost-device:event".to_string());
+        t2.insert(t2.len() / 2, Symbol::intern("ghost-device:event"));
         total += 1;
         if smoothed.short_term_metric(&t2) < 200.0 {
             finite += 1;
@@ -174,8 +175,8 @@ fn trace_gap(p: &Prepared) -> String {
     )
 }
 
-fn routine_traces(p: &Prepared, gap: f64) -> Vec<Vec<String>> {
+fn routine_traces(p: &Prepared, gap: f64) -> Vec<Vec<Symbol>> {
     let flows: Vec<_> = p.routine.iter().map(|l| l.flow.clone()).collect();
     let events = p.models.infer_events(&flows);
-    traces_from_events(&events, &p.names, gap)
+    traces_from_events_syms(&events, &p.names, gap)
 }

@@ -3,13 +3,14 @@
 
 use crate::prep::Prepared;
 use crate::report::table;
-use behaviot::system::traces_from_events;
+use behaviot::system::traces_from_events_syms;
+use behaviot_intern::Symbol;
 use behaviot_pfsm::{Pfsm, PfsmConfig, SeqGraph, TraceLog};
 
-fn routine_traces(p: &Prepared) -> Vec<Vec<String>> {
+fn routine_traces(p: &Prepared) -> Vec<Vec<Symbol>> {
     let flows: Vec<_> = p.routine.iter().map(|l| l.flow.clone()).collect();
     let events = p.models.infer_events(&flows);
-    traces_from_events(&events, &p.names, 60.0)
+    traces_from_events_syms(&events, &p.names, 60.0)
 }
 
 /// Regenerate Figure 3 as a table of model sizes vs device count.
@@ -27,15 +28,19 @@ pub fn fig3(p: &Prepared) -> String {
         let allowed: Vec<&str> = routine_order[..k].iter().map(String::as_str).collect();
         // Keep only events of the first k devices; drop traces that end up
         // empty.
-        let filtered: Vec<Vec<String>> = traces
+        let filtered: Vec<Vec<Symbol>> = traces
             .iter()
             .map(|t| {
                 t.iter()
-                    .filter(|label| allowed.iter().any(|d| label.starts_with(&format!("{d}:"))))
-                    .cloned()
+                    .filter(|label| {
+                        allowed
+                            .iter()
+                            .any(|d| label.as_str().starts_with(&format!("{d}:")))
+                    })
+                    .copied()
                     .collect::<Vec<_>>()
             })
-            .filter(|t: &Vec<String>| !t.is_empty())
+            .filter(|t: &Vec<Symbol>| !t.is_empty())
             .collect();
         let mut log = TraceLog::new();
         for t in &filtered {
@@ -96,7 +101,7 @@ pub fn exp_pfsm_props(p: &Prepared) -> String {
         .iter()
         .filter(|t| pfsm.accepts(&log.resolve(t)))
         .count();
-    let unseen: Vec<&Vec<String>> = held.iter().filter(|t| !train.contains(t)).collect();
+    let unseen: Vec<&Vec<Symbol>> = held.iter().filter(|t| !train.contains(t)).collect();
     let accepted_unseen = unseen
         .iter()
         .filter(|t| pfsm.accepts(&log.resolve(t)))

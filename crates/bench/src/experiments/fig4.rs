@@ -3,10 +3,11 @@
 
 use crate::prep::{time_folds, Prepared};
 use crate::report::cdf_series;
-use behaviot::deviation::{long_term_deviations, PERIODIC_THRESHOLD};
+use behaviot::deviation::{long_term_deviations_syms, PERIODIC_THRESHOLD};
 use behaviot::periodic::{PeriodicModelSet, PeriodicTrainConfig};
-use behaviot::system::{traces_from_events, SystemModel, SystemModelConfig};
+use behaviot::system::{traces_from_events_syms, SystemModel, SystemModelConfig};
 use behaviot_dsp::Ecdf;
+use behaviot_intern::Symbol;
 use behaviot_sim::LabeledFlow;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -87,10 +88,10 @@ pub fn fig4a(p: &Prepared) -> String {
     out
 }
 
-fn routine_traces(p: &Prepared) -> Vec<Vec<String>> {
+fn routine_traces(p: &Prepared) -> Vec<Vec<Symbol>> {
     let flows: Vec<_> = p.routine.iter().map(|l| l.flow.clone()).collect();
     let events = p.models.infer_events(&flows);
-    traces_from_events(&events, &p.names, 60.0)
+    traces_from_events_syms(&events, &p.names, 60.0)
 }
 
 /// Figure 4b: short-term metric CDFs with 1..5 injected unseen-transition
@@ -104,7 +105,7 @@ pub fn fig4b(p: &Prepared) -> String {
     let mut rng = StdRng::seed_from_u64(0x000F_164B);
 
     for i in 0..folds.len() {
-        let train: Vec<Vec<String>> = folds
+        let train: Vec<Vec<Symbol>> = folds
             .iter()
             .enumerate()
             .filter(|(j, _)| *j != i)
@@ -114,9 +115,10 @@ pub fn fig4b(p: &Prepared) -> String {
             continue;
         }
         let model = SystemModel::from_traces(&train, &SystemModelConfig::default());
-        // Vocabulary of labels for injection.
-        let vocab: Vec<String> = {
-            let mut v: Vec<String> = train.iter().flatten().cloned().collect();
+        // Vocabulary of labels for injection (symbols sort by their
+        // resolved strings, so the order matches the old String vocab).
+        let vocab: Vec<Symbol> = {
+            let mut v: Vec<Symbol> = train.iter().flatten().copied().collect();
             v.sort();
             v.dedup();
             v
@@ -127,7 +129,7 @@ pub fn fig4b(p: &Prepared) -> String {
             for t in &folds[i] {
                 let mut t2 = t.clone();
                 for _ in 0..k {
-                    let ev = vocab[rng.gen_range(0..vocab.len())].clone();
+                    let ev = vocab[rng.gen_range(0..vocab.len())];
                     let pos = rng.gen_range(0..=t2.len());
                     t2.insert(pos, ev);
                 }
@@ -172,7 +174,7 @@ pub fn fig4c(p: &Prepared) -> String {
 
     let clamp = |z: f64| if z.is_finite() { z } else { 50.0 };
     for i in 0..folds.len() {
-        let train: Vec<Vec<String>> = folds
+        let train: Vec<Vec<Symbol>> = folds
             .iter()
             .enumerate()
             .filter(|(j, _)| *j != i)
@@ -183,7 +185,7 @@ pub fn fig4c(p: &Prepared) -> String {
         }
         let model = SystemModel::from_traces(&train, &SystemModelConfig::default());
         baseline.extend(
-            long_term_deviations(&model, &folds[i])
+            long_term_deviations_syms(&model, &folds[i])
                 .iter()
                 .map(|r| clamp(r.z)),
         );
@@ -199,7 +201,7 @@ pub fn fig4c(p: &Prepared) -> String {
                 }
             }
             duplicated[k - 1].extend(
-                long_term_deviations(&model, &window)
+                long_term_deviations_syms(&model, &window)
                     .iter()
                     .map(|r| clamp(r.z)),
             );

@@ -2,13 +2,14 @@
 //! and device misactivations — all must be detected as significant.
 
 use crate::prep::Prepared;
-use behaviot::deviation::{long_term_deviations, long_term_threshold};
-use behaviot::system::{traces_from_events, SystemModel, SystemModelConfig};
+use behaviot::deviation::{long_term_deviations_syms, long_term_threshold};
+use behaviot::system::{traces_from_events_syms, SystemModel, SystemModelConfig};
+use behaviot_intern::Symbol;
 
-fn routine_traces(p: &Prepared) -> Vec<Vec<String>> {
+fn routine_traces(p: &Prepared) -> Vec<Vec<Symbol>> {
     let flows: Vec<_> = p.routine.iter().map(|l| l.flow.clone()).collect();
     let events = p.models.infer_events(&flows);
-    traces_from_events(&events, &p.names, 60.0)
+    traces_from_events_syms(&events, &p.names, 60.0)
 }
 
 /// Run the three synthetic deviation cases against the routine-trained
@@ -25,20 +26,22 @@ pub fn exp_testcases(p: &Prepared) -> String {
     // --- Case 1: new event sequence (§5.3 "deviations due to new event
     // sequences"): kettle + voice after lights-off + garage open, a
     // combination never triggered after leaving home.
-    let novel: Vec<String> = vec![
-        "Echo Spot:voice".into(),
-        "TPLink Bulb:on_off".into(),
-        "Gosund Bulb:on_off".into(),
-        "Meross Dooropener:open_close".into(),
-        "Smarter iKettle:boil".into(),
-        "Echo Spot:voice".into(),
-        "Smarter iKettle:on_off".into(),
-        "Echo Spot:volume".into(),
-    ];
+    let novel: Vec<Symbol> = [
+        "Echo Spot:voice",
+        "TPLink Bulb:on_off",
+        "Gosund Bulb:on_off",
+        "Meross Dooropener:open_close",
+        "Smarter iKettle:boil",
+        "Echo Spot:voice",
+        "Smarter iKettle:on_off",
+        "Echo Spot:volume",
+    ]
+    .map(Symbol::intern)
+    .to_vec();
     let score = model.short_term_metric(&novel);
     let mut window = test.to_vec();
     window.push(novel.clone());
-    let lt_hit = long_term_deviations(&model, &window)
+    let lt_hit = long_term_deviations_syms(&model, &window)
         .iter()
         .any(|r| r.z > lt_threshold);
     rows.push((
@@ -51,24 +54,25 @@ pub fn exp_testcases(p: &Prepared) -> String {
 
     // --- Case 2: event loss — Gosund Bulb offline, its events dropped
     // from every trace (the R8 automation partner of Ring Camera).
-    let lossy: Vec<Vec<String>> = test
+    let lossy: Vec<Vec<Symbol>> = test
         .iter()
         .map(|t| {
             t.iter()
-                .filter(|l| !l.starts_with("Gosund Bulb:"))
-                .cloned()
+                .filter(|l| !l.as_str().starts_with("Gosund Bulb:"))
+                .copied()
                 .collect()
         })
-        .filter(|t: &Vec<String>| !t.is_empty())
+        .filter(|t: &Vec<Symbol>| !t.is_empty())
         .collect();
     let affected = test
         .iter()
-        .filter(|t| t.iter().any(|l| l.starts_with("Gosund Bulb:")))
+        .filter(|t| t.iter().any(|l| l.as_str().starts_with("Gosund Bulb:")))
         .count();
-    let lt = long_term_deviations(&model, &lossy);
+    let lt = long_term_deviations_syms(&model, &lossy);
     let loss_hit = lt.iter().any(|r| {
         r.z > lt_threshold
-            && (r.from.starts_with("Ring Camera:") || r.to.starts_with("Gosund Bulb:"))
+            && (r.from.as_str().starts_with("Ring Camera:")
+                || r.to.as_str().starts_with("Gosund Bulb:"))
     });
     let any_hit = lt.iter().any(|r| r.z > lt_threshold);
     rows.push((
@@ -82,14 +86,15 @@ pub fn exp_testcases(p: &Prepared) -> String {
 
     // --- Case 3: misactivation — Echo Spot activating nine times in a
     // row (§5.3 cites smart-speaker misactivation).
-    let misact: Vec<String> = vec!["Echo Spot:voice".into(); 9];
+    let misact: Vec<Symbol> = vec![Symbol::intern("Echo Spot:voice"); 9];
     let score3 = model.short_term_metric(&misact);
     let mut window3 = test.to_vec();
     for _ in 0..5 {
         window3.push(misact.clone());
     }
-    let lt3_hit = long_term_deviations(&model, &window3).iter().any(|r| {
-        r.z > lt_threshold && (r.from.contains("Echo Spot") || r.to.contains("Echo Spot"))
+    let lt3_hit = long_term_deviations_syms(&model, &window3).iter().any(|r| {
+        r.z > lt_threshold
+            && (r.from.as_str().contains("Echo Spot") || r.to.as_str().contains("Echo Spot"))
     });
     rows.push((
         "device misactivation (9x Echo Spot)",

@@ -6,12 +6,13 @@
 //! (`ingest.*`), batch and streaming flow assembly (`flows.*`), periodic
 //! training with period detection (`periodic.*`, `dsp.*`), forest training
 //! and prediction (`forest.*`), event inference (`events.*`), and PFSM
-//! refinement (`system.*`, `pfsm.*`). Every number in the returned summary
+//! refinement (`system.*`, `pfsm.*`), and one monitor window over the live
+//! serving path (`monitor.*`). Every number in the returned summary
 //! is policy-invariant, so the summary — like the deterministic metrics
 //! snapshot — is byte-identical under every [`Parallelism`] setting.
 
 use crate::prep::{Prepared, Scale};
-use behaviot::{SystemModel, SystemModelConfig};
+use behaviot::{Monitor, MonitorConfig, SystemModel, SystemModelConfig};
 use behaviot_flows::ingest::{ingest_pcap_bytes, IngestOptions};
 use behaviot_flows::{assemble_flows, FlowConfig, StreamingAssembler};
 use behaviot_par::Parallelism;
@@ -70,8 +71,22 @@ pub fn run_smoke(par: Parallelism) -> String {
     routine_report.emit_metrics();
     let system = SystemModel::build(&routine_events, &prepared.names, &SystemModelConfig::default());
 
+    // 6. One monitor window over the routine flows — the symbol-native
+    // serving path (monitor.window span, monitor.traces / monitor.deviations
+    // counters). Routine flows carry user events, so traces actually form.
+    // The window path is serial by contract, so the deviation count is
+    // policy-invariant like everything else here.
+    let mut monitor = Monitor::new(
+        prepared.models.clone(),
+        system.clone(),
+        MonitorConfig::default(),
+    );
+    let w_start = routine_flows.iter().map(|f| f.start).fold(f64::MAX, f64::min);
+    let w_end = routine_flows.iter().map(|f| f.end).fold(f64::MIN, f64::max);
+    let deviations = monitor.process_window(&routine_flows, w_start, w_end);
+
     format!(
-        "obs smoke: {} packets -> {} flows ({} streamed), {} events, {} routine events, pfsm {} states / {} transitions",
+        "obs smoke: {} packets -> {} flows ({} streamed), {} events, {} routine events, pfsm {} states / {} transitions, {} monitor deviations",
         ingested.packets.len(),
         flows.len(),
         streamed.len(),
@@ -79,5 +94,6 @@ pub fn run_smoke(par: Parallelism) -> String {
         routine_events.len(),
         system.pfsm.n_states(),
         system.pfsm.n_transitions(),
+        deviations.len(),
     )
 }

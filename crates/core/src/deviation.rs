@@ -3,6 +3,7 @@
 
 use crate::system::SystemModel;
 use behaviot_dsp::stats;
+use behaviot_intern::{FxHashMap, FxHashSet, Symbol};
 use behaviot_pfsm::model::{StateId, FINAL, INITIAL};
 use std::collections::HashMap;
 
@@ -42,6 +43,9 @@ pub fn periodic_metric_multi(elapsed: f64, periods: &[f64], max_missed: u32) -> 
 /// One long-term deviation test result: an observed transition frequency
 /// checked against the model's transition probability with a one-proportion
 /// z-test (Binomial approximation).
+#[deprecated(
+    note = "allocates String labels per result; use `long_term_deviations_syms` / `LongTermDeviation`"
+)]
 #[derive(Debug, Clone)]
 pub struct LongTermResult {
     /// Source state label ("INITIAL" for the start state).
@@ -64,6 +68,11 @@ pub struct LongTermResult {
 /// each against the model (§4.3). Results cover every `(from, to)` pair
 /// that is observed in the window or predicted by the model from an
 /// observed source state.
+#[deprecated(
+    note = "allocates String labels and fresh maps per window; use `long_term_deviations_syms` \
+            or a reusable `LongTermAccumulator`"
+)]
+#[allow(deprecated)]
 pub fn long_term_deviations(model: &SystemModel, traces: &[Vec<String>]) -> Vec<LongTermResult> {
     // Count observed transitions, including INITIAL/FINAL. Unknown events
     // (no state) break the chain: transitions into/out of them are skipped
@@ -140,6 +149,159 @@ fn state_label(model: &SystemModel, s: StateId) -> String {
     }
 }
 
+/// `state_label` as an interned [`Symbol`]: no per-call allocation for
+/// INITIAL/FINAL/vocabulary states (the anonymous-state fallback renders
+/// once per state process-wide).
+fn state_label_sym(model: &SystemModel, s: StateId) -> Symbol {
+    if s == INITIAL {
+        Symbol::intern("INITIAL")
+    } else if s == FINAL {
+        Symbol::intern("FINAL")
+    } else {
+        match model.pfsm.event_of(s) {
+            Some(ev) => model.log.vocab.symbol(ev),
+            None => Symbol::intern(&format!("s{}", s.0)),
+        }
+    }
+}
+
+/// One long-term deviation test result with interned state labels — the
+/// symbol-native form of the deprecated `LongTermResult`. The label text is
+/// identical (`"INITIAL"`/`"FINAL"`/the vocabulary event name).
+#[derive(Debug, Clone, Copy)]
+pub struct LongTermDeviation {
+    /// Source state label ("INITIAL" for the start state).
+    pub from: Symbol,
+    /// Destination state label ("FINAL" for the end state).
+    pub to: Symbol,
+    /// Transition probability in the model (`p0`).
+    pub model_p: f64,
+    /// Observed transition probability in the new window (`p`).
+    pub observed_p: f64,
+    /// Number of departures from the source state in the window (`n`).
+    pub n: usize,
+    /// The metric `Z = |z|`; infinite when the model's variance is zero
+    /// (e.g. a transition the model has never seen).
+    pub z: f64,
+}
+
+/// Reusable transition-counting state for the long-term metric: a monitor
+/// evaluating the metric every window feeds Viterbi paths into one
+/// accumulator and reuses its maps and result buffer instead of building
+/// fresh ones per window.
+///
+/// The result order is identical to the deprecated `long_term_deviations`:
+/// the final sort on `(z desc, from, to)` is total ([`Symbol`] ordering is
+/// string ordering, and `(from, to)` pairs are unique), so the pre-sort map
+/// iteration order is immaterial.
+#[derive(Debug, Default)]
+pub struct LongTermAccumulator {
+    counts: FxHashMap<(StateId, StateId), usize>,
+    out_totals: FxHashMap<StateId, usize>,
+    dests: Vec<StateId>,
+    seen_dests: FxHashSet<StateId>,
+    results: Vec<LongTermDeviation>,
+}
+
+impl LongTermAccumulator {
+    /// New empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clear the counted window in place, keeping map/buffer capacity.
+    pub fn reset(&mut self) {
+        self.counts.clear();
+        self.out_totals.clear();
+        self.results.clear();
+    }
+
+    /// Count the transitions of one trace's Viterbi state path (as produced
+    /// by `Pfsm::score`/`score_into`), including the INITIAL entry and
+    /// FINAL exit. Unknown events (`None` states) break the chain:
+    /// transitions into/out of them are skipped (the short-term metric owns
+    /// new-event detection). Empty paths are ignored, matching the
+    /// empty-trace skip of the batch API.
+    pub fn observe_path(&mut self, path: &[Option<StateId>]) {
+        if path.is_empty() {
+            return;
+        }
+        let mut prev: Option<StateId> = Some(INITIAL);
+        for state in path.iter().chain(std::iter::once(&Some(FINAL))) {
+            if let (Some(a), Some(b)) = (prev, state) {
+                *self.counts.entry((a, *b)).or_insert(0) += 1;
+                *self.out_totals.entry(a).or_insert(0) += 1;
+            }
+            prev = *state;
+        }
+    }
+
+    /// Run the z-tests over the counted window: for each observed source
+    /// state, test every destination that is observed or that the model
+    /// expects. Results are sorted `(z desc, from, to)` and borrowed from
+    /// the accumulator (reused on the next [`Self::reset`]).
+    pub fn finalize(&mut self, model: &SystemModel) -> &[LongTermDeviation] {
+        self.results.clear();
+        for (&from, &n) in &self.out_totals {
+            self.dests.clear();
+            self.seen_dests.clear();
+            for &(a, b) in self.counts.keys() {
+                if a == from && self.seen_dests.insert(b) {
+                    self.dests.push(b);
+                }
+            }
+            for (f, t, _, _) in model.pfsm.transitions() {
+                if f == from && self.seen_dests.insert(t) {
+                    self.dests.push(t);
+                }
+            }
+            for &to in &self.dests {
+                let observed = self.counts.get(&(from, to)).copied().unwrap_or(0);
+                let p = observed as f64 / n as f64;
+                let p0 = model.pfsm.transition_prob(from, to);
+                let z = stats::binomial_z(p, p0, n).abs();
+                self.results.push(LongTermDeviation {
+                    from: state_label_sym(model, from),
+                    to: state_label_sym(model, to),
+                    model_p: p0,
+                    observed_p: p,
+                    n,
+                    z,
+                });
+            }
+        }
+        // Unstable sort (no merge-buffer allocation): the comparator is a
+        // total order over the unique (from, to) pairs, so the result order
+        // matches the batch API's stable sort exactly.
+        self.results.sort_unstable_by(|a, b| {
+            b.z.partial_cmp(&a.z)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (a.from, a.to).cmp(&(b.from, b.to)))
+        });
+        &self.results
+    }
+}
+
+/// Symbol-native `long_term_deviations`: identical tests, labels, and
+/// result order, with interned labels. Accepts `String` or [`Symbol`]
+/// traces. Batch convenience over [`LongTermAccumulator`]; streaming
+/// callers should hold their own accumulator (and scratch) and reuse them.
+pub fn long_term_deviations_syms<S: AsRef<str>>(
+    model: &SystemModel,
+    traces: &[Vec<S>],
+) -> Vec<LongTermDeviation> {
+    let mut acc = LongTermAccumulator::new();
+    for trace in traces {
+        if trace.is_empty() {
+            continue;
+        }
+        let resolved = model.log.resolve(trace);
+        let score = model.pfsm.score(&resolved);
+        acc.observe_path(&score.path);
+    }
+    acc.finalize(model).to_vec()
+}
+
 /// The long-term significance threshold: the two-sided critical z-value for
 /// a confidence level (95 % in the paper → 1.96).
 pub fn long_term_threshold(confidence: f64) -> f64 {
@@ -204,7 +366,7 @@ mod tests {
                 }
             })
             .collect();
-        let res = long_term_deviations(&m, &window);
+        let res = long_term_deviations_syms(&m, &window);
         let crit = long_term_threshold(0.95);
         assert!(res.iter().all(|r| r.z <= crit), "{res:#?}");
     }
@@ -215,19 +377,53 @@ mod tests {
         // Window where a->b suddenly dominates (like a misactivating
         // speaker: same states, wrong frequencies).
         let window: Vec<Vec<String>> = (0..30).map(|_| vec!["a".into(), "b".into()]).collect();
-        let res = long_term_deviations(&m, &window);
+        let res = long_term_deviations_syms(&m, &window);
         let crit = long_term_threshold(0.95);
         let flagged: Vec<_> = res.iter().filter(|r| r.z > crit).collect();
         assert!(!flagged.is_empty());
-        assert!(flagged.iter().any(|r| r.from == "a" && r.to == "b"));
+        assert!(flagged
+            .iter()
+            .any(|r| r.from.as_str() == "a" && r.to.as_str() == "b"));
     }
 
     #[test]
     fn long_term_infinite_for_novel_transition() {
         let m = simple_model();
         let window: Vec<Vec<String>> = (0..10).map(|_| vec!["b".into(), "a".into()]).collect();
-        let res = long_term_deviations(&m, &window);
+        let res = long_term_deviations_syms(&m, &window);
         assert!(res.iter().any(|r| r.z.is_infinite()));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn syms_results_match_deprecated_string_results() {
+        let m = simple_model();
+        // A window mixing matching, shifted, and novel transitions — plus
+        // an unknown event and an empty trace.
+        let mut window: Vec<Vec<String>> = (0..30)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec!["a".into(), "b".into()]
+                } else {
+                    vec!["a".into(), "c".into()]
+                }
+            })
+            .collect();
+        window.push(vec!["b".into(), "a".into()]);
+        window.push(vec!["a".into(), "ghost".into(), "b".into()]);
+        window.push(vec![]);
+        #[allow(deprecated)]
+        let old = long_term_deviations(&m, &window);
+        let new = long_term_deviations_syms(&m, &window);
+        assert_eq!(old.len(), new.len());
+        for (o, n) in old.iter().zip(&new) {
+            assert_eq!(o.from, n.from.as_str());
+            assert_eq!(o.to, n.to.as_str());
+            assert_eq!(o.n, n.n);
+            assert_eq!(o.model_p.to_bits(), n.model_p.to_bits());
+            assert_eq!(o.observed_p.to_bits(), n.observed_p.to_bits());
+            assert_eq!(o.z.to_bits(), n.z.to_bits());
+        }
     }
 
     #[test]
@@ -239,6 +435,6 @@ mod tests {
     #[test]
     fn empty_window() {
         let m = simple_model();
-        assert!(long_term_deviations(&m, &[]).is_empty());
+        assert!(long_term_deviations_syms::<String>(&m, &[]).is_empty());
     }
 }

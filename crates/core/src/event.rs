@@ -101,6 +101,17 @@ impl InferredEvent {
             _ => None,
         }
     }
+
+    /// [`Self::pfsm_label`] as an interned [`Symbol`] — the symbol-native
+    /// trace pipeline's label form. Renders and interns on first sight of a
+    /// `(device, activity)` pair; batch callers that need to stay
+    /// allocation-free should cache the result per pair (the monitor does).
+    pub fn pfsm_label_sym(
+        &self,
+        names: &std::collections::HashMap<Ipv4Addr, String>,
+    ) -> Option<Symbol> {
+        self.pfsm_label(names).map(|l| Symbol::intern(&l))
+    }
 }
 
 #[cfg(test)]

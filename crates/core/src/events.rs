@@ -3,7 +3,9 @@
 //! (§4.1's disjoint partition of the traffic).
 
 use crate::event::{EventKind, InferredEvent};
-use crate::periodic::{PeriodicClassifier, PeriodicModelSet, PeriodicTrainConfig};
+use crate::periodic::{
+    PeriodicClassifier, PeriodicModelSet, PeriodicTimers, PeriodicTrainConfig,
+};
 use crate::user_action::{TrainingSample, UserActionModels, UserActionTrainConfig};
 use behaviot_flows::FlowRecord;
 use behaviot_intern::Symbol;
@@ -167,38 +169,8 @@ impl BehavIoT {
     ) -> (Vec<InferredEvent>, behaviot_net::IngestReport) {
         let mut span = behaviot_obs::span!("events.infer", flows = flows.len());
         let mut report = behaviot_net::IngestReport::new();
-        // Fast path: nothing to sanitize (the overwhelmingly common case).
-        let needs_clamp =
-            |f: &FlowRecord| !f.start.is_finite() || !f.end.is_finite() || f.end < f.start;
-        let sanitized: Vec<FlowRecord>;
-        let flows: &[FlowRecord] = if flows.iter().any(needs_clamp) {
-            sanitized = flows
-                .iter()
-                .enumerate()
-                .map(|(i, f)| {
-                    if !needs_clamp(f) {
-                        return f.clone();
-                    }
-                    let mut f = f.clone();
-                    if !f.start.is_finite() {
-                        f.start = 0.0;
-                    }
-                    if !f.end.is_finite() || f.end < f.start {
-                        f.end = f.start;
-                    }
-                    report.note(
-                        behaviot_net::IngestCategory::ClampedEvent,
-                        i as u64,
-                        f.start,
-                        "non-finite or negative flow duration clamped",
-                    );
-                    f
-                })
-                .collect();
-            &sanitized
-        } else {
-            flows
-        };
+        let sanitized = sanitize_flows(flows, &mut report);
+        let flows: &[FlowRecord] = sanitized.as_deref().unwrap_or(flows);
         let mut ordered: Vec<&FlowRecord> = flows.iter().collect();
         ordered.sort_by(|a, b| a.start.total_cmp(&b.start));
         let user_hits: Vec<Option<(Symbol, f64)>> =
@@ -238,6 +210,136 @@ impl BehavIoT {
         span.record("aperiodic", counts.aperiodic);
         (out, report)
     }
+
+    /// [`Self::infer_events_with_report`] over caller-owned scratch — the
+    /// monitor's serving-path variant. Steady state (well-formed flows,
+    /// warmed scratch) performs zero heap allocations: the sort runs over a
+    /// reusable index buffer, per-flow user hits land in a reusable buffer,
+    /// and the periodic timers are reset in place rather than rebuilt.
+    /// Sanitizing corrupted flows is the one cold path that still allocates.
+    ///
+    /// Runs the user-action classifiers serially; by the executor's
+    /// serial-equivalence contract the events are identical to
+    /// [`Self::infer_events_with`] under every thread policy.
+    pub fn infer_events_into(
+        &self,
+        flows: &[FlowRecord],
+        scratch: &mut EventScratch,
+        out: &mut Vec<InferredEvent>,
+    ) -> behaviot_net::IngestReport {
+        let mut span = behaviot_obs::span!("events.infer", flows = flows.len());
+        let mut report = behaviot_net::IngestReport::new();
+        let sanitized = sanitize_flows(flows, &mut report);
+        let flows: &[FlowRecord] = sanitized.as_deref().unwrap_or(flows);
+        // Reproduce the batch path's *stable* sort with an unstable one by
+        // keying on (start, original index).
+        scratch.order.clear();
+        scratch.order.extend(0..flows.len() as u32);
+        scratch.order.sort_unstable_by(|&a, &b| {
+            flows[a as usize]
+                .start
+                .total_cmp(&flows[b as usize].start)
+                .then(a.cmp(&b))
+        });
+        scratch.user_hits.clear();
+        scratch.user_hits.extend(
+            scratch
+                .order
+                .iter()
+                .map(|&i| self.user.classify(flows[i as usize].device, &flows[i as usize].features)),
+        );
+        scratch.timers.reset();
+        out.clear();
+        for (&i, &user_hit) in scratch.order.iter().zip(&scratch.user_hits) {
+            let f = &flows[i as usize];
+            let (destination, proto) = f.group_key();
+            let kind = if let Some((activity, confidence)) = user_hit {
+                // Still advance the periodic timer for this group: the flow
+                // occupies the wire whatever we call it.
+                let _ = scratch.timers.classify(&self.periodic, f, false);
+                EventKind::User {
+                    activity,
+                    confidence,
+                }
+            } else if scratch.timers.classify(&self.periodic, f, false) {
+                EventKind::Periodic { destination, proto }
+            } else {
+                EventKind::Aperiodic
+            };
+            out.push(InferredEvent {
+                ts: f.start,
+                device: f.device,
+                destination,
+                proto,
+                kind,
+            });
+        }
+        let counts = EventCounts::of(out);
+        let m = behaviot_obs::metrics();
+        m.counter("events.user").add(counts.user as u64);
+        m.counter("events.periodic").add(counts.periodic as u64);
+        m.counter("events.aperiodic").add(counts.aperiodic as u64);
+        span.record("user", counts.user);
+        span.record("periodic", counts.periodic);
+        span.record("aperiodic", counts.aperiodic);
+        report
+    }
+}
+
+/// Reusable scratch for [`BehavIoT::infer_events_into`]: chronological-order
+/// index buffer, per-flow user-action hits, and the streaming periodic
+/// timers. Hold one per monitor (or per worker) and reuse it every window.
+#[derive(Debug, Default)]
+pub struct EventScratch {
+    order: Vec<u32>,
+    user_hits: Vec<Option<(Symbol, f64)>>,
+    timers: PeriodicTimers,
+}
+
+impl EventScratch {
+    /// New empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Clamp flows carrying a non-finite start/end or a negative duration,
+/// noting each clamp in `report`. Returns `None` when nothing needed
+/// sanitizing (the overwhelmingly common case — no allocation).
+fn sanitize_flows(
+    flows: &[FlowRecord],
+    report: &mut behaviot_net::IngestReport,
+) -> Option<Vec<FlowRecord>> {
+    let needs_clamp =
+        |f: &FlowRecord| !f.start.is_finite() || !f.end.is_finite() || f.end < f.start;
+    if !flows.iter().any(needs_clamp) {
+        return None;
+    }
+    Some(
+        flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                if !needs_clamp(f) {
+                    return f.clone();
+                }
+                let mut f = f.clone();
+                if !f.start.is_finite() {
+                    f.start = 0.0;
+                }
+                if !f.end.is_finite() || f.end < f.start {
+                    f.end = f.start;
+                }
+                report.note(
+                    behaviot_net::IngestCategory::ClampedEvent,
+                    i as u64,
+                    f.start,
+                    "non-finite or negative flow duration clamped",
+                );
+                f
+            })
+            .collect(),
+    )
 }
 
 /// Per-class event counts, the bookkeeping behind Tables 2 and 9.
@@ -409,6 +511,36 @@ mod tests {
             models.infer_events_with_report(std::slice::from_ref(&good), Parallelism::Off);
         assert!(clean_report.is_clean());
         assert_eq!(clean_events, models.infer_events(&[good]));
+    }
+
+    #[test]
+    fn infer_events_into_matches_batch_path() {
+        let models = BehavIoT::train(&training_data(), &TrainConfig::default());
+        let mut scratch = EventScratch::new();
+        let mut out = Vec::new();
+        // Several windows through one scratch, including unsorted input,
+        // ties, and a corrupt flow.
+        let mut corrupt = flow("hb.cloud.com", 300.0, 120.0);
+        corrupt.end = f64::NAN;
+        let windows: Vec<Vec<FlowRecord>> = vec![
+            (0..10)
+                .map(|i| flow("hb.cloud.com", 50.0 + i as f64 * 100.0, 120.0))
+                .collect(),
+            vec![
+                flow("ctl.cloud.com", 555.0, 799.0),
+                flow("hb.cloud.com", 100.0, 120.0),
+                flow("hb.cloud.com", 100.0, 121.0),
+            ],
+            vec![corrupt, flow("ctl.cloud.com", 333.0, 801.0)],
+            vec![],
+        ];
+        for w in &windows {
+            let (expected, expected_report) =
+                models.infer_events_with_report(w, Parallelism::Fixed(2));
+            let report = models.infer_events_into(w, &mut scratch, &mut out);
+            assert_eq!(out, expected);
+            assert_eq!(report.clamped_events, expected_report.clamped_events);
+        }
     }
 
     #[test]

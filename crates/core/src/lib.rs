@@ -82,9 +82,9 @@ pub mod unsupervised;
 pub mod user_action;
 
 pub use event::{DeviceKey, EventKind, InferredEvent};
-pub use events::{BehavIoT, TrainConfig, TrainingData};
+pub use events::{BehavIoT, EventScratch, TrainConfig, TrainingData};
 pub use monitor::{Deviation, DeviationKind, Monitor, MonitorConfig, MonitorState};
-pub use periodic::{GroupKey, PeriodicModel, PeriodicModelSet, PeriodicTrainConfig};
+pub use periodic::{GroupKey, PeriodicModel, PeriodicModelSet, PeriodicTimers, PeriodicTrainConfig};
 pub use system::{SystemModel, SystemModelConfig};
 pub use unsupervised::{UnsupervisedConfig, UnsupervisedUserModels};
 pub use user_action::{UserActionModels, UserActionTrainConfig};

@@ -1,15 +1,44 @@
 //! The behavior monitor: applies the deviation metrics to streaming
 //! capture windows and reports significant deviations (§4.3/§6.2).
+//!
+//! The serving path is symbol-native and allocation-disciplined: steady
+//! state (warmed scratch, healthy traffic) performs **zero** heap
+//! allocations per window beyond emitted [`Deviation`] report strings —
+//! pinned by `tests/monitor_alloc.rs`; the deviation stream is byte-
+//! identical to the pre-rewrite String pipeline — pinned by
+//! `tests/monitor_parity.rs` and the `benches/monitor.rs` agreement gate.
 
 use crate::deviation::{
-    long_term_deviations, long_term_threshold, periodic_metric_multi, PERIODIC_THRESHOLD,
+    long_term_threshold, periodic_metric_multi, LongTermAccumulator, PERIODIC_THRESHOLD,
 };
-use crate::events::BehavIoT;
+use crate::event::{EventKind, InferredEvent};
+use crate::events::{BehavIoT, EventScratch};
 use crate::periodic::GroupKey;
-use crate::system::{traces_from_events, SystemModel};
+use crate::system::SystemModel;
 use behaviot_flows::FlowRecord;
 use behaviot_intern::{FxHashMap, FxHashSet, Symbol};
+use behaviot_pfsm::{EventId, ScoreScratch};
 use std::net::Ipv4Addr;
+use std::sync::OnceLock;
+
+/// Counter handles for the monitor, resolved once process-wide (the
+/// per-call registry lookup is lock-guarded; the serving path just
+/// increments atomics).
+struct MonitorMetrics {
+    deviations: behaviot_obs::Counter,
+    traces: behaviot_obs::Counter,
+}
+
+fn monitor_metrics() -> &'static MonitorMetrics {
+    static METRICS: OnceLock<MonitorMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let m = behaviot_obs::metrics();
+        MonitorMetrics {
+            deviations: m.counter("monitor.deviations"),
+            traces: m.counter("monitor.traces"),
+        }
+    })
+}
 
 /// Which metric raised a deviation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +130,38 @@ pub struct MonitorState {
     pub long_flagged: Vec<(Symbol, Symbol)>,
 }
 
+/// Per-window scratch owned by the monitor: every buffer the serving path
+/// needs, reused window after window so steady-state processing allocates
+/// nothing. Maps that feed *emission order* (worst-gap/absent aggregation,
+/// the still-deviating set) are deliberately **not** here — a reused map's
+/// grown capacity would change its iteration order and break byte-parity
+/// with the pre-rewrite deviation stream; fresh `FxHashMap::default()`
+/// allocates nothing until first insert, so healthy windows stay free.
+#[derive(Default)]
+struct MonitorScratch {
+    /// Inferred events of the current window.
+    events: Vec<InferredEvent>,
+    /// Event-inference scratch (sort index, user hits, periodic timers).
+    infer: EventScratch,
+    /// User events awaiting trace segmentation:
+    /// `(ts, arrival index, label, device is known to the system model)`.
+    user_buf: Vec<(f64, u32, Symbol, bool)>,
+    /// `(device, activity)` → `(label, keep)` — renders `"<device>:<act>"`
+    /// once per pair instead of once per event.
+    label_cache: FxHashMap<(Ipv4Addr, Symbol), (Symbol, bool)>,
+    /// Kept trace labels, all traces concatenated (CSR values).
+    trace_labels: Vec<Symbol>,
+    /// CSR row bounds into `trace_labels`; trace `i` spans
+    /// `trace_bounds[i]..trace_bounds[i + 1]`.
+    trace_bounds: Vec<u32>,
+    /// Resolved event ids of the trace being scored.
+    resolved: Vec<Option<EventId>>,
+    /// Viterbi scratch.
+    score: ScoreScratch,
+    /// Long-term transition-counting scratch.
+    longterm: LongTermAccumulator,
+}
+
 /// The streaming monitor. Feed it capture windows (e.g. one day at a
 /// time); it keeps per-group count-up timers across windows.
 pub struct Monitor {
@@ -119,11 +180,26 @@ pub struct Monitor {
     /// Long-term transitions currently in the deviating state; only the
     /// transition *entering* that state is reported.
     long_flagged: FxHashSet<(Symbol, Symbol)>,
+    /// `max_missed` of the periodic config, hoisted out of the per-event
+    /// loop.
+    max_missed: u32,
+    /// Distinct devices with at least one periodic model, computed at
+    /// construction (the outage-collapse denominator).
+    n_devices_with_models: usize,
+    /// Short-term threshold `μ + nσ`, fixed once the system model is.
+    st_threshold: f64,
+    /// Long-term critical z-value, fixed by the configuration.
+    lt_crit: f64,
+    scratch: MonitorScratch,
 }
 
 impl Monitor {
     /// Create a monitor from trained device models and a system model.
     pub fn new(models: BehavIoT, system: SystemModel, cfg: MonitorConfig) -> Self {
+        let max_missed = models.periodic.config().max_missed;
+        let devices: FxHashSet<Ipv4Addr> = models.periodic.iter().map(|m| m.device).collect();
+        let st_threshold = system.short_term_threshold(cfg.short_sigma);
+        let lt_crit = long_term_threshold(cfg.long_confidence);
         Self {
             models,
             system,
@@ -131,6 +207,11 @@ impl Monitor {
             last_seen: FxHashMap::default(),
             absence_flagged: FxHashSet::default(),
             long_flagged: FxHashSet::default(),
+            max_missed,
+            n_devices_with_models: devices.len(),
+            st_threshold,
+            lt_crit,
+            scratch: MonitorScratch::default(),
         }
     }
 
@@ -175,14 +256,11 @@ impl Monitor {
         cfg: MonitorConfig,
         state: MonitorState,
     ) -> Self {
-        Self {
-            models,
-            system,
-            cfg,
-            last_seen: state.last_seen.into_iter().collect(),
-            absence_flagged: state.absence_flagged.into_iter().collect(),
-            long_flagged: state.long_flagged.into_iter().collect(),
-        }
+        let mut monitor = Self::new(models, system, cfg);
+        monitor.last_seen = state.last_seen.into_iter().collect();
+        monitor.absence_flagged = state.absence_flagged.into_iter().collect();
+        monitor.long_flagged = state.long_flagged.into_iter().collect();
+        monitor
     }
 
     fn device_label(&self, ip: Ipv4Addr) -> String {
@@ -196,13 +274,20 @@ impl Monitor {
     /// Process one window of flows covering `[window_start, window_end)`.
     /// Returns the significant deviations, most severe first within each
     /// kind.
+    ///
+    /// Steady state allocates only the returned `Vec` growth and the
+    /// emitted report strings (zero on a healthy window after warm-up —
+    /// `tests/monitor_alloc.rs`).
     pub fn process_window(
         &mut self,
         flows: &[FlowRecord],
         window_start: f64,
         window_end: f64,
     ) -> Vec<Deviation> {
-        let events = self.models.infer_events(flows);
+        let mut span = behaviot_obs::span!("monitor.window", flows = flows.len());
+        let _ = self
+            .models
+            .infer_events_into(flows, &mut self.scratch.infer, &mut self.scratch.events);
         let mut out = Vec::new();
 
         // ---- periodic-event deviations --------------------------------
@@ -210,10 +295,14 @@ impl Monitor {
         // than the threshold (relative to the best-matching period) is a
         // deviation. At window end, silent groups are checked too
         // (absence = outage/malfunction; cases 6-9 of §6.2). Both paths
-        // are aggregated per device to keep reports readable.
+        // are aggregated per device to keep reports readable. The maps are
+        // fresh per window on purpose: empty `FxHashMap`s allocate nothing
+        // until first insert (free on healthy windows), and their
+        // iteration order — which fixes the emission order — stays
+        // capacity-independent.
         let mut worst_gap: FxHashMap<Ipv4Addr, (f64, f64, Symbol)> = FxHashMap::default(); // device -> (score, ts, dest)
         let mut worst_absent: FxHashMap<Ipv4Addr, (f64, Symbol)> = FxHashMap::default();
-        for e in &events {
+        for e in &self.scratch.events {
             let key: GroupKey = (e.device, e.destination, e.proto);
             let Some(model) = self.models.periodic.get(&key) else {
                 continue;
@@ -223,11 +312,7 @@ impl Monitor {
             self.absence_flagged.remove(&e.device);
             if let Some(prev) = self.last_seen.insert(key, e.ts) {
                 let gap = e.ts - prev;
-                let score = periodic_metric_multi(
-                    gap,
-                    &model.periods,
-                    self.models.periodic.config().max_missed,
-                );
+                let score = periodic_metric_multi(gap, &model.periods, self.max_missed);
                 if score > self.cfg.periodic_threshold {
                     let entry = worst_gap
                         .entry(e.device)
@@ -244,11 +329,7 @@ impl Monitor {
                 continue;
             };
             let elapsed = window_end - last;
-            let score = periodic_metric_multi(
-                elapsed,
-                &model.periods,
-                self.models.periodic.config().max_missed,
-            );
+            let score = periodic_metric_multi(elapsed, &model.periods, self.max_missed);
             // Only meaningful when the group has actually fallen silent
             // beyond its period, and only reported once per silence.
             if elapsed > model.period()
@@ -278,9 +359,7 @@ impl Monitor {
         }
         // A testbed-wide outage silences (nearly) every device at once:
         // collapse it into a single deviation instead of 49.
-        let devices_with_models: std::collections::HashSet<Ipv4Addr> =
-            self.models.periodic.iter().map(|m| m.device).collect();
-        if worst_absent.len() >= 5 && worst_absent.len() * 10 >= devices_with_models.len() * 8 {
+        if worst_absent.len() >= 5 && worst_absent.len() * 10 >= self.n_devices_with_models * 8 {
             let worst = worst_absent
                 .values()
                 .map(|(s, _)| *s)
@@ -306,47 +385,116 @@ impl Monitor {
             }
         }
 
-        // ---- short-term system deviations ------------------------------
-        // Only events of devices the system model covers participate in
-        // traces: the PFSM is built over the observation period's devices
-        // and cannot judge others (their events would read as perpetual
-        // "new states").
-        let known = self.system.known_devices();
-        let traces: Vec<Vec<String>> =
-            traces_from_events(&events, &self.models.names, self.cfg.trace_gap)
-                .into_iter()
-                .map(|t| {
-                    t.into_iter()
-                        .filter(|label| label.split(':').next().is_some_and(|d| known.contains(d)))
-                        .collect::<Vec<_>>()
-                })
-                .filter(|t: &Vec<String>| !t.is_empty())
-                .collect();
-        let st_threshold = self.system.short_term_threshold(self.cfg.short_sigma);
-        for t in &traces {
-            let score = self.system.short_term_metric(t);
-            if score > st_threshold {
+        // ---- trace assembly (symbol-native) ----------------------------
+        // Single pass replicating the String pipeline exactly: segment on
+        // gaps between *all* user events, keep only labels of devices the
+        // system model covers (the PFSM is built over the observation
+        // period's devices and cannot judge others — their events would
+        // read as perpetual "new states"), drop traces left empty.
+        self.scratch.user_buf.clear();
+        for e in &self.scratch.events {
+            let EventKind::User { activity, .. } = &e.kind else {
+                continue;
+            };
+            let activity = *activity;
+            let (label, keep) = match self.scratch.label_cache.entry((e.device, activity)) {
+                std::collections::hash_map::Entry::Occupied(o) => *o.get(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    // Cold path: first sight of this (device, activity)
+                    // pair — render and intern once.
+                    let label = e
+                        .pfsm_label_sym(&self.models.names)
+                        .expect("user event has a label");
+                    let keep = label
+                        .as_str()
+                        .split(':')
+                        .next()
+                        .and_then(Symbol::lookup)
+                        .is_some_and(|d| self.system.known_device_syms().contains(&d));
+                    *v.insert((label, keep))
+                }
+            };
+            let idx = self.scratch.user_buf.len() as u32;
+            self.scratch.user_buf.push((e.ts, idx, label, keep));
+        }
+        // Unstable sort keyed (ts, arrival index) = the stable sort of the
+        // String pipeline, without its merge buffer.
+        self.scratch.user_buf.sort_unstable_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("NaN event time")
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        self.scratch.trace_labels.clear();
+        self.scratch.trace_bounds.clear();
+        self.scratch.trace_bounds.push(0);
+        let mut last_ts = f64::NEG_INFINITY;
+        let mut any_user = false;
+        for &(ts, _, label, keep) in &self.scratch.user_buf {
+            if any_user && ts - last_ts > self.cfg.trace_gap {
+                // Close the segment; filtered-empty segments leave no row.
+                let row_start = *self.scratch.trace_bounds.last().unwrap();
+                if self.scratch.trace_labels.len() as u32 > row_start {
+                    self.scratch.trace_bounds.push(self.scratch.trace_labels.len() as u32);
+                }
+            }
+            if keep {
+                self.scratch.trace_labels.push(label);
+            }
+            last_ts = ts;
+            any_user = true;
+        }
+        let row_start = *self.scratch.trace_bounds.last().unwrap();
+        if self.scratch.trace_labels.len() as u32 > row_start {
+            self.scratch.trace_bounds.push(self.scratch.trace_labels.len() as u32);
+        }
+        let n_traces = self.scratch.trace_bounds.len() - 1;
+
+        // ---- short-term + long-term scoring (one Viterbi per trace) ----
+        // Short-term deviations are emitted in trace order here; long-term
+        // results are counted per trace and emitted after, exactly like
+        // the two-pass String pipeline (which re-scored every trace).
+        self.scratch.longterm.reset();
+        for i in 0..n_traces {
+            let trace = &self.scratch.trace_labels[self.scratch.trace_bounds[i] as usize
+                ..self.scratch.trace_bounds[i + 1] as usize];
+            self.system
+                .log
+                .resolve_syms_into(trace, &mut self.scratch.resolved);
+            let log10_prob = self
+                .system
+                .pfsm
+                .score_into(&self.scratch.resolved, &mut self.scratch.score);
+            let score = 1.0 - log10_prob;
+            if score > self.st_threshold {
+                let mut subject = String::new();
+                for (j, label) in trace.iter().enumerate() {
+                    if j > 0 {
+                        subject.push_str(" -> ");
+                    }
+                    subject.push_str(label.as_str());
+                }
                 out.push(Deviation {
                     ts: window_start,
                     kind: DeviationKind::ShortTerm,
                     score,
-                    threshold: st_threshold,
-                    subject: t.join(" -> "),
+                    threshold: self.st_threshold,
+                    subject,
                     detail: "user-event trace is improbable under the system model".to_string(),
                 });
             }
+            self.scratch.longterm.observe_path(self.scratch.score.path());
         }
 
         // ---- long-term system deviations --------------------------------
-        let crit = long_term_threshold(self.cfg.long_confidence);
+        let crit = self.lt_crit;
         let mut still_deviating: FxHashSet<(Symbol, Symbol)> = FxHashSet::default();
-        for r in long_term_deviations(&self.system, &traces) {
+        for r in self.scratch.longterm.finalize(&self.system) {
             if r.n < self.cfg.long_min_n {
                 continue;
             }
             let count_diff = (r.observed_p - r.model_p).abs() * r.n as f64;
             if r.z > crit && count_diff >= self.cfg.long_min_count_diff {
-                let key = (Symbol::intern(&r.from), Symbol::intern(&r.to));
+                let key = (r.from, r.to);
                 still_deviating.insert(key);
                 // A persistent frequency shift (e.g. a relocated camera's
                 // permanently elevated motion rate) is one deviation at
@@ -368,6 +516,10 @@ impl Monitor {
             }
         }
         self.long_flagged = still_deviating;
+        monitor_metrics().traces.add(n_traces as u64);
+        monitor_metrics().deviations.add(out.len() as u64);
+        span.record("traces", n_traces);
+        span.record("deviations", out.len());
         out
     }
 }

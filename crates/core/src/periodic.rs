@@ -394,43 +394,40 @@ fn train_group(
     })
 }
 
-/// Streaming classifier holding per-group count-up timers.
+/// Owned timer/scratch state of a streaming periodic classifier, decoupled
+/// from the model set it classifies against so long-lived holders (the
+/// monitor's per-window scratch) need no borrow of the set.
 ///
-/// The per-flow path is fully allocation-free: destinations are interned
-/// `Symbol`s taken straight from [`FlowRecord::group_key`], so both the
-/// model lookup and the timer-table key are 4-byte copies.
-pub struct PeriodicClassifier<'a> {
-    set: &'a PeriodicModelSet,
+/// [`Self::reset`] clears the timers in place, keeping the per-shard map
+/// capacities: "fresh classifier" semantics without the re-allocation.
+#[derive(Debug, Default)]
+pub struct PeriodicTimers {
     last_seen: FxHashMap<Shard, FxHashMap<Symbol, f64>>,
     /// Standardized-features scratch for the cluster stage: reused across
     /// flows so the steady-state classify path performs zero allocations
     /// (pinned by `tests/classify_alloc.rs`).
     scratch: Vec<f64>,
-    /// Disable the DBSCAN second stage (timer-only ablation).
-    pub timer_only: bool,
 }
 
-impl<'a> PeriodicClassifier<'a> {
-    /// New classifier with empty timers.
-    pub fn new(set: &'a PeriodicModelSet) -> Self {
-        Self {
-            set,
-            last_seen: FxHashMap::default(),
-            scratch: Vec::new(),
-            timer_only: false,
+impl PeriodicTimers {
+    /// New empty timer state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clear all timers in place without dropping map capacity.
+    pub fn reset(&mut self) {
+        for timers in self.last_seen.values_mut() {
+            timers.clear();
         }
     }
 
-    /// Classify one flow (flows must arrive in chronological order).
-    pub fn classify(&mut self, flow: &FlowRecord) -> bool {
+    /// Classify one flow against `set` (flows must arrive in chronological
+    /// order). `timer_only` disables the DBSCAN second stage.
+    pub fn classify(&mut self, set: &PeriodicModelSet, flow: &FlowRecord, timer_only: bool) -> bool {
         let (dest, _) = flow.group_key();
         let shard = (flow.device, flow.proto);
-        let Some(model) = self
-            .set
-            .models
-            .get(&shard)
-            .and_then(|by_dest| by_dest.get(&dest))
-        else {
+        let Some(model) = set.models.get(&shard).and_then(|by_dest| by_dest.get(&dest)) else {
             return false;
         };
         let timers = self.last_seen.entry(shard).or_default();
@@ -442,7 +439,7 @@ impl<'a> PeriodicClassifier<'a> {
             }
         };
         let timer_hit = match prev {
-            Some(last) => model.timer_matches(flow.start - last, &self.set.cfg),
+            Some(last) => model.timer_matches(flow.start - last, &set.cfg),
             // First sighting in this stream: the timer has no reference
             // yet; defer to the cluster check.
             None => false,
@@ -450,7 +447,7 @@ impl<'a> PeriodicClassifier<'a> {
         if timer_hit {
             return true;
         }
-        if self.timer_only {
+        if timer_only {
             return false;
         }
         model.cluster_matches_with(&flow.features, &mut self.scratch)
@@ -463,6 +460,41 @@ impl<'a> PeriodicClassifier<'a> {
             .get(&(key.0, key.2))
             .and_then(|timers| timers.get(&key.1))
             .map(|&t| now - t)
+    }
+}
+
+/// Streaming classifier holding per-group count-up timers.
+///
+/// The per-flow path is fully allocation-free: destinations are interned
+/// `Symbol`s taken straight from [`FlowRecord::group_key`], so both the
+/// model lookup and the timer-table key are 4-byte copies. A thin wrapper
+/// over [`PeriodicTimers`] that borrows its model set.
+pub struct PeriodicClassifier<'a> {
+    set: &'a PeriodicModelSet,
+    timers: PeriodicTimers,
+    /// Disable the DBSCAN second stage (timer-only ablation).
+    pub timer_only: bool,
+}
+
+impl<'a> PeriodicClassifier<'a> {
+    /// New classifier with empty timers.
+    pub fn new(set: &'a PeriodicModelSet) -> Self {
+        Self {
+            set,
+            timers: PeriodicTimers::new(),
+            timer_only: false,
+        }
+    }
+
+    /// Classify one flow (flows must arrive in chronological order).
+    pub fn classify(&mut self, flow: &FlowRecord) -> bool {
+        self.timers.classify(self.set, flow, self.timer_only)
+    }
+
+    /// Current elapsed-time (`T0`) of a group relative to `now`, if the
+    /// group has been seen.
+    pub fn elapsed(&self, key: &GroupKey, now: f64) -> Option<f64> {
+        self.timers.elapsed(key, now)
     }
 }
 

@@ -337,7 +337,7 @@ mod tests {
             assert!((loaded.short_term_metric(&t) - model.short_term_metric(&t)).abs() < 1e-9);
         }
         // Escaped label with '|' survived.
-        assert!(loaded.accepts(&["cam:motion".into(), "bulb:on|off".into()]));
+        assert!(loaded.accepts(&["cam:motion", "bulb:on|off"]));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! System behavior modeling (§4.2): user events → event traces → PFSM.
 
 use crate::event::InferredEvent;
+use behaviot_intern::{FxHashSet, Symbol};
 use behaviot_pfsm::{Pfsm, PfsmConfig, TraceLog};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -37,10 +38,16 @@ pub struct SystemModel {
     /// Standard deviation of the short-term metric over training traces.
     pub train_score_std: f64,
     cfg: SystemModelConfig,
+    /// Devices covered by the vocabulary, cached at construction (the
+    /// allocating per-call set build of `known_devices` is deprecated).
+    known: FxHashSet<Symbol>,
 }
 
 /// Split chronologically ordered user events into traces of PFSM labels at
 /// gaps larger than `trace_gap`. Non-user events are ignored.
+#[deprecated(
+    note = "allocates a String per event; use `traces_from_events_syms` (interned labels)"
+)]
 pub fn traces_from_events(
     events: &[InferredEvent],
     names: &HashMap<Ipv4Addr, String>,
@@ -67,6 +74,36 @@ pub fn traces_from_events(
     traces
 }
 
+/// Symbol-native `traces_from_events`: identical segmentation and label
+/// text, but each label is an interned [`Symbol`] — one render per
+/// first-seen `(device, activity)` pair process-wide instead of one `String`
+/// per event.
+pub fn traces_from_events_syms(
+    events: &[InferredEvent],
+    names: &HashMap<Ipv4Addr, String>,
+    trace_gap: f64,
+) -> Vec<Vec<Symbol>> {
+    let mut user: Vec<(f64, Symbol)> = events
+        .iter()
+        .filter_map(|e| e.pfsm_label_sym(names).map(|l| (e.ts, l)))
+        .collect();
+    user.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN event time"));
+    let mut traces: Vec<Vec<Symbol>> = Vec::new();
+    let mut cur: Vec<Symbol> = Vec::new();
+    let mut last_ts = f64::NEG_INFINITY;
+    for (ts, label) in user {
+        if !cur.is_empty() && ts - last_ts > trace_gap {
+            traces.push(std::mem::take(&mut cur));
+        }
+        cur.push(label);
+        last_ts = ts;
+    }
+    if !cur.is_empty() {
+        traces.push(cur);
+    }
+    traces
+}
+
 impl SystemModel {
     /// Build the system model from the user events of an observation
     /// period.
@@ -75,13 +112,13 @@ impl SystemModel {
         names: &HashMap<Ipv4Addr, String>,
         cfg: &SystemModelConfig,
     ) -> Self {
-        let traces = traces_from_events(events, names, cfg.trace_gap);
+        let traces = traces_from_events_syms(events, names, cfg.trace_gap);
         Self::from_traces(&traces, cfg)
     }
 
-    /// Build directly from label traces (used by evaluation code that
-    /// perturbs traces).
-    pub fn from_traces(traces: &[Vec<String>], cfg: &SystemModelConfig) -> Self {
+    /// Build directly from label traces — `String` or [`Symbol`] labels
+    /// alike (used by evaluation code that perturbs traces).
+    pub fn from_traces<S: AsRef<str>>(traces: &[Vec<S>], cfg: &SystemModelConfig) -> Self {
         let mut span = behaviot_obs::span!("system.pfsm", traces = traces.len());
         behaviot_obs::metrics()
             .counter("system.traces")
@@ -100,19 +137,27 @@ impl SystemModel {
             .collect();
         let mean = behaviot_dsp::stats::mean(&scores);
         let std = behaviot_dsp::stats::std_dev(&scores);
+        let known = (0..log.vocab.len() as u32)
+            .map(|i| {
+                let name = log.vocab.name(behaviot_pfsm::EventId(i));
+                Symbol::intern(name.split(':').next().unwrap_or(name))
+            })
+            .collect();
         SystemModel {
             pfsm,
             log,
             train_score_mean: mean,
             train_score_std: std,
             cfg: cfg.clone(),
+            known,
         }
     }
 
-    /// The short-term deviation metric of a trace:
-    /// `A_T = 1 − log10(P_T)` where `P_T` is the (smoothed) probability of
-    /// the trace under the PFSM. `A_T = 1` means "as expected".
-    pub fn short_term_metric(&self, trace: &[String]) -> f64 {
+    /// The short-term deviation metric of a trace (`String` or [`Symbol`]
+    /// labels): `A_T = 1 − log10(P_T)` where `P_T` is the (smoothed)
+    /// probability of the trace under the PFSM. `A_T = 1` means "as
+    /// expected".
+    pub fn short_term_metric<S: AsRef<str>>(&self, trace: &[S]) -> f64 {
         short_term_of(&self.pfsm, &self.log, trace)
     }
 
@@ -122,9 +167,9 @@ impl SystemModel {
         self.train_score_mean + n_sigma * self.train_score_std
     }
 
-    /// Does the PFSM accept a trace without smoothing (only transitions
-    /// observed in training)?
-    pub fn accepts(&self, trace: &[String]) -> bool {
+    /// Does the PFSM accept a trace (`String` or [`Symbol`] labels) without
+    /// smoothing (only transitions observed in training)?
+    pub fn accepts<S: AsRef<str>>(&self, trace: &[S]) -> bool {
         let resolved = self.log.resolve(trace);
         self.pfsm.accepts(&resolved)
     }
@@ -144,6 +189,9 @@ impl SystemModel {
     /// The devices the system model covers (the prefix before `:` of every
     /// vocabulary label). Events from other devices cannot be judged by
     /// this model and are excluded from monitoring traces.
+    #[deprecated(
+        note = "allocates a fresh HashSet<String> per call; use `known_device_syms` (cached)"
+    )]
     pub fn known_devices(&self) -> std::collections::HashSet<String> {
         (0..self.log.vocab.len() as u32)
             .map(|i| {
@@ -152,9 +200,16 @@ impl SystemModel {
             })
             .collect()
     }
+
+    /// The devices the system model covers, as interned symbols cached at
+    /// construction — the serving-path form of `known_devices`: membership
+    /// is a 4-byte probe, no per-call allocation.
+    pub fn known_device_syms(&self) -> &FxHashSet<Symbol> {
+        &self.known
+    }
 }
 
-fn short_term_of(pfsm: &Pfsm, log: &TraceLog, trace: &[String]) -> f64 {
+fn short_term_of<S: AsRef<str>>(pfsm: &Pfsm, log: &TraceLog, trace: &[S]) -> f64 {
     let resolved = log.resolve(trace);
     1.0 - pfsm.score(&resolved).log10_prob
 }
@@ -185,6 +240,13 @@ mod tests {
         m
     }
 
+    fn rendered(traces: &[Vec<Symbol>]) -> Vec<Vec<&'static str>> {
+        traces
+            .iter()
+            .map(|t| t.iter().map(|s| s.as_str()).collect())
+            .collect()
+    }
+
     #[test]
     fn trace_segmentation_at_gap() {
         let events = vec![
@@ -193,10 +255,18 @@ mod tests {
             user_event(100.0, 10, "motion"), // 95 s gap -> new trace
             user_event(103.0, 11, "on"),
         ];
-        let traces = traces_from_events(&events, &names(), 60.0);
-        assert_eq!(traces.len(), 2);
-        assert_eq!(traces[0], vec!["cam:motion", "bulb:on"]);
-        assert_eq!(traces[1], vec!["cam:motion", "bulb:on"]);
+        let traces = traces_from_events_syms(&events, &names(), 60.0);
+        assert_eq!(
+            rendered(&traces),
+            vec![
+                vec!["cam:motion", "bulb:on"],
+                vec!["cam:motion", "bulb:on"]
+            ]
+        );
+        // The deprecated String path segments and labels identically.
+        #[allow(deprecated)]
+        let strings = traces_from_events(&events, &names(), 60.0);
+        assert_eq!(strings, rendered(&traces));
     }
 
     #[test]
@@ -209,8 +279,8 @@ mod tests {
             proto: Proto::Tcp,
             kind: EventKind::Aperiodic,
         });
-        let traces = traces_from_events(&events, &names(), 60.0);
-        assert_eq!(traces, vec![vec!["cam:motion".to_string()]]);
+        let traces = traces_from_events_syms(&events, &names(), 60.0);
+        assert_eq!(rendered(&traces), vec![vec!["cam:motion"]]);
     }
 
     #[test]
@@ -225,10 +295,9 @@ mod tests {
             })
             .collect();
         let m = SystemModel::from_traces(&traces, &SystemModelConfig::default());
-        assert!(m.accepts(&["cam:motion".into(), "bulb:on".into()]));
-        let seen = m.short_term_metric(&["cam:motion".into(), "bulb:on".into()]);
-        let unseen =
-            m.short_term_metric(&["bulb:off".into(), "ghost:event".into(), "cam:motion".into()]);
+        assert!(m.accepts(&["cam:motion", "bulb:on"]));
+        let seen = m.short_term_metric(&["cam:motion", "bulb:on"]);
+        let unseen = m.short_term_metric(&["bulb:off", "ghost:event", "cam:motion"]);
         assert!(unseen > seen, "{unseen} vs {seen}");
         assert!(seen >= 1.0);
         let thr = m.short_term_threshold(3.0);
@@ -246,10 +315,25 @@ mod tests {
     #[test]
     fn unsorted_events_are_ordered() {
         let events = vec![user_event(50.0, 11, "on"), user_event(0.0, 10, "motion")];
-        let traces = traces_from_events(&events, &names(), 60.0);
-        assert_eq!(
-            traces,
-            vec![vec!["cam:motion".to_string(), "bulb:on".to_string()]]
-        );
+        let traces = traces_from_events_syms(&events, &names(), 60.0);
+        assert_eq!(rendered(&traces), vec![vec!["cam:motion", "bulb:on"]]);
+    }
+
+    #[test]
+    fn known_device_syms_matches_allocating_accessor() {
+        let traces: Vec<Vec<String>> = (0..10)
+            .map(|_| vec!["cam:motion".into(), "bulb:on".into()])
+            .collect();
+        let m = SystemModel::from_traces(&traces, &SystemModelConfig::default());
+        let cached: std::collections::HashSet<String> = m
+            .known_device_syms()
+            .iter()
+            .map(|s| s.as_str().to_string())
+            .collect();
+        #[allow(deprecated)]
+        let fresh = m.known_devices();
+        assert_eq!(cached, fresh);
+        assert!(m.known_device_syms().contains(&Symbol::intern("cam")));
+        assert!(!m.known_device_syms().contains(&Symbol::intern("ghost")));
     }
 }

@@ -384,6 +384,14 @@ impl From<&str> for Symbol {
     }
 }
 
+// Lets `S: AsRef<str>` APIs (trace logs, label pipelines) accept symbol
+// traces and string traces interchangeably.
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
 impl PartialEq<str> for Symbol {
     fn eq(&self, other: &str) -> bool {
         self.as_str() == other

@@ -28,7 +28,7 @@ pub mod model;
 pub mod seqgraph;
 
 pub use invariants::{mine_invariants, Invariants};
-pub use model::{Pfsm, PfsmConfig, StateId, TraceScore};
+pub use model::{Pfsm, PfsmConfig, ScoreScratch, StateId, TraceScore};
 pub use seqgraph::SeqGraph;
 
 use behaviot_intern::{FxHashMap, Symbol};
@@ -75,9 +75,20 @@ impl EventVocab {
         self.map.get(&sym).copied()
     }
 
+    /// Look up an already-interned label without the string hash of
+    /// [`Self::get`] — a 4-byte probe, the serving-path lookup.
+    pub fn get_sym(&self, sym: Symbol) -> Option<EventId> {
+        self.map.get(&sym).copied()
+    }
+
     /// The label for an id. Panics on a foreign id.
     pub fn name(&self, id: EventId) -> &'static str {
         self.names[id.0 as usize].as_str()
+    }
+
+    /// The interned symbol for an id. Panics on a foreign id.
+    pub fn symbol(&self, id: EventId) -> Symbol {
+        self.names[id.0 as usize]
     }
 
     /// Number of distinct labels.
@@ -140,6 +151,16 @@ impl TraceLog {
         events.iter().map(|e| self.vocab.get(e.as_ref())).collect()
     }
 
+    /// Resolve a symbol-labeled trace into a caller-owned buffer without
+    /// allocating or hashing any string bytes — the monitor's serving-path
+    /// variant of [`Self::resolve`]. For interned labels the result is
+    /// identical to `resolve` on the rendered strings (the global interner
+    /// is injective, so symbol equality is string equality).
+    pub fn resolve_syms_into(&self, events: &[Symbol], out: &mut Vec<Option<EventId>>) {
+        out.clear();
+        out.extend(events.iter().map(|&sym| self.vocab.get_sym(sym)));
+    }
+
     /// Every trace as string labels, in insertion order — the serialization
     /// surface used by the model store. Feeding the result back through
     /// [`Self::push_trace`] on a fresh log reproduces an equivalent log
@@ -180,6 +201,26 @@ mod tests {
         assert_eq!(log.vocab.len(), 2);
         let r = log.resolve(&["a", "zzz"]);
         assert!(r[0].is_some() && r[1].is_none());
+    }
+
+    #[test]
+    fn symbol_resolution_matches_string_resolution() {
+        let mut log = TraceLog::new();
+        log.push_trace(&["cam:motion", "bulb:on"]);
+        let syms = [
+            Symbol::intern("cam:motion"),
+            Symbol::intern("ghost:event"),
+            Symbol::intern("bulb:on"),
+        ];
+        let strings: Vec<&str> = syms.iter().map(|s| s.as_str()).collect();
+        let mut resolved = vec![None; 99]; // stale content must be cleared
+        log.resolve_syms_into(&syms, &mut resolved);
+        assert_eq!(resolved, log.resolve(&strings));
+        assert_eq!(resolved.len(), 3);
+        let id = log.vocab.get("cam:motion").unwrap();
+        assert_eq!(log.vocab.get_sym(Symbol::intern("cam:motion")), Some(id));
+        assert_eq!(log.vocab.symbol(id).as_str(), "cam:motion");
+        assert_eq!(log.vocab.get_sym(Symbol::intern("nope")), None);
     }
 
     #[test]

@@ -64,6 +64,41 @@ pub struct TraceScore {
     pub path: Vec<Option<StateId>>,
 }
 
+/// One Viterbi DP cell: best log-probability of reaching `state` at this
+/// layer, plus the index of the predecessor cell within the previous layer.
+#[derive(Debug, Clone, Copy)]
+struct ScoreCell {
+    logp: f64,
+    state: Option<StateId>,
+    back: u32,
+}
+
+/// Caller-owned scratch for [`Pfsm::score_into`]: the Viterbi layers live in
+/// one flat cell buffer (layer `l` spans `offsets[l]..offsets[l + 1]`), so a
+/// monitor scoring thousands of traces per window reuses three buffers
+/// instead of allocating a `Vec` per layer per trace.
+#[derive(Debug, Default)]
+pub struct ScoreScratch {
+    cells: Vec<ScoreCell>,
+    offsets: Vec<usize>,
+    path: Vec<Option<StateId>>,
+}
+
+impl ScoreScratch {
+    /// New empty scratch; buffers grow to the working-set size on first use
+    /// and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The max-probability state path of the most recent
+    /// [`Pfsm::score_into`] call (one entry per event; `None` for events
+    /// whose type the model has never seen).
+    pub fn path(&self) -> &[Option<StateId>] {
+        &self.path
+    }
+}
+
 /// A probabilistic finite state machine over user events.
 #[derive(Debug, Clone)]
 pub struct Pfsm {
@@ -259,32 +294,52 @@ impl Pfsm {
     /// the best state path from INITIAL through the trace to FINAL
     /// (`P_T` of §4.3). Events with unknown types contribute the smoothed
     /// unseen-transition probability.
+    ///
+    /// Allocates fresh scratch per call; streaming callers should hold a
+    /// [`ScoreScratch`] and use [`Self::score_into`].
     pub fn score(&self, trace: &[Option<EventId>]) -> TraceScore {
-        #[derive(Clone)]
-        struct Cell {
-            logp: f64,
-            state: Option<StateId>,
-            back: usize,
+        let mut scratch = ScoreScratch::new();
+        let log10_prob = self.score_into(trace, &mut scratch);
+        TraceScore {
+            log10_prob,
+            path: std::mem::take(&mut scratch.path),
         }
-        // Layered DP; each layer holds candidate states for that event.
-        let mut layers: Vec<Vec<Cell>> = Vec::with_capacity(trace.len());
-        let mut prev: Vec<Cell> = vec![Cell {
+    }
+
+    /// Allocation-free [`Self::score`]: the layered DP runs over the
+    /// caller-owned scratch (candidate states are read straight from the
+    /// per-event state lists, never materialized). Returns the `log10`
+    /// Viterbi probability; the state path is left in [`ScoreScratch::path`].
+    /// The float-operation order is identical to `score`, so both paths
+    /// produce bit-identical scores.
+    pub fn score_into(&self, trace: &[Option<EventId>], scratch: &mut ScoreScratch) -> f64 {
+        let ScoreScratch {
+            cells,
+            offsets,
+            path,
+        } = scratch;
+        cells.clear();
+        offsets.clear();
+        // Layer 0 is the virtual start: one cell sitting in INITIAL.
+        cells.push(ScoreCell {
             logp: 0.0,
             state: Some(INITIAL),
             back: 0,
-        }];
+        });
+        offsets.push(0);
+        offsets.push(1);
         for ev in trace {
-            let cands: Vec<Option<StateId>> = match ev {
-                Some(ev) => match self.by_event.get(ev) {
-                    Some(states) => states.iter().map(|&s| Some(s)).collect(),
-                    None => vec![None],
-                },
-                None => vec![None],
+            let (prev_start, prev_end) = (offsets[offsets.len() - 2], offsets[offsets.len() - 1]);
+            let cands = match ev {
+                Some(ev) => self.by_event.get(ev).map(Vec::as_slice),
+                None => None,
             };
-            let mut layer: Vec<Cell> = Vec::with_capacity(cands.len());
-            for cand in cands {
-                let mut best: Option<(f64, usize)> = None;
-                for (bi, p) in prev.iter().enumerate() {
+            // An event with no candidate states contributes one `None` cell.
+            let n_cands = cands.map_or(1, <[StateId]>::len);
+            for ci in 0..n_cands {
+                let cand = cands.map(|states| states[ci]);
+                let mut best: Option<(f64, u32)> = None;
+                for (bi, p) in cells[prev_start..prev_end].iter().enumerate() {
                     let step = match (p.state, cand) {
                         (Some(from), Some(to)) => self.smoothed(from, to),
                         (Some(from), None) => self.smoothed_unseen(from),
@@ -294,22 +349,22 @@ impl Pfsm {
                     };
                     let logp = p.logp + step.max(f64::MIN_POSITIVE).log10();
                     if best.is_none_or(|(b, _)| logp > b) {
-                        best = Some((logp, bi));
+                        best = Some((logp, bi as u32));
                     }
                 }
                 let (logp, back) = best.expect("previous layer never empty");
-                layer.push(Cell {
+                cells.push(ScoreCell {
                     logp,
                     state: cand,
                     back,
                 });
             }
-            layers.push(layer.clone());
-            prev = layer;
+            offsets.push(cells.len());
         }
         // Close with the FINAL transition.
+        let (prev_start, prev_end) = (offsets[offsets.len() - 2], offsets[offsets.len() - 1]);
         let mut best: Option<(f64, usize)> = None;
-        for (bi, p) in prev.iter().enumerate() {
+        for (bi, p) in cells[prev_start..prev_end].iter().enumerate() {
             let step = match p.state {
                 Some(from) => self.smoothed(from, FINAL),
                 None => self.smoothed_unseen(INITIAL),
@@ -320,15 +375,16 @@ impl Pfsm {
             }
         }
         let (log10_prob, mut back) = best.unwrap_or((f64::MIN_POSITIVE.log10(), 0));
-        // Reconstruct path.
-        let mut path: Vec<Option<StateId>> = Vec::with_capacity(trace.len());
-        for layer in layers.iter().rev() {
-            let cell = &layer[back];
+        // Reconstruct the path: event layer `l` spans
+        // `offsets[l + 1]..offsets[l + 2]` (layer 0 is the INITIAL cell).
+        path.clear();
+        for l in (0..trace.len()).rev() {
+            let cell = cells[offsets[l + 1] + back];
             path.push(cell.state);
-            back = cell.back;
+            back = cell.back as usize;
         }
         path.reverse();
-        TraceScore { log10_prob, path }
+        log10_prob
     }
 
     /// Graphviz DOT rendering of the model with probabilities on edges.
@@ -685,6 +741,27 @@ mod tests {
         assert!(seen.log10_prob > unseen_event.log10_prob);
         assert!(seen.log10_prob > wrong_order.log10_prob);
         assert!(unseen_event.log10_prob.is_finite());
+    }
+
+    #[test]
+    fn score_into_matches_score() {
+        let l = log(&[&["a", "b", "c"], &["a", "b", "c"], &["a", "c", "b"]]);
+        let m = Pfsm::infer(&l, &cfg());
+        let mut scratch = ScoreScratch::new();
+        // Reuse one scratch across differently-shaped traces, including
+        // unknown events and the empty trace.
+        for trace in [
+            l.resolve(&["a", "b", "c"]),
+            l.resolve(&["a", "b", "what"]),
+            l.resolve(&["c", "b", "a", "c", "b"]),
+            l.resolve::<&str>(&[]),
+            l.resolve(&["b"]),
+        ] {
+            let fresh = m.score(&trace);
+            let logp = m.score_into(&trace, &mut scratch);
+            assert_eq!(logp.to_bits(), fresh.log10_prob.to_bits());
+            assert_eq!(scratch.path(), &fresh.path[..]);
+        }
     }
 
     #[test]

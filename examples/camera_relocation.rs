@@ -8,29 +8,25 @@
 //! cargo run --release --example camera_relocation
 //! ```
 
-use behaviot::deviation::{long_term_deviations, long_term_threshold};
+use behaviot::deviation::{long_term_deviations_syms, long_term_threshold};
+use behaviot_intern::Symbol;
 use behaviot::system::{SystemModel, SystemModelConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn day_of_traces(rng: &mut StdRng, motion_per_day: usize) -> Vec<Vec<String>> {
+fn day_of_traces(rng: &mut StdRng, motion_per_day: usize) -> Vec<Vec<Symbol>> {
+    let sym = Symbol::intern;
     let mut traces = Vec::new();
     // Normal living: R8 (Ring motion -> Gosund on) and some voice control.
     for _ in 0..10 {
-        traces.push(vec![
-            "Ring Camera:motion".into(),
-            "Gosund Bulb:on_off".into(),
-        ]);
+        traces.push(vec![sym("Ring Camera:motion"), sym("Gosund Bulb:on_off")]);
         if rng.gen::<f64>() < 0.5 {
-            traces.push(vec!["Echo Spot:voice".into(), "TPLink Bulb:on_off".into()]);
+            traces.push(vec![sym("Echo Spot:voice"), sym("TPLink Bulb:on_off")]);
         }
     }
     // Wyze camera motion at its (location-dependent) rate.
     for _ in 0..motion_per_day {
-        traces.push(vec![
-            "Wyze Camera:motion".into(),
-            "TPLink Plug:on_off".into(),
-        ]);
+        traces.push(vec![sym("Wyze Camera:motion"), sym("TPLink Plug:on_off")]);
     }
     traces
 }
@@ -59,8 +55,8 @@ fn main() {
     report("after relocation", &model, &moved_day, crit);
 }
 
-fn report(label: &str, model: &SystemModel, window: &[Vec<String>], crit: f64) {
-    let results = long_term_deviations(model, window);
+fn report(label: &str, model: &SystemModel, window: &[Vec<Symbol>], crit: f64) {
+    let results = long_term_deviations_syms(model, window);
     let flagged: Vec<_> = results
         .iter()
         .filter(|r| r.z > crit && (r.observed_p - r.model_p).abs() * r.n as f64 >= 3.0)

@@ -6,7 +6,7 @@
 //! cargo run --release --example smart_home_monitor
 //! ```
 
-use behaviot::system::{traces_from_events, SystemModel, SystemModelConfig};
+use behaviot::system::{traces_from_events_syms, SystemModel, SystemModelConfig};
 use behaviot::{Monitor, MonitorConfig};
 use behaviot_flows::{assemble_flows, FlowConfig};
 use behaviot_sim::{self as sim, Catalog, IncidentScript, TruthLabel, UncontrolledConfig};
@@ -40,7 +40,7 @@ fn main() {
 
     let routine_flows = assemble_flows(&routine.packets, &routine.domains, &fc);
     let routine_events = models.infer_events(&routine_flows);
-    let traces = traces_from_events(&routine_events, &names, 60.0);
+    let traces = traces_from_events_syms(&routine_events, &names, 60.0);
     let system = SystemModel::from_traces(&traces, &SystemModelConfig::default());
     println!(
         "[observe] {} periodic models, {} user-action models, PFSM {} states / {} transitions",

@@ -45,6 +45,13 @@ bench-dsp:
 bench-cluster:
     scripts/bench_cluster.sh
 
+# Monitor serving-path benches (vendored pre-rewrite String pipeline vs the
+# symbol-native zero-alloc window path, plus the multi-tenant thread sweep)
+# -> BENCH_monitor.json; gates on byte-identical deviation streams before
+# timing and enforces the ≥1.5x serving speedup bar
+bench-monitor:
+    scripts/bench_monitor.sh
+
 # Durable-store contract suite: kill-and-restore replay invariance, byte
 # fixed point, v1 migration, plus the round-trip and corruption proptests
 store-replay:

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Run the monitor serving-path benches (pre-rewrite String pipeline vs the
+# symbol-native zero-alloc window path) and write the machine-readable
+# results to BENCH_monitor.json. The acceptance bar for the symbol-native
+# serving PR is the current implementation at ≥1.5x the baseline on
+# `monitor_window` (same host); the check below enforces it. Set
+# BENCH_MONITOR_NO_ENFORCE=1 to record numbers without failing (e.g. on a
+# noisy shared box).
+#
+# The bench itself gates on agreement before timing: from a cold start both
+# monitors process the full multi-window stream and their deviation streams
+# must be byte-identical ({:#?} equality), with all three deviation metrics
+# actually firing. Every row carries host_cores/host_cpu metadata.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Absolute path: cargo runs the bench with the package dir as cwd, so a
+# relative CRITERION_JSON would land in crates/bench/.
+out="$(pwd)/${1:-BENCH_monitor.json}"
+CRITERION_JSON="$out" cargo bench -p behaviot-bench --bench monitor
+echo "wrote $out"
+
+python3 scripts/check_bench_meta.py "$out"
+
+python3 - "$out" <<'EOF'
+import json, os, sys
+
+results = {r["id"]: r["mean_ns"] for r in json.load(open(sys.argv[1]))}
+base = results["monitor_window/baseline"]
+fast = results["monitor_window/fast"]
+speedup = base / fast
+print(f"monitor_window: {speedup:.2f}x (baseline {base:.0f} ns, fast {fast:.0f} ns)")
+
+sweep = sorted(
+    (int(k.split("/t")[1]), v) for k, v in results.items()
+    if k.startswith("sweep_monitor_window/t")
+)
+for n, v in sweep:
+    print(f"sweep_monitor_window/t{n}: {sweep[0][1] / v:.2f}x vs t1 ({v:.0f} ns)")
+
+if speedup < 1.5:
+    msg = f"FAIL: monitor_window speedup {speedup:.2f}x below the 1.5x bar"
+    if os.environ.get("BENCH_MONITOR_NO_ENFORCE"):
+        print(msg, "(not enforced: BENCH_MONITOR_NO_ENFORCE set)")
+    else:
+        sys.exit(msg)
+else:
+    print("PASS: monitor serving speedup within the 1.5x bar")
+EOF

@@ -32,6 +32,12 @@ cargo test --release -q -p behaviot-harness --test metrics_determinism
 echo "==> alloc contract: steady-state classify performs zero heap allocations"
 cargo test --release -q -p behaviot --test classify_alloc
 
+echo "==> alloc contract: steady-state monitor windows perform zero heap allocations"
+cargo test --release -q -p behaviot --test monitor_alloc
+
+echo "==> monitor parity: symbol-native serving path matches the String pipeline byte-for-byte"
+cargo test --release -q -p behaviot-harness --test monitor_parity
+
 echo "==> store: replay-invariant contract suite (kill/restore, fixed point, v1 migration)"
 cargo test --release -q -p behaviot-harness --test store_replay
 
@@ -51,7 +57,7 @@ spans = {ev["name"] for ev in json.load(open(sys.argv[1]))}
 need_spans = {
     "ingest.pcap", "flows.assemble", "prep.build", "periodic.train",
     "dsp.period_detect", "forest.fit", "events.infer", "system.pfsm",
-    "pfsm.infer",
+    "pfsm.infer", "monitor.window",
 }
 missing = need_spans - spans
 assert not missing, f"trace missing spans: {sorted(missing)}"
@@ -59,7 +65,7 @@ assert not missing, f"trace missing spans: {sorted(missing)}"
 metrics = {json.loads(l)["metric"] for l in open(sys.argv[2]) if l.strip()}
 need_prefixes = {
     "ingest.", "flows.", "events.", "periodic.", "dsp.", "forest.",
-    "pfsm.", "system.", "par.", "cluster.",
+    "pfsm.", "system.", "par.", "cluster.", "monitor.",
 }
 bare = {p for p in need_prefixes if not any(m.startswith(p) for m in metrics)}
 assert not bare, f"metrics missing stage prefixes: {sorted(bare)}"
@@ -82,6 +88,9 @@ CRITERION_SAMPLE_MS=5 cargo bench -p behaviot-bench --bench dsp >/dev/null
 
 echo "==> bench smoke: cluster baseline/fast cores must agree (tiny sample budget)"
 CRITERION_SAMPLE_MS=5 cargo bench -p behaviot-bench --bench cluster >/dev/null
+
+echo "==> bench smoke: monitor deviation streams must agree (tiny sample budget)"
+CRITERION_SAMPLE_MS=5 cargo bench -p behaviot-bench --bench monitor >/dev/null
 
 echo "==> committed BENCH files must carry host metadata"
 python3 scripts/check_bench_meta.py BENCH_*.json

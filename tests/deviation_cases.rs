@@ -1,7 +1,7 @@
 //! The §5.3 deviation test cases and §6.2 incident classes, exercised
 //! through the full monitor rather than metric-level shortcuts.
 
-use behaviot::system::{traces_from_events, SystemModel, SystemModelConfig};
+use behaviot::system::{traces_from_events_syms, SystemModel, SystemModelConfig};
 use behaviot::{BehavIoT, DeviationKind, Monitor, MonitorConfig, TrainConfig, TrainingData};
 use behaviot_flows::{assemble_flows, FlowConfig};
 use behaviot_sim::{self as sim, Catalog, TruthLabel, UncontrolledConfig};
@@ -32,7 +32,7 @@ fn trained_monitor(catalog: &Catalog) -> Monitor {
     );
     let routine_flows = assemble_flows(&routine.packets, &routine.domains, &fc);
     let events = models.infer_events(&routine_flows);
-    let traces = traces_from_events(&events, &names, 60.0);
+    let traces = traces_from_events_syms(&events, &names, 60.0);
     let system = SystemModel::from_traces(&traces, &SystemModelConfig::default());
     Monitor::new(models, system, MonitorConfig::default())
 }

@@ -3,7 +3,7 @@
 //! properties the paper's evaluation depends on (at reduced scale).
 
 use behaviot::event::EventKind;
-use behaviot::system::{traces_from_events, SystemModel, SystemModelConfig};
+use behaviot::system::{traces_from_events_syms, SystemModel, SystemModelConfig};
 use behaviot::{BehavIoT, Monitor, MonitorConfig, TrainConfig, TrainingData};
 use behaviot_flows::{assemble_flows, FlowConfig};
 use behaviot_sim::{self as sim, Catalog, TruthLabel};
@@ -137,7 +137,7 @@ fn routine_to_system_model_and_monitor() {
     let routine = sim::routine_dataset(&w.catalog, 13, 2);
     let flows = assemble_flows(&routine.packets, &routine.domains, &fc);
     let events = w.models.infer_events(&flows);
-    let traces = traces_from_events(&events, &w.names, 60.0);
+    let traces = traces_from_events_syms(&events, &w.names, 60.0);
     assert!(traces.len() > 20, "traces: {}", traces.len());
     let system = SystemModel::from_traces(&traces, &SystemModelConfig::default());
 

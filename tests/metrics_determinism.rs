@@ -65,6 +65,8 @@ fn snapshots_policy_invariant_and_observability_invisible() {
         "pfsm.states",
         "pfsm.transitions",
         "system.traces",
+        "monitor.traces",
+        "monitor.deviations",
         "par.maps",
         "par.items",
     ] {
@@ -78,6 +80,7 @@ fn snapshots_policy_invariant_and_observability_invisible() {
         "forest.fits",
         "forest.predictions",
         "pfsm.infers",
+        "monitor.traces",
         "par.maps",
     ] {
         assert!(snap.counter(nonzero).unwrap() > 0, "counter {nonzero} is zero");

@@ -1,0 +1,298 @@
+//! Byte-parity contract of the symbol-native monitor serving path: over
+//! full simulated deployments — training, then multi-day uncontrolled
+//! streams with the paper-like incident script injected — the live
+//! [`Monitor`] must emit a deviation stream **byte-identical** (`{:#?}`
+//! per window) to the pre-rewrite String pipeline, vendored below. Three
+//! differently-seeded datasets (distinct catalogs of incidents firing)
+//! and both training thread policies (`Off`, `Fixed(2)`) are covered; the
+//! per-window comparison catches ordering drift, not just set drift —
+//! emission order is part of the contract.
+
+use behaviot::periodic::GroupKey;
+use behaviot::system::{traces_from_events_syms, SystemModel, SystemModelConfig};
+use behaviot::{
+    BehavIoT, Deviation, DeviationKind, Monitor, MonitorConfig, TrainConfig, TrainingData,
+};
+use behaviot_flows::{assemble_flows, FlowConfig};
+use behaviot_intern::{FxHashMap, FxHashSet, Symbol};
+use behaviot_par::Parallelism;
+use behaviot_sim::{self as sim, Catalog, IncidentScript, TruthLabel, UncontrolledConfig};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// `Monitor::process_window` exactly as it stood before the symbol-native
+/// rewrite, driving the deprecated String APIs (whose bodies are the
+/// original implementations). Vendored here so parity is checked against
+/// the real predecessor, not a reimplementation.
+#[allow(deprecated)]
+mod baseline {
+    use super::*;
+    use behaviot::deviation::{long_term_deviations, long_term_threshold, periodic_metric_multi};
+    use behaviot::system::traces_from_events;
+
+    pub struct BaselineMonitor {
+        models: BehavIoT,
+        system: SystemModel,
+        cfg: MonitorConfig,
+        last_seen: FxHashMap<GroupKey, f64>,
+        absence_flagged: FxHashSet<Ipv4Addr>,
+        long_flagged: FxHashSet<(Symbol, Symbol)>,
+    }
+
+    impl BaselineMonitor {
+        pub fn new(models: BehavIoT, system: SystemModel, cfg: MonitorConfig) -> Self {
+            Self {
+                models,
+                system,
+                cfg,
+                last_seen: FxHashMap::default(),
+                absence_flagged: FxHashSet::default(),
+                long_flagged: FxHashSet::default(),
+            }
+        }
+
+        fn device_label(&self, ip: Ipv4Addr) -> String {
+            self.models
+                .names
+                .get(&ip)
+                .cloned()
+                .unwrap_or_else(|| ip.to_string())
+        }
+
+        pub fn process_window(
+            &mut self,
+            flows: &[behaviot_flows::FlowRecord],
+            window_start: f64,
+            window_end: f64,
+        ) -> Vec<Deviation> {
+            let events = self.models.infer_events(flows);
+            let mut out = Vec::new();
+
+            let mut worst_gap: FxHashMap<Ipv4Addr, (f64, f64, Symbol)> = FxHashMap::default();
+            let mut worst_absent: FxHashMap<Ipv4Addr, (f64, Symbol)> = FxHashMap::default();
+            for e in &events {
+                let key: GroupKey = (e.device, e.destination, e.proto);
+                let Some(model) = self.models.periodic.get(&key) else {
+                    continue;
+                };
+                self.absence_flagged.remove(&e.device);
+                if let Some(prev) = self.last_seen.insert(key, e.ts) {
+                    let gap = e.ts - prev;
+                    let score = periodic_metric_multi(
+                        gap,
+                        &model.periods,
+                        self.models.periodic.config().max_missed,
+                    );
+                    if score > self.cfg.periodic_threshold {
+                        let entry = worst_gap
+                            .entry(e.device)
+                            .or_insert((0.0, e.ts, e.destination));
+                        if score > entry.0 {
+                            *entry = (score, e.ts, e.destination);
+                        }
+                    }
+                }
+            }
+            for model in self.models.periodic.iter() {
+                let key: GroupKey = (model.device, model.destination, model.proto);
+                let Some(&last) = self.last_seen.get(&key) else {
+                    continue;
+                };
+                let elapsed = window_end - last;
+                let score = periodic_metric_multi(
+                    elapsed,
+                    &model.periods,
+                    self.models.periodic.config().max_missed,
+                );
+                if elapsed > model.period()
+                    && score > self.cfg.periodic_threshold
+                    && !self.absence_flagged.contains(&model.device)
+                {
+                    let entry = worst_absent
+                        .entry(model.device)
+                        .or_insert((0.0, model.destination));
+                    if score > entry.0 {
+                        *entry = (score, model.destination);
+                    }
+                }
+            }
+            for device in worst_absent.keys() {
+                self.absence_flagged.insert(*device);
+            }
+            for (device, (score, ts, dest)) in worst_gap {
+                out.push(Deviation {
+                    ts,
+                    kind: DeviationKind::PeriodicTiming,
+                    score,
+                    threshold: self.cfg.periodic_threshold,
+                    subject: self.device_label(device),
+                    detail: format!("periodic traffic to {dest} arrived off schedule"),
+                });
+            }
+            let devices_with_models: std::collections::HashSet<Ipv4Addr> =
+                self.models.periodic.iter().map(|m| m.device).collect();
+            if worst_absent.len() >= 5 && worst_absent.len() * 10 >= devices_with_models.len() * 8 {
+                let worst = worst_absent
+                    .values()
+                    .map(|(s, _)| *s)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                out.push(Deviation {
+                    ts: window_end,
+                    kind: DeviationKind::PeriodicTiming,
+                    score: worst,
+                    threshold: self.cfg.periodic_threshold,
+                    subject: format!("{} devices", worst_absent.len()),
+                    detail: "periodic traffic overdue across the testbed (network outage)"
+                        .to_string(),
+                });
+            } else {
+                for (device, (score, dest)) in worst_absent {
+                    out.push(Deviation {
+                        ts: window_end,
+                        kind: DeviationKind::PeriodicTiming,
+                        score,
+                        threshold: self.cfg.periodic_threshold,
+                        subject: self.device_label(device),
+                        detail: format!("periodic traffic to {dest} is overdue (possible outage)"),
+                    });
+                }
+            }
+
+            let known = self.system.known_devices();
+            let traces: Vec<Vec<String>> =
+                traces_from_events(&events, &self.models.names, self.cfg.trace_gap)
+                    .into_iter()
+                    .map(|t| {
+                        t.into_iter()
+                            .filter(|label| {
+                                label.split(':').next().is_some_and(|d| known.contains(d))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .filter(|t: &Vec<String>| !t.is_empty())
+                    .collect();
+            let st_threshold = self.system.short_term_threshold(self.cfg.short_sigma);
+            for t in &traces {
+                let score = self.system.short_term_metric(t);
+                if score > st_threshold {
+                    out.push(Deviation {
+                        ts: window_start,
+                        kind: DeviationKind::ShortTerm,
+                        score,
+                        threshold: st_threshold,
+                        subject: t.join(" -> "),
+                        detail: "user-event trace is improbable under the system model".to_string(),
+                    });
+                }
+            }
+
+            let crit = long_term_threshold(self.cfg.long_confidence);
+            let mut still_deviating: FxHashSet<(Symbol, Symbol)> = FxHashSet::default();
+            for r in long_term_deviations(&self.system, &traces) {
+                if r.n < self.cfg.long_min_n {
+                    continue;
+                }
+                let count_diff = (r.observed_p - r.model_p).abs() * r.n as f64;
+                if r.z > crit && count_diff >= self.cfg.long_min_count_diff {
+                    let key = (Symbol::intern(&r.from), Symbol::intern(&r.to));
+                    still_deviating.insert(key);
+                    if self.long_flagged.contains(&key) {
+                        continue;
+                    }
+                    out.push(Deviation {
+                        ts: window_start,
+                        kind: DeviationKind::LongTerm,
+                        score: r.z,
+                        threshold: crit,
+                        subject: format!("{} -> {}", r.from, r.to),
+                        detail: format!(
+                            "transition frequency {:.2} deviates from modeled {:.2} over {} departures",
+                            r.observed_p, r.model_p, r.n
+                        ),
+                    });
+                }
+            }
+            self.long_flagged = still_deviating;
+            out
+        }
+    }
+}
+
+/// Train device models + system model from a full simulated observation
+/// period under the given thread policy (the symbol-native trace path is
+/// used for the system model on both sides — the parity subject is the
+/// serving path, and `traces_from_events_syms` is itself pinned equal to
+/// the String form by `system::tests`).
+fn trained(catalog: &Catalog, par: Parallelism) -> (BehavIoT, SystemModel) {
+    let fc = FlowConfig::default();
+    let idle = sim::idle_dataset(catalog, 31, 0.5);
+    let activity = sim::activity_dataset(catalog, 32, 5);
+    let routine = sim::routine_dataset(catalog, 33, 2);
+
+    let idle_flows = assemble_flows(&idle.packets, &idle.domains, &fc);
+    let act_flows = assemble_flows(&activity.packets, &activity.domains, &fc);
+    let labeled = sim::label_flows(&act_flows, &activity, catalog, 0.75);
+    let names: HashMap<_, _> = (0..catalog.devices.len())
+        .map(|i| (catalog.device_ip(i), catalog.devices[i].name.clone()))
+        .collect();
+    let samples = labeled.iter().map(|l| {
+        let act = match &l.label {
+            Some(TruthLabel::User(a)) => Some(a.as_str()),
+            _ => None,
+        };
+        (&l.flow, act)
+    });
+    let models = BehavIoT::train(
+        &TrainingData::from_flows(idle_flows, samples, names.clone()),
+        &TrainConfig {
+            parallelism: par,
+            ..Default::default()
+        },
+    );
+    let routine_flows = assemble_flows(&routine.packets, &routine.domains, &fc);
+    let events = models.infer_events(&routine_flows);
+    let traces = traces_from_events_syms(&events, &names, 60.0);
+    let system = SystemModel::from_traces(&traces, &SystemModelConfig::default());
+    (models, system)
+}
+
+#[test]
+fn deviation_stream_matches_string_pipeline() {
+    let catalog = Catalog::standard();
+    for par in [Parallelism::Off, Parallelism::Fixed(2)] {
+        let (models, system) = trained(&catalog, par);
+
+        // Three distinct uncontrolled datasets: different seeds, and the
+        // paper-like incident script (relocations, resets, outages,
+        // malfunctions, removals) firing on different days.
+        let mut total = 0usize;
+        for (dataset, seed) in [(0u64, 34u64), (1, 89), (2, 144)] {
+            let days = 4;
+            let cfg = UncontrolledConfig {
+                incidents: IncidentScript::paper_like_scaled(&catalog, days),
+                ..Default::default()
+            };
+            let mut fast = Monitor::new(models.clone(), system.clone(), MonitorConfig::default());
+            let mut base = baseline::BaselineMonitor::new(
+                models.clone(),
+                system.clone(),
+                MonitorConfig::default(),
+            );
+            for day in 0..days {
+                let cap = sim::uncontrolled_day(&catalog, seed, day, &cfg);
+                let flows = assemble_flows(&cap.packets, &cap.domains, &FlowConfig::default());
+                let got = fast.process_window(&flows, cap.start, cap.end);
+                let want = base.process_window(&flows, cap.start, cap.end);
+                assert_eq!(
+                    format!("{got:#?}"),
+                    format!("{want:#?}"),
+                    "dataset {dataset} day {day} ({par:?}): deviation streams diverged"
+                );
+                total += got.len();
+            }
+        }
+        // The incident script must actually fire: a trivially-empty stream
+        // would make this parity check vacuous.
+        assert!(total > 0, "no deviations across any dataset ({par:?})");
+    }
+}
