@@ -7,7 +7,7 @@
 //!   window so every deviation metric fires) through a fully warmed
 //!   monitor. The `baseline` entry runs the [`baseline`] module — a
 //!   faithful vendored copy of `Monitor::process_window` as it stood
-//!   before the rewrite, driving the live deprecated String APIs
+//!   before the rewrite, including its since-removed String helpers
 //!   (`infer_events` + `traces_from_events` + `long_term_deviations`, one
 //!   String per event, two Viterbi passes per trace) — and the `fast`
 //!   entry runs the live [`behaviot::Monitor`].
@@ -38,16 +38,134 @@ use std::sync::Mutex;
 /// The monitor serving path exactly as it was before the symbol-native
 /// rewrite, vendored so the speedup is measured against the real
 /// predecessor rather than a straw man. The window body is copied
-/// verbatim; it drives the deprecated String APIs — whose bodies are the
-/// original implementations — so every per-window allocation (event
+/// verbatim, along with the original bodies of the String helpers it used
+/// (`traces_from_events`, `known_devices`, `long_term_deviations`, all
+/// since removed from the library) — so every per-window allocation (event
 /// `Vec`s, one `String` per user event, the per-window `known_devices`
 /// set, two Viterbi passes per trace, String-labeled long-term rows) is
 /// faithfully reproduced.
-#[allow(deprecated)]
 mod baseline {
     use super::*;
-    use behaviot::deviation::{long_term_deviations, periodic_metric_multi};
-    use behaviot::system::traces_from_events;
+    use behaviot::deviation::periodic_metric_multi;
+    use behaviot::event::InferredEvent;
+    use behaviot_dsp::stats;
+    use behaviot_pfsm::model::{StateId, FINAL, INITIAL};
+    use std::collections::HashMap;
+
+    /// The removed `behaviot::system::traces_from_events`, verbatim.
+    fn traces_from_events(
+        events: &[InferredEvent],
+        names: &HashMap<Ipv4Addr, String>,
+        trace_gap: f64,
+    ) -> Vec<Vec<String>> {
+        let mut user: Vec<(f64, String)> = events
+            .iter()
+            .filter_map(|e| e.pfsm_label(names).map(|l| (e.ts, l)))
+            .collect();
+        user.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN event time"));
+        let mut traces: Vec<Vec<String>> = Vec::new();
+        let mut cur: Vec<String> = Vec::new();
+        let mut last_ts = f64::NEG_INFINITY;
+        for (ts, label) in user {
+            if !cur.is_empty() && ts - last_ts > trace_gap {
+                traces.push(std::mem::take(&mut cur));
+            }
+            cur.push(label);
+            last_ts = ts;
+        }
+        if !cur.is_empty() {
+            traces.push(cur);
+        }
+        traces
+    }
+
+    /// The removed `SystemModel::known_devices`, verbatim: a fresh
+    /// `HashSet<String>` per call.
+    fn known_devices(system: &SystemModel) -> std::collections::HashSet<String> {
+        (0..system.log.vocab.len() as u32)
+            .map(|i| {
+                let name = system.log.vocab.name(behaviot_pfsm::EventId(i));
+                name.split(':').next().unwrap_or(name).to_string()
+            })
+            .collect()
+    }
+
+    /// The removed `behaviot::deviation::LongTermResult`.
+    struct LongTermResult {
+        from: String,
+        to: String,
+        model_p: f64,
+        observed_p: f64,
+        n: usize,
+        z: f64,
+    }
+
+    fn state_label(model: &SystemModel, s: StateId) -> String {
+        if s == INITIAL {
+            "INITIAL".to_string()
+        } else if s == FINAL {
+            "FINAL".to_string()
+        } else {
+            match model.pfsm.event_of(s) {
+                Some(ev) => model.log.vocab.name(ev).to_string(),
+                None => format!("s{}", s.0),
+            }
+        }
+    }
+
+    /// The removed `behaviot::deviation::long_term_deviations`, verbatim.
+    fn long_term_deviations(model: &SystemModel, traces: &[Vec<String>]) -> Vec<LongTermResult> {
+        let mut counts: HashMap<(StateId, StateId), usize> = HashMap::new();
+        let mut out_totals: HashMap<StateId, usize> = HashMap::new();
+        for trace in traces {
+            if trace.is_empty() {
+                continue;
+            }
+            let resolved = model.log.resolve(trace);
+            let score = model.pfsm.score(&resolved);
+            let mut prev: Option<StateId> = Some(INITIAL);
+            for state in score.path.iter().chain(std::iter::once(&Some(FINAL))) {
+                if let (Some(a), Some(b)) = (prev, state) {
+                    *counts.entry((a, *b)).or_insert(0) += 1;
+                    *out_totals.entry(a).or_insert(0) += 1;
+                }
+                prev = *state;
+            }
+        }
+        let mut results = Vec::new();
+        for (&from, &n) in &out_totals {
+            let mut dests: std::collections::HashSet<StateId> = counts
+                .keys()
+                .filter(|(a, _)| *a == from)
+                .map(|(_, b)| *b)
+                .collect();
+            for (f, t, _, _) in model.pfsm.transitions() {
+                if f == from {
+                    dests.insert(t);
+                }
+            }
+            for to in dests {
+                let observed = counts.get(&(from, to)).copied().unwrap_or(0);
+                let p = observed as f64 / n as f64;
+                let p0 = model.pfsm.transition_prob(from, to);
+                let z = stats::binomial_z(p, p0, n).abs();
+                results.push(LongTermResult {
+                    from: state_label(model, from),
+                    to: state_label(model, to),
+                    model_p: p0,
+                    observed_p: p,
+                    n,
+                    z,
+                });
+            }
+        }
+        results.sort_by(|a, b| {
+            b.z.partial_cmp(&a.z)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (&a.from, &a.to).cmp(&(&b.from, &b.to)))
+        });
+        results
+    }
 
     pub struct BaselineMonitor {
         models: BehavIoT,
@@ -177,7 +295,7 @@ mod baseline {
                 }
             }
 
-            let known = self.system.known_devices();
+            let known = known_devices(&self.system);
             let traces: Vec<Vec<String>> =
                 traces_from_events(&events, &self.models.names, self.cfg.trace_gap)
                     .into_iter()

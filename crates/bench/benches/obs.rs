@@ -1,23 +1,32 @@
-//! Observability overhead benchmark: the same ingest workload with the
-//! metrics registry + tracer fully enabled versus fully disabled.
+//! Observability overhead benchmarks.
 //!
-//! The workload is the instrumented ingest path end to end: lossy-tolerant
-//! pcap ingest (`ingest.pcap` span, `ingest.*` counters published once per
-//! run), batch flow assembly (`flows.assemble` span, `flows.assembled`
-//! counter), and the streaming assembler (`flows.stream_bursts`, the one
-//! counter that fires per closed burst rather than per run). The two sides
-//! differ only in registry/tracer state, so their delta is the full price
-//! of observability on the hot path.
+//! Two overhead pairs, each over an identical workload with only the
+//! observability surface toggled:
 //!
-//! Acceptance bar (ISSUE, satellite d): `obs/instrumented` mean_ns must be
-//! within 5% of `obs/uninstrumented`. `scripts/bench_obs.sh` runs this with
-//! `CRITERION_JSON` set to produce `BENCH_obs.json` and checks the bar.
+//! * `obs/uninstrumented` vs `obs/instrumented` — the ingest path (pcap
+//!   ingest, batch assembly, streaming assembler) with the metrics registry
+//!   + tracer fully disabled vs fully enabled.
+//! * `obs/ledger_off` vs `obs/ledger_on` — a monitor window sequence
+//!   (mostly healthy, one deviating) through the plain serving path vs the
+//!   audited path with health tracking enabled and ledger records rendered
+//!   into a [`behaviot_obs::MemorySink`].
+//!
+//! Acceptance bar (ISSUE, satellite d): each pair's enabled side mean_ns
+//! must be within 5% of its disabled side. `scripts/bench_obs.sh` runs this
+//! with `CRITERION_JSON` set to produce `BENCH_obs.json` and checks both
+//! bars.
 
+use behaviot::{BehavIoT, HealthConfig, Monitor, MonitorConfig, TrainConfig, TrainingData};
+use behaviot::{SystemModel, SystemModelConfig};
 use behaviot_flows::ingest::{ingest_pcap_bytes, IngestOptions};
-use behaviot_flows::{assemble_flows, FlowConfig, StreamingAssembler};
+use behaviot_flows::{assemble_flows, FlowConfig, FlowRecord, StreamingAssembler, N_FEATURES};
+use behaviot_net::Proto;
+use behaviot_obs::MemorySink;
 use behaviot_sim::gen::{capture_to_frames, GenOptions, TrafficGenerator};
 use behaviot_sim::{write_pcap, Catalog};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
 
 /// Simulate a capture and render it as an in-memory pcap byte stream.
 fn pcap_bytes() -> (Vec<u8>, u64) {
@@ -42,6 +51,77 @@ fn ingest_workload(bytes: &[u8]) -> (usize, usize, usize) {
     }
     streaming.flush_into(&ingested.domains, &mut streamed);
     (ingested.packets.len(), flows.len(), streamed.len())
+}
+
+const DEV: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 10);
+
+fn flow(dest: &str, start: f64, size: f64) -> FlowRecord {
+    let mut features = [0.0; N_FEATURES];
+    features[0] = size;
+    features[1] = size;
+    features[2] = size;
+    features[11] = 2.0;
+    FlowRecord {
+        device: DEV,
+        remote: Ipv4Addr::new(52, 0, 0, 1),
+        device_port: 30000,
+        remote_port: 443,
+        proto: Proto::Tcp,
+        domain: Some(dest.into()),
+        start,
+        end: start + 0.1,
+        n_packets: 4,
+        total_bytes: size as u64 * 4,
+        features,
+    }
+}
+
+/// A single-plug monitor (heartbeat @ 100 s, `on_off` activity) — the same
+/// fixture shape as the core monitor tests, trained once per side.
+fn trained_monitor() -> Monitor {
+    let idle: Vec<FlowRecord> = (0..600)
+        .map(|i| flow("hb.cloud.com", i as f64 * 100.0, 120.0))
+        .collect();
+    let activity: Vec<(FlowRecord, Option<String>)> = (0..40)
+        .flat_map(|i| {
+            vec![
+                (
+                    flow("ctl.cloud.com", i as f64 * 75.0, 800.0),
+                    Some("on_off".to_string()),
+                ),
+                (flow("hb.cloud.com", 10.0 + i as f64 * 75.0, 120.0), None),
+            ]
+        })
+        .collect();
+    let refs: Vec<(&FlowRecord, Option<&str>)> =
+        activity.iter().map(|(f, l)| (f, l.as_deref())).collect();
+    let mut names = HashMap::new();
+    names.insert(DEV, "plug".to_string());
+    let data = TrainingData::from_flows(idle, refs, names);
+    let models = BehavIoT::train(&data, &TrainConfig::default());
+    let traces: Vec<Vec<String>> = (0..30).map(|_| vec!["plug:on_off".to_string()]).collect();
+    let system = SystemModel::from_traces(&traces, &SystemModelConfig::default());
+    Monitor::new(models, system, MonitorConfig::default())
+}
+
+/// Six windows: five healthy heartbeat-only windows and one with an
+/// `on_off` flood that fires a short-term deviation — so the ledger side
+/// renders real records every pass, not just empty headers.
+fn monitor_windows() -> Vec<(Vec<FlowRecord>, f64, f64)> {
+    (0..6)
+        .map(|w| {
+            let base = w as f64 * 8600.0;
+            let mut flows: Vec<FlowRecord> = (0..86)
+                .map(|i| flow("hb.cloud.com", base + i as f64 * 100.0, 120.0))
+                .collect();
+            if w == 3 {
+                // Burst of on_off events inside one trace gap: improbable
+                // under a model trained on single-event traces.
+                flows.extend((0..8).map(|i| flow("ctl.cloud.com", base + 40.0 * i as f64, 800.0)));
+            }
+            (flows, base, base + 8600.0)
+        })
+        .collect()
 }
 
 fn bench_obs(c: &mut Criterion) {
@@ -80,6 +160,67 @@ fn bench_obs(c: &mut Criterion) {
     behaviot_obs::tracer().set_enabled(false);
     behaviot_obs::tracer().clear();
     g.finish();
+
+    bench_ledger(c);
+}
+
+/// The monitor-window pair: audited path + health + in-memory ledger vs
+/// the plain serving path, over identical windows.
+fn bench_ledger(c: &mut Criterion) {
+    let windows = monitor_windows();
+
+    // Agreement gate: the audited path must emit the same deviation stream
+    // as the plain path, and the deviating window must actually deviate —
+    // an empty ledger would benchmark nothing.
+    let mut plain = trained_monitor();
+    let mut audited = trained_monitor();
+    audited.enable_health(HealthConfig::default());
+    let mut sink = MemorySink::new();
+    let mut n_plain = 0usize;
+    let mut n_audited = 0usize;
+    for (flows, start, end) in &windows {
+        let a = plain.process_window(flows, *start, *end);
+        let b = audited.process_window_audited(flows, *start, *end, None, &mut sink);
+        assert_eq!(format!("{a:#?}"), format!("{b:#?}"), "audited path diverged");
+        n_plain += a.len();
+        n_audited += b.len();
+    }
+    assert!(n_plain > 0, "workload produced no deviations");
+    assert_eq!(n_plain, n_audited);
+    assert!(!sink.is_empty(), "deviations produced no ledger records");
+
+    let mut g = c.benchmark_group("obs");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(windows.len() as u64));
+
+    let mut monitor = trained_monitor();
+    g.bench_function("ledger_off", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for (flows, start, end) in &windows {
+                n += monitor.process_window(flows, *start, *end).len();
+            }
+            n
+        })
+    });
+
+    let mut monitor = trained_monitor();
+    monitor.enable_health(HealthConfig::default());
+    let mut sink = MemorySink::new();
+    g.bench_function("ledger_on", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for (flows, start, end) in &windows {
+                n += monitor
+                    .process_window_audited(flows, *start, *end, None, &mut sink)
+                    .len();
+            }
+            // Bound ledger memory across iterations, like tracer().clear()
+            // above; the take is outside the per-window loop.
+            sink.take();
+            n
+        })
+    });
 }
 
 criterion_group!(benches, bench_obs);

@@ -1,20 +1,26 @@
-//! CLI plumbing for observability: `--trace <path>`, `--metrics-out <path>`
-//! and the `BEHAVIOT_TRACE` environment variable, shared by every
-//! experiment binary.
+//! CLI plumbing for observability: `--trace <path>`, `--metrics-out <path>`,
+//! `--ledger-out <path>`, `--openmetrics-out <path>` and the
+//! `BEHAVIOT_TRACE` environment variable, shared by every experiment binary.
 //!
 //! Construct an [`ObsSession`] at the top of `main` (it enables span
 //! recording if a trace destination was requested) and call
 //! [`ObsSession::finish`] before exiting (it writes the Chrome Trace Event
-//! file and the JSONL metrics snapshot). Binaries whose argument parsers
+//! file, the JSONL metrics snapshot, and the OpenMetrics exposition).
+//! Binaries that replay a monitor additionally fetch the deviation-ledger
+//! sink via [`ObsSession::ledger_sink`] and pass it to
+//! `Monitor::process_window_audited`. Binaries whose argument parsers
 //! tolerate unknown flags need no further changes; strict parsers must also
-//! accept the two flags.
+//! accept the flags.
 
+use behaviot_obs::{FileSink, LedgerSink, NullSink};
 use std::path::PathBuf;
 
 /// Where this run's observability output goes, parsed from the CLI.
 pub struct ObsSession {
     trace_path: Option<PathBuf>,
     metrics_path: Option<PathBuf>,
+    ledger_path: Option<PathBuf>,
+    openmetrics_path: Option<PathBuf>,
 }
 
 fn flag_value(args: &[String], i: usize, flag: &str) -> Option<String> {
@@ -42,12 +48,20 @@ impl ObsSession {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut trace_path: Option<PathBuf> = None;
         let mut metrics_path: Option<PathBuf> = None;
+        let mut ledger_path: Option<PathBuf> = None;
+        let mut openmetrics_path: Option<PathBuf> = None;
         for i in 0..args.len() {
             if let Some(v) = flag_value(&args, i, "--trace") {
                 trace_path = Some(PathBuf::from(v));
             }
             if let Some(v) = flag_value(&args, i, "--metrics-out") {
                 metrics_path = Some(PathBuf::from(v));
+            }
+            if let Some(v) = flag_value(&args, i, "--ledger-out") {
+                ledger_path = Some(PathBuf::from(v));
+            }
+            if let Some(v) = flag_value(&args, i, "--openmetrics-out") {
+                openmetrics_path = Some(PathBuf::from(v));
             }
         }
         if trace_path.is_none() {
@@ -63,12 +77,46 @@ impl ObsSession {
         Self {
             trace_path,
             metrics_path,
+            ledger_path,
+            openmetrics_path,
         }
     }
 
     /// Is any observability output destination active?
     pub fn active(&self) -> bool {
-        self.trace_path.is_some() || self.metrics_path.is_some()
+        self.trace_path.is_some()
+            || self.metrics_path.is_some()
+            || self.ledger_path.is_some()
+            || self.openmetrics_path.is_some()
+    }
+
+    /// The deviation-ledger destination: a buffered [`FileSink`] when
+    /// `--ledger-out` was given, a [`NullSink`] otherwise. The caller owns
+    /// the sink (pass it to `process_window_audited`) and must hand it back
+    /// to [`ObsSession::finish_ledger`] so write errors surface.
+    pub fn ledger_sink(&self) -> Box<dyn LedgerSink> {
+        match &self.ledger_path {
+            Some(path) => match FileSink::create(path) {
+                Ok(sink) => Box::new(sink),
+                Err(e) => {
+                    eprintln!("failed to create ledger {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            },
+            None => Box::new(NullSink),
+        }
+    }
+
+    /// Flush a sink obtained from [`ObsSession::ledger_sink`]. Like the
+    /// other outputs, failures are fatal.
+    pub fn finish_ledger(&self, sink: &mut dyn LedgerSink) {
+        if let Err(e) = sink.flush() {
+            eprintln!("failed to write ledger: {e}");
+            std::process::exit(1);
+        }
+        if let Some(path) = &self.ledger_path {
+            eprintln!("[obs] ledger written to {}", path.display());
+        }
     }
 
     /// Write the requested outputs: a Perfetto-loadable Chrome Trace Event
@@ -91,6 +139,14 @@ impl ObsSession {
                 std::process::exit(1);
             });
             eprintln!("[obs] metrics written to {}", path.display());
+        }
+        if let Some(path) = &self.openmetrics_path {
+            let text = behaviot_obs::openmetrics::render(&behaviot_obs::metrics().snapshot());
+            std::fs::write(path, text).unwrap_or_else(|e| {
+                eprintln!("failed to write openmetrics {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            eprintln!("[obs] openmetrics written to {}", path.display());
         }
     }
 }

@@ -12,9 +12,10 @@
 //! snapshot — is byte-identical under every [`Parallelism`] setting.
 
 use crate::prep::{Prepared, Scale};
-use behaviot::{Monitor, MonitorConfig, SystemModel, SystemModelConfig};
+use behaviot::{HealthConfig, Monitor, MonitorConfig, SystemModel, SystemModelConfig, WindowIngest};
 use behaviot_flows::ingest::{ingest_pcap_bytes, IngestOptions};
 use behaviot_flows::{assemble_flows, FlowConfig, StreamingAssembler};
+use behaviot_obs::{LedgerSink, NullSink};
 use behaviot_par::Parallelism;
 use behaviot_sim::gen::{capture_to_frames, GenOptions};
 use behaviot_sim::{write_pcap, Catalog, TrafficGenerator};
@@ -34,6 +35,15 @@ fn smoke_scale() -> Scale {
 /// Run the full instrumented pipeline once under `par` and return a
 /// one-line summary. Deterministic across thread policies.
 pub fn run_smoke(par: Parallelism) -> String {
+    run_smoke_audited(par, &mut NullSink)
+}
+
+/// [`run_smoke`] with the audit surface attached: the monitor window runs
+/// through `process_window_audited` with health tracking enabled and the
+/// window's ingest-gate counters in scope, so `--ledger-out` captures a
+/// real ledger (window header + deviations + health transitions). The
+/// summary line — and the ledger bytes — stay policy-invariant.
+pub fn run_smoke_audited(par: Parallelism, sink: &mut dyn LedgerSink) -> String {
     // 1. Capture → pcap bytes → lossy-tolerant ingest (ingest.pcap).
     let catalog = Catalog::standard();
     let gen = TrafficGenerator::new(&catalog, 0x0B5);
@@ -73,17 +83,24 @@ pub fn run_smoke(par: Parallelism) -> String {
 
     // 6. One monitor window over the routine flows — the symbol-native
     // serving path (monitor.window span, monitor.traces / monitor.deviations
-    // counters). Routine flows carry user events, so traces actually form.
-    // The window path is serial by contract, so the deviation count is
-    // policy-invariant like everything else here.
+    // counters), audited: health tracking on, the pcap ingest's gate
+    // counters in scope, ledger records into `sink`. The window path is
+    // serial by contract, so the deviation count is policy-invariant like
+    // everything else here.
     let mut monitor = Monitor::new(
         prepared.models.clone(),
         system.clone(),
         MonitorConfig::default(),
     );
+    monitor.enable_health(HealthConfig::default());
     let w_start = routine_flows.iter().map(|f| f.start).fold(f64::MAX, f64::min);
     let w_end = routine_flows.iter().map(|f| f.end).fold(f64::MIN, f64::max);
-    let deviations = monitor.process_window(&routine_flows, w_start, w_end);
+    let ingest = WindowIngest {
+        report: &ingested.report,
+        records_total: ingested.packets.len() as u64 + ingested.report.dropped_records(),
+    };
+    let deviations =
+        monitor.process_window_audited(&routine_flows, w_start, w_end, Some(ingest), sink);
 
     format!(
         "obs smoke: {} packets -> {} flows ({} streamed), {} events, {} routine events, pfsm {} states / {} transitions, {} monitor deviations",

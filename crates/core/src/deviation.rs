@@ -5,7 +5,6 @@ use crate::system::SystemModel;
 use behaviot_dsp::stats;
 use behaviot_intern::{FxHashMap, FxHashSet, Symbol};
 use behaviot_pfsm::model::{StateId, FINAL, INITIAL};
-use std::collections::HashMap;
 
 /// The paper's empirically chosen periodic-event threshold: the knee of the
 /// zoomed CDF in Fig. 4a, `ln(|5T − T|/T + 1) = ln 5 ≈ 1.61` (an event
@@ -40,118 +39,32 @@ pub fn periodic_metric_multi(elapsed: f64, periods: &[f64], max_missed: u32) -> 
         .fold(f64::INFINITY, f64::min)
 }
 
-/// One long-term deviation test result: an observed transition frequency
-/// checked against the model's transition probability with a one-proportion
-/// z-test (Binomial approximation).
-#[deprecated(
-    note = "allocates String labels per result; use `long_term_deviations_syms` / `LongTermDeviation`"
-)]
-#[derive(Debug, Clone)]
-pub struct LongTermResult {
-    /// Source state label ("INITIAL" for the start state).
-    pub from: String,
-    /// Destination state label ("FINAL" for the end state).
-    pub to: String,
-    /// Transition probability in the model (`p0`).
-    pub model_p: f64,
-    /// Observed transition probability in the new window (`p`).
-    pub observed_p: f64,
-    /// Number of departures from the source state in the window (`n`).
-    pub n: usize,
-    /// The metric `Z = |z|`; infinite when the model's variance is zero
-    /// (e.g. a transition the model has never seen).
-    pub z: f64,
-}
-
-/// Evaluate the long-term deviation metric over a window of traces: map
-/// each trace onto the PFSM (Viterbi), count state transitions, and z-test
-/// each against the model (§4.3). Results cover every `(from, to)` pair
-/// that is observed in the window or predicted by the model from an
-/// observed source state.
-#[deprecated(
-    note = "allocates String labels and fresh maps per window; use `long_term_deviations_syms` \
-            or a reusable `LongTermAccumulator`"
-)]
-#[allow(deprecated)]
-pub fn long_term_deviations(model: &SystemModel, traces: &[Vec<String>]) -> Vec<LongTermResult> {
-    // Count observed transitions, including INITIAL/FINAL. Unknown events
-    // (no state) break the chain: transitions into/out of them are skipped
-    // (the short-term metric owns new-event detection).
-    let mut counts: HashMap<(StateId, StateId), usize> = HashMap::new();
-    let mut out_totals: HashMap<StateId, usize> = HashMap::new();
-    for trace in traces {
-        if trace.is_empty() {
-            continue;
-        }
-        let resolved = model.log.resolve(trace);
-        let score = model.pfsm.score(&resolved);
-        let mut prev: Option<StateId> = Some(INITIAL);
-        for state in score.path.iter().chain(std::iter::once(&Some(FINAL))) {
-            if let (Some(a), Some(b)) = (prev, state) {
-                *counts.entry((a, *b)).or_insert(0) += 1;
-                *out_totals.entry(a).or_insert(0) += 1;
-            }
-            prev = *state;
-        }
-    }
-
-    // For each observed source state, test every destination that is
-    // observed or that the model expects.
-    let mut results = Vec::new();
-    for (&from, &n) in &out_totals {
-        let mut dests: std::collections::HashSet<StateId> = counts
-            .keys()
-            .filter(|(a, _)| *a == from)
-            .map(|(_, b)| *b)
-            .collect();
-        for (f, t, _, _) in model.pfsm.transitions() {
-            if f == from {
-                dests.insert(t);
+/// [`periodic_metric_multi`] plus the best-matching period: returns
+/// `(score, period)` where `period` is the modeled period whose (possibly
+/// multiple-spanning) schedule the elapsed time matched best — the timer
+/// the audit ledger names as evidence. The score is computed over the same
+/// candidates in the same order, so it is bit-identical to
+/// [`periodic_metric_multi`]; ties keep the first-seen period. Empty
+/// period lists (which trained models never produce) return
+/// `(f64::INFINITY, 0.0)`.
+pub fn periodic_metric_multi_explain(elapsed: f64, periods: &[f64], max_missed: u32) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    let mut best_period = 0.0;
+    for &t in periods {
+        for k in 1..=max_missed.max(1) {
+            let score = ((elapsed - k as f64 * t).abs() / t + 1.0).ln();
+            if score < best {
+                best = score;
+                best_period = t;
             }
         }
-        for to in dests {
-            let observed = counts.get(&(from, to)).copied().unwrap_or(0);
-            let p = observed as f64 / n as f64;
-            let p0 = model.pfsm.transition_prob(from, to);
-            let z = stats::binomial_z(p, p0, n).abs();
-            results.push(LongTermResult {
-                from: state_label(model, from),
-                to: state_label(model, to),
-                model_p: p0,
-                observed_p: p,
-                n,
-                z,
-            });
-        }
     }
-    // Total order: z descending, then labels — the HashMaps above iterate
-    // in a per-instance random order, so a z-only sort would leave tied
-    // results (e.g. several z = inf) nondeterministically arranged, which
-    // breaks replay invariance (tests/store_replay.rs).
-    results.sort_by(|a, b| {
-        b.z.partial_cmp(&a.z)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| (&a.from, &a.to).cmp(&(&b.from, &b.to)))
-    });
-    results
+    (best, best_period)
 }
 
-fn state_label(model: &SystemModel, s: StateId) -> String {
-    if s == INITIAL {
-        "INITIAL".to_string()
-    } else if s == FINAL {
-        "FINAL".to_string()
-    } else {
-        match model.pfsm.event_of(s) {
-            Some(ev) => model.log.vocab.name(ev).to_string(),
-            None => format!("s{}", s.0),
-        }
-    }
-}
-
-/// `state_label` as an interned [`Symbol`]: no per-call allocation for
-/// INITIAL/FINAL/vocabulary states (the anonymous-state fallback renders
-/// once per state process-wide).
+/// The label of a PFSM state as an interned [`Symbol`]: no per-call
+/// allocation for INITIAL/FINAL/vocabulary states (the anonymous-state
+/// fallback renders once per state process-wide).
 fn state_label_sym(model: &SystemModel, s: StateId) -> Symbol {
     if s == INITIAL {
         Symbol::intern("INITIAL")
@@ -165,9 +78,10 @@ fn state_label_sym(model: &SystemModel, s: StateId) -> Symbol {
     }
 }
 
-/// One long-term deviation test result with interned state labels — the
-/// symbol-native form of the deprecated `LongTermResult`. The label text is
-/// identical (`"INITIAL"`/`"FINAL"`/the vocabulary event name).
+/// One long-term deviation test result with interned state labels: an
+/// observed transition frequency checked against the model's transition
+/// probability with a one-proportion z-test (Binomial approximation). The
+/// label text is `"INITIAL"`/`"FINAL"`/the vocabulary event name.
 #[derive(Debug, Clone, Copy)]
 pub struct LongTermDeviation {
     /// Source state label ("INITIAL" for the start state).
@@ -190,10 +104,12 @@ pub struct LongTermDeviation {
 /// accumulator and reuses its maps and result buffer instead of building
 /// fresh ones per window.
 ///
-/// The result order is identical to the deprecated `long_term_deviations`:
-/// the final sort on `(z desc, from, to)` is total ([`Symbol`] ordering is
-/// string ordering, and `(from, to)` pairs are unique), so the pre-sort map
-/// iteration order is immaterial.
+/// The result order is deterministic: the final sort on `(z desc, from,
+/// to)` is total ([`Symbol`] ordering is string ordering, and `(from, to)`
+/// pairs are unique), so the pre-sort map iteration order is immaterial —
+/// a z-only sort would leave tied results (e.g. several `z = inf`)
+/// nondeterministically arranged, breaking replay invariance
+/// (tests/store_replay.rs).
 #[derive(Debug, Default)]
 pub struct LongTermAccumulator {
     counts: FxHashMap<(StateId, StateId), usize>,
@@ -271,8 +187,8 @@ impl LongTermAccumulator {
             }
         }
         // Unstable sort (no merge-buffer allocation): the comparator is a
-        // total order over the unique (from, to) pairs, so the result order
-        // matches the batch API's stable sort exactly.
+        // total order over the unique (from, to) pairs, so ties cannot be
+        // reordered and the result order is fully determined.
         self.results.sort_unstable_by(|a, b| {
             b.z.partial_cmp(&a.z)
                 .unwrap_or(std::cmp::Ordering::Equal)
@@ -282,10 +198,13 @@ impl LongTermAccumulator {
     }
 }
 
-/// Symbol-native `long_term_deviations`: identical tests, labels, and
-/// result order, with interned labels. Accepts `String` or [`Symbol`]
-/// traces. Batch convenience over [`LongTermAccumulator`]; streaming
-/// callers should hold their own accumulator (and scratch) and reuse them.
+/// Evaluate the long-term deviation metric over a window of traces: map
+/// each trace onto the PFSM (Viterbi), count state transitions, and z-test
+/// each against the model (§4.3). Results cover every `(from, to)` pair
+/// that is observed in the window or predicted by the model from an
+/// observed source state. Accepts `String` or [`Symbol`] traces. Batch
+/// convenience over [`LongTermAccumulator`]; streaming callers should hold
+/// their own accumulator (and scratch) and reuse them.
 pub fn long_term_deviations_syms<S: AsRef<str>>(
     model: &SystemModel,
     traces: &[Vec<S>],
@@ -338,6 +257,26 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_period_panics() {
         periodic_metric(1.0, 0.0);
+    }
+
+    #[test]
+    fn explain_matches_multi_and_names_the_period() {
+        let periods = [60.0, 3600.0];
+        for elapsed in [30.0, 60.0, 150.0, 3500.0, 9000.0] {
+            for max_missed in [1u32, 2, 5] {
+                let (score, period) = periodic_metric_multi_explain(elapsed, &periods, max_missed);
+                let want = periodic_metric_multi(elapsed, &periods, max_missed);
+                assert_eq!(score.to_bits(), want.to_bits(), "elapsed {elapsed}");
+                assert!(periods.contains(&period));
+            }
+        }
+        let (s, p) = periodic_metric_multi_explain(3600.0, &periods, 1);
+        assert!(s < 1e-9);
+        assert_eq!(p, 3600.0);
+        assert_eq!(
+            periodic_metric_multi_explain(10.0, &[], 3),
+            (f64::INFINITY, 0.0)
+        );
     }
 
     fn simple_model() -> SystemModel {
@@ -395,8 +334,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn syms_results_match_deprecated_string_results() {
+    fn result_order_is_total_and_deterministic() {
         let m = simple_model();
         // A window mixing matching, shifted, and novel transitions — plus
         // an unknown event and an empty trace.
@@ -412,17 +350,25 @@ mod tests {
         window.push(vec!["b".into(), "a".into()]);
         window.push(vec!["a".into(), "ghost".into(), "b".into()]);
         window.push(vec![]);
-        #[allow(deprecated)]
-        let old = long_term_deviations(&m, &window);
-        let new = long_term_deviations_syms(&m, &window);
-        assert_eq!(old.len(), new.len());
-        for (o, n) in old.iter().zip(&new) {
-            assert_eq!(o.from, n.from.as_str());
-            assert_eq!(o.to, n.to.as_str());
-            assert_eq!(o.n, n.n);
-            assert_eq!(o.model_p.to_bits(), n.model_p.to_bits());
-            assert_eq!(o.observed_p.to_bits(), n.observed_p.to_bits());
-            assert_eq!(o.z.to_bits(), n.z.to_bits());
+        let first = long_term_deviations_syms(&m, &window);
+        for _ in 0..5 {
+            let again = long_term_deviations_syms(&m, &window);
+            assert_eq!(first.len(), again.len());
+            for (o, n) in first.iter().zip(&again) {
+                assert_eq!(o.from, n.from);
+                assert_eq!(o.to, n.to);
+                assert_eq!(o.z.to_bits(), n.z.to_bits());
+            }
+        }
+        // (z desc, from, to) holds over the whole result set.
+        for w in first.windows(2) {
+            assert!(
+                w[0].z > w[1].z
+                    || (w[0].z == w[1].z && (w[0].from, w[0].to) < (w[1].from, w[1].to)),
+                "{:?} before {:?}",
+                w[0],
+                w[1]
+            );
         }
     }
 

@@ -73,6 +73,7 @@ pub mod deviation;
 pub mod diff;
 pub mod event;
 pub mod events;
+pub mod health;
 pub mod monitor;
 pub mod periodic;
 pub mod persist;
@@ -83,7 +84,8 @@ pub mod user_action;
 
 pub use event::{DeviceKey, EventKind, InferredEvent};
 pub use events::{BehavIoT, EventScratch, TrainConfig, TrainingData};
-pub use monitor::{Deviation, DeviationKind, Monitor, MonitorConfig, MonitorState};
+pub use health::{HealthConfig, HealthExport, HealthRegistry, HealthState, HealthTransition};
+pub use monitor::{Deviation, DeviationKind, Monitor, MonitorConfig, MonitorState, WindowIngest};
 pub use periodic::{GroupKey, PeriodicModel, PeriodicModelSet, PeriodicTimers, PeriodicTrainConfig};
 pub use system::{SystemModel, SystemModelConfig};
 pub use unsupervised::{UnsupervisedConfig, UnsupervisedUserModels};

@@ -9,15 +9,20 @@
 //! `tests/monitor_parity.rs` and the `benches/monitor.rs` agreement gate.
 
 use crate::deviation::{
-    long_term_threshold, periodic_metric_multi, LongTermAccumulator, PERIODIC_THRESHOLD,
+    long_term_threshold, periodic_metric_multi_explain, LongTermAccumulator, PERIODIC_THRESHOLD,
 };
 use crate::event::{EventKind, InferredEvent};
 use crate::events::{BehavIoT, EventScratch};
+use crate::health::{HealthConfig, HealthExport, HealthRegistry};
 use crate::periodic::GroupKey;
 use crate::system::SystemModel;
 use behaviot_flows::FlowRecord;
 use behaviot_intern::{FxHashMap, FxHashSet, Symbol};
+use behaviot_net::IngestReport;
+use behaviot_obs::ledger::{write_json_f64, write_json_str};
+use behaviot_obs::{LedgerSink, NullSink};
 use behaviot_pfsm::{EventId, ScoreScratch};
+use std::fmt::Write as _;
 use std::net::Ipv4Addr;
 use std::sync::OnceLock;
 
@@ -27,6 +32,7 @@ use std::sync::OnceLock;
 struct MonitorMetrics {
     deviations: behaviot_obs::Counter,
     traces: behaviot_obs::Counter,
+    ledger_records: behaviot_obs::Counter,
 }
 
 fn monitor_metrics() -> &'static MonitorMetrics {
@@ -36,6 +42,7 @@ fn monitor_metrics() -> &'static MonitorMetrics {
         MonitorMetrics {
             deviations: m.counter("monitor.deviations"),
             traces: m.counter("monitor.traces"),
+            ledger_records: m.counter("monitor.ledger_records"),
         }
     })
 }
@@ -128,6 +135,10 @@ pub struct MonitorState {
     pub absence_flagged: Vec<Ipv4Addr>,
     /// Long-term transitions currently in the deviating state.
     pub long_flagged: Vec<(Symbol, Symbol)>,
+    /// Windows processed so far — the audit ledger's sequence counter, so
+    /// a restored monitor's ledger records continue the numbering instead
+    /// of restarting at zero.
+    pub windows: u64,
 }
 
 /// Per-window scratch owned by the monitor: every buffer the serving path
@@ -160,6 +171,68 @@ struct MonitorScratch {
     score: ScoreScratch,
     /// Long-term transition-counting scratch.
     longterm: LongTermAccumulator,
+    /// Causal evidence aligned index-for-index with the window's emitted
+    /// deviations (the audit ledger's `evidence` object).
+    evidence: Vec<Evidence>,
+    /// Ledger line render buffer, reused record to record.
+    line: String,
+    /// Devices implicated in a deviation this window (health attribution;
+    /// never iterated, so reused capacity cannot affect emission order).
+    deviant: FxHashMap<Symbol, DeviationKind>,
+    /// Devices with at least one inferred event this window.
+    seen: FxHashSet<Symbol>,
+}
+
+/// Causal evidence for one emitted [`Deviation`], rendered into the audit
+/// ledger. Everything here is captured from the metric computation itself
+/// — the timer and period behind a periodic score, the Viterbi probability
+/// behind a trace score, the z-test inputs behind a long-term score.
+#[derive(Debug, Clone, Copy)]
+enum Evidence {
+    /// An observed inter-event gap scored off schedule.
+    Gap {
+        device: Ipv4Addr,
+        dest: Symbol,
+        gap: f64,
+        period: f64,
+    },
+    /// A silent periodic group's count-up timer ran past its period.
+    Absence {
+        device: Ipv4Addr,
+        dest: Symbol,
+        elapsed: f64,
+        period: f64,
+    },
+    /// The testbed-outage collapse of many simultaneous absences.
+    Outage { devices: usize },
+    /// A user-event trace scored improbable under the PFSM.
+    Trace { events: usize, log10_prob: f64 },
+    /// A transition frequency failed the long-term z-test.
+    Transition {
+        from: Symbol,
+        to: Symbol,
+        observed_p: f64,
+        model_p: f64,
+        n: usize,
+    },
+}
+
+/// Ingest accounting in effect for one monitor window: the gate counters
+/// plus the record total they are measured against, recorded into the
+/// audit ledger's window header.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowIngest<'a> {
+    /// Gate counters accumulated while ingesting this window's capture.
+    pub report: &'a IngestReport,
+    /// Total records the counters are a fraction of.
+    pub records_total: u64,
+}
+
+impl<'a> WindowIngest<'a> {
+    /// Fraction of records the gates dropped.
+    pub fn drop_frac(&self) -> f64 {
+        self.report.drop_frac(self.records_total)
+    }
 }
 
 /// The streaming monitor. Feed it capture windows (e.g. one day at a
@@ -190,6 +263,14 @@ pub struct Monitor {
     st_threshold: f64,
     /// Long-term critical z-value, fixed by the configuration.
     lt_crit: f64,
+    /// Device address → interned display label (the name when known, the
+    /// dotted address otherwise), built at construction so health
+    /// attribution and ledger rendering never allocate per window.
+    device_syms: FxHashMap<Ipv4Addr, Symbol>,
+    /// Optional per-device health state machine (see [`HealthRegistry`]).
+    health: Option<HealthRegistry>,
+    /// Windows processed (the ledger sequence counter).
+    windows: u64,
     scratch: MonitorScratch,
 }
 
@@ -200,6 +281,18 @@ impl Monitor {
         let devices: FxHashSet<Ipv4Addr> = models.periodic.iter().map(|m| m.device).collect();
         let st_threshold = system.short_term_threshold(cfg.short_sigma);
         let lt_crit = long_term_threshold(cfg.long_confidence);
+        // Every device the monitor can say anything about: named devices
+        // plus devices with periodic models, labeled like `device_label`.
+        let mut device_syms: FxHashMap<Ipv4Addr, Symbol> = models
+            .names
+            .iter()
+            .map(|(&ip, name)| (ip, Symbol::intern(name)))
+            .collect();
+        for &ip in &devices {
+            device_syms
+                .entry(ip)
+                .or_insert_with(|| Symbol::intern(&ip.to_string()));
+        }
         Self {
             models,
             system,
@@ -211,6 +304,9 @@ impl Monitor {
             n_devices_with_models: devices.len(),
             st_threshold,
             lt_crit,
+            device_syms,
+            health: None,
+            windows: 0,
             scratch: MonitorScratch::default(),
         }
     }
@@ -230,6 +326,30 @@ impl Monitor {
         &self.cfg
     }
 
+    /// Attach a per-device health state machine: every device the monitor
+    /// has models for is registered (Healthy), and each processed window is
+    /// folded into it — deviations, silence, and the ingest drop budget.
+    /// State transitions are recorded into the audit ledger.
+    pub fn enable_health(&mut self, cfg: HealthConfig) {
+        let mut registry = HealthRegistry::new(cfg);
+        for &sym in self.device_syms.values() {
+            registry.register(sym);
+        }
+        self.health = Some(registry);
+    }
+
+    /// The health registry, when [`Self::enable_health`] (or
+    /// [`Self::restore_health`]) attached one.
+    pub fn health(&self) -> Option<&HealthRegistry> {
+        self.health.as_ref()
+    }
+
+    /// Re-attach a health registry from a durable checkpoint (the store's
+    /// optional `health` artifact), continuing its timeline exactly.
+    pub fn restore_health(&mut self, export: HealthExport) {
+        self.health = Some(HealthRegistry::restore(export));
+    }
+
     /// Snapshot the cross-window streaming state, sorted deterministically
     /// (timers by group key, flags by address / transition labels).
     pub fn export_state(&self) -> MonitorState {
@@ -244,6 +364,7 @@ impl Monitor {
             last_seen,
             absence_flagged,
             long_flagged,
+            windows: self.windows,
         }
     }
 
@@ -260,6 +381,7 @@ impl Monitor {
         monitor.last_seen = state.last_seen.into_iter().collect();
         monitor.absence_flagged = state.absence_flagged.into_iter().collect();
         monitor.long_flagged = state.long_flagged.into_iter().collect();
+        monitor.windows = state.windows;
         monitor
     }
 
@@ -284,11 +406,44 @@ impl Monitor {
         window_start: f64,
         window_end: f64,
     ) -> Vec<Deviation> {
+        self.process_window_audited(flows, window_start, window_end, None, &mut NullSink)
+    }
+
+    /// [`Self::process_window`] with the audit surface attached: the same
+    /// deviation stream (bit-identical — the unaudited form is this method
+    /// with no ingest context and a [`NullSink`]), plus one JSONL record
+    /// per deviation carrying its causal evidence, a window header with
+    /// the ingest-gate counters in effect, and per-device health
+    /// transitions when [`Self::enable_health`] attached a registry — all
+    /// appended to `sink` (see DESIGN.md §15 for the record schema).
+    ///
+    /// Ledger bytes are deterministic: records derive only from
+    /// policy-invariant state, in emission order, with floats in
+    /// shortest-round-trip form (`tests/ledger_determinism.rs`). A healthy
+    /// window with clean ingest appends nothing and allocates nothing.
+    pub fn process_window_audited(
+        &mut self,
+        flows: &[FlowRecord],
+        window_start: f64,
+        window_end: f64,
+        ingest: Option<WindowIngest<'_>>,
+        sink: &mut dyn LedgerSink,
+    ) -> Vec<Deviation> {
         let mut span = behaviot_obs::span!("monitor.window", flows = flows.len());
         let _ = self
             .models
             .infer_events_into(flows, &mut self.scratch.infer, &mut self.scratch.events);
         let mut out = Vec::new();
+        self.scratch.evidence.clear();
+        self.scratch.deviant.clear();
+        self.scratch.seen.clear();
+        if self.health.is_some() {
+            for e in &self.scratch.events {
+                if let Some(&sym) = self.device_syms.get(&e.device) {
+                    self.scratch.seen.insert(sym);
+                }
+            }
+        }
 
         // ---- periodic-event deviations --------------------------------
         // Observed events advance the per-group timer; each gap larger
@@ -300,8 +455,12 @@ impl Monitor {
         // until first insert (free on healthy windows), and their
         // iteration order — which fixes the emission order — stays
         // capacity-independent.
-        let mut worst_gap: FxHashMap<Ipv4Addr, (f64, f64, Symbol)> = FxHashMap::default(); // device -> (score, ts, dest)
-        let mut worst_absent: FxHashMap<Ipv4Addr, (f64, Symbol)> = FxHashMap::default();
+        // The map values carry the ledger evidence (gap/elapsed and the
+        // best-matching period) alongside the score that fixes emission;
+        // `periodic_metric_multi_explain` computes the identical score.
+        let mut worst_gap: FxHashMap<Ipv4Addr, (f64, f64, Symbol, f64, f64)> =
+            FxHashMap::default(); // device -> (score, ts, dest, gap, period)
+        let mut worst_absent: FxHashMap<Ipv4Addr, (f64, Symbol, f64, f64)> = FxHashMap::default();
         for e in &self.scratch.events {
             let key: GroupKey = (e.device, e.destination, e.proto);
             let Some(model) = self.models.periodic.get(&key) else {
@@ -312,13 +471,14 @@ impl Monitor {
             self.absence_flagged.remove(&e.device);
             if let Some(prev) = self.last_seen.insert(key, e.ts) {
                 let gap = e.ts - prev;
-                let score = periodic_metric_multi(gap, &model.periods, self.max_missed);
+                let (score, period) =
+                    periodic_metric_multi_explain(gap, &model.periods, self.max_missed);
                 if score > self.cfg.periodic_threshold {
                     let entry = worst_gap
                         .entry(e.device)
-                        .or_insert((0.0, e.ts, e.destination));
+                        .or_insert((0.0, e.ts, e.destination, gap, period));
                     if score > entry.0 {
-                        *entry = (score, e.ts, e.destination);
+                        *entry = (score, e.ts, e.destination, gap, period);
                     }
                 }
             }
@@ -329,7 +489,8 @@ impl Monitor {
                 continue;
             };
             let elapsed = window_end - last;
-            let score = periodic_metric_multi(elapsed, &model.periods, self.max_missed);
+            let (score, period) =
+                periodic_metric_multi_explain(elapsed, &model.periods, self.max_missed);
             // Only meaningful when the group has actually fallen silent
             // beyond its period, and only reported once per silence.
             if elapsed > model.period()
@@ -338,16 +499,16 @@ impl Monitor {
             {
                 let entry = worst_absent
                     .entry(model.device)
-                    .or_insert((0.0, model.destination));
+                    .or_insert((0.0, model.destination, elapsed, period));
                 if score > entry.0 {
-                    *entry = (score, model.destination);
+                    *entry = (score, model.destination, elapsed, period);
                 }
             }
         }
         for device in worst_absent.keys() {
             self.absence_flagged.insert(*device);
         }
-        for (device, (score, ts, dest)) in worst_gap {
+        for (device, (score, ts, dest, gap, period)) in worst_gap {
             out.push(Deviation {
                 ts,
                 kind: DeviationKind::PeriodicTiming,
@@ -356,13 +517,25 @@ impl Monitor {
                 subject: self.device_label(device),
                 detail: format!("periodic traffic to {dest} arrived off schedule"),
             });
+            self.scratch.evidence.push(Evidence::Gap {
+                device,
+                dest,
+                gap,
+                period,
+            });
+            if let Some(&sym) = self.device_syms.get(&device) {
+                self.scratch
+                    .deviant
+                    .entry(sym)
+                    .or_insert(DeviationKind::PeriodicTiming);
+            }
         }
         // A testbed-wide outage silences (nearly) every device at once:
         // collapse it into a single deviation instead of 49.
         if worst_absent.len() >= 5 && worst_absent.len() * 10 >= self.n_devices_with_models * 8 {
             let worst = worst_absent
                 .values()
-                .map(|(s, _)| *s)
+                .map(|(s, _, _, _)| *s)
                 .fold(f64::NEG_INFINITY, f64::max);
             out.push(Deviation {
                 ts: window_end,
@@ -372,8 +545,19 @@ impl Monitor {
                 subject: format!("{} devices", worst_absent.len()),
                 detail: "periodic traffic overdue across the testbed (network outage)".to_string(),
             });
+            self.scratch.evidence.push(Evidence::Outage {
+                devices: worst_absent.len(),
+            });
+            for device in worst_absent.keys() {
+                if let Some(&sym) = self.device_syms.get(device) {
+                    self.scratch
+                        .deviant
+                        .entry(sym)
+                        .or_insert(DeviationKind::PeriodicTiming);
+                }
+            }
         } else {
-            for (device, (score, dest)) in worst_absent {
+            for (device, (score, dest, elapsed, period)) in worst_absent {
                 out.push(Deviation {
                     ts: window_end,
                     kind: DeviationKind::PeriodicTiming,
@@ -382,6 +566,18 @@ impl Monitor {
                     subject: self.device_label(device),
                     detail: format!("periodic traffic to {dest} is overdue (possible outage)"),
                 });
+                self.scratch.evidence.push(Evidence::Absence {
+                    device,
+                    dest,
+                    elapsed,
+                    period,
+                });
+                if let Some(&sym) = self.device_syms.get(&device) {
+                    self.scratch
+                        .deviant
+                        .entry(sym)
+                        .or_insert(DeviationKind::PeriodicTiming);
+                }
             }
         }
 
@@ -481,6 +677,25 @@ impl Monitor {
                     subject,
                     detail: "user-event trace is improbable under the system model".to_string(),
                 });
+                self.scratch.evidence.push(Evidence::Trace {
+                    events: trace.len(),
+                    log10_prob,
+                });
+                if self.health.is_some() {
+                    // Every device whose label appears in the improbable
+                    // trace is implicated (the `dev:activity` prefix is the
+                    // registered device label; `lookup` never interns).
+                    for label in trace {
+                        if let Some(dev) =
+                            label.as_str().split(':').next().and_then(Symbol::lookup)
+                        {
+                            self.scratch
+                                .deviant
+                                .entry(dev)
+                                .or_insert(DeviationKind::ShortTerm);
+                        }
+                    }
+                }
             }
             self.scratch.longterm.observe_path(self.scratch.score.path());
         }
@@ -513,11 +728,176 @@ impl Monitor {
                         r.observed_p, r.model_p, r.n
                     ),
                 });
+                self.scratch.evidence.push(Evidence::Transition {
+                    from: r.from,
+                    to: r.to,
+                    observed_p: r.observed_p,
+                    model_p: r.model_p,
+                    n: r.n,
+                });
+                if self.health.is_some() {
+                    for end in [r.from, r.to] {
+                        if let Some(dev) = end.as_str().split(':').next().and_then(Symbol::lookup)
+                        {
+                            self.scratch
+                                .deviant
+                                .entry(dev)
+                                .or_insert(DeviationKind::LongTerm);
+                        }
+                    }
+                }
             }
         }
         self.long_flagged = still_deviating;
+
+        // ---- health fold + ledger emission ------------------------------
+        let seq = self.windows;
+        self.windows += 1;
+        let drop_frac = ingest.as_ref().map(WindowIngest::drop_frac).unwrap_or(0.0);
+        let transitions = match &mut self.health {
+            Some(h) => h.observe_window(&self.scratch.deviant, &self.scratch.seen, drop_frac),
+            None => &[],
+        };
+        debug_assert_eq!(out.len(), self.scratch.evidence.len());
+        let dirty_ingest = ingest.as_ref().is_some_and(|wi| !wi.report.is_clean());
+        let mut n_records = 0u64;
+        if !out.is_empty() || !transitions.is_empty() || dirty_ingest {
+            let line = &mut self.scratch.line;
+            line.clear();
+            let _ = write!(line, "{{\"record\":\"window\",\"seq\":{seq},\"start\":");
+            write_json_f64(line, window_start);
+            line.push_str(",\"end\":");
+            write_json_f64(line, window_end);
+            let _ = write!(
+                line,
+                ",\"deviations\":{},\"transitions\":{}",
+                out.len(),
+                transitions.len()
+            );
+            if let Some(wi) = &ingest {
+                let _ = write!(
+                    line,
+                    ",\"ingest\":{{\"records\":{},\"dropped\":{},\"drop_frac\":",
+                    wi.records_total,
+                    wi.report.dropped_records()
+                );
+                write_json_f64(line, drop_frac);
+                let _ = write!(
+                    line,
+                    ",\"reordered\":{},\"clamped\":{}}}",
+                    wi.report.reordered, wi.report.clamped_events
+                );
+            }
+            line.push('}');
+            sink.append(line);
+            n_records += 1;
+            for (d, ev) in out.iter().zip(&self.scratch.evidence) {
+                line.clear();
+                let _ = write!(
+                    line,
+                    "{{\"record\":\"deviation\",\"seq\":{seq},\"kind\":\"{}\",\"ts\":",
+                    d.kind.label()
+                );
+                write_json_f64(line, d.ts);
+                line.push_str(",\"score\":");
+                write_json_f64(line, d.score);
+                line.push_str(",\"threshold\":");
+                write_json_f64(line, d.threshold);
+                line.push_str(",\"subject\":");
+                write_json_str(line, &d.subject);
+                line.push_str(",\"evidence\":");
+                match *ev {
+                    Evidence::Gap {
+                        device,
+                        dest,
+                        gap,
+                        period,
+                    } => {
+                        line.push_str("{\"cause\":\"gap\",\"device\":");
+                        match self.device_syms.get(&device) {
+                            Some(s) => write_json_str(line, s.as_str()),
+                            None => {
+                                let _ = write!(line, "\"{device}\"");
+                            }
+                        }
+                        line.push_str(",\"dest\":");
+                        write_json_str(line, dest.as_str());
+                        line.push_str(",\"gap\":");
+                        write_json_f64(line, gap);
+                        line.push_str(",\"period\":");
+                        write_json_f64(line, period);
+                        line.push('}');
+                    }
+                    Evidence::Absence {
+                        device,
+                        dest,
+                        elapsed,
+                        period,
+                    } => {
+                        line.push_str("{\"cause\":\"absence\",\"device\":");
+                        match self.device_syms.get(&device) {
+                            Some(s) => write_json_str(line, s.as_str()),
+                            None => {
+                                let _ = write!(line, "\"{device}\"");
+                            }
+                        }
+                        line.push_str(",\"dest\":");
+                        write_json_str(line, dest.as_str());
+                        line.push_str(",\"elapsed\":");
+                        write_json_f64(line, elapsed);
+                        line.push_str(",\"period\":");
+                        write_json_f64(line, period);
+                        line.push('}');
+                    }
+                    Evidence::Outage { devices } => {
+                        let _ = write!(line, "{{\"cause\":\"outage\",\"devices\":{devices}}}");
+                    }
+                    Evidence::Trace { events, log10_prob } => {
+                        let _ = write!(line, "{{\"cause\":\"trace\",\"events\":{events},\"log10_prob\":");
+                        write_json_f64(line, log10_prob);
+                        line.push('}');
+                    }
+                    Evidence::Transition {
+                        from,
+                        to,
+                        observed_p,
+                        model_p,
+                        n,
+                    } => {
+                        line.push_str("{\"cause\":\"transition\",\"from\":");
+                        write_json_str(line, from.as_str());
+                        line.push_str(",\"to\":");
+                        write_json_str(line, to.as_str());
+                        line.push_str(",\"observed_p\":");
+                        write_json_f64(line, observed_p);
+                        line.push_str(",\"model_p\":");
+                        write_json_f64(line, model_p);
+                        let _ = write!(line, ",\"n\":{n}}}");
+                    }
+                }
+                line.push('}');
+                sink.append(line);
+                n_records += 1;
+            }
+            for t in transitions {
+                line.clear();
+                let _ = write!(line, "{{\"record\":\"health\",\"seq\":{seq},\"device\":");
+                write_json_str(line, t.device.as_str());
+                let _ = write!(
+                    line,
+                    ",\"from\":\"{}\",\"to\":\"{}\",\"reason\":\"{}\"}}",
+                    t.from.label(),
+                    t.to.label(),
+                    t.reason
+                );
+                sink.append(line);
+                n_records += 1;
+            }
+        }
+
         monitor_metrics().traces.add(n_traces as u64);
         monitor_metrics().deviations.add(out.len() as u64);
+        monitor_metrics().ledger_records.add(n_records);
         span.record("traces", n_traces);
         span.record("deviations", out.len());
         out

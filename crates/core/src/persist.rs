@@ -10,17 +10,17 @@
 //! per line, `|`-separated fields, strings percent-escaped. A header line
 //! carries a format version; loading rejects unknown versions.
 //!
-//! The `save_* -> String` half of this API is **deprecated**: the
-//! `behaviot-store` crate supersedes it with versioned, hash-checked,
-//! atomically-written directory snapshots covering every trained artifact
-//! (not just the system model and a lossy periodic inventory). The loaders
-//! remain supported so gateways can still ingest previously shipped files.
+//! This module is **load-only**: the `save_* -> String` half of the v1 API
+//! was removed after `behaviot-store` superseded it with versioned,
+//! hash-checked, atomically-written directory snapshots covering every
+//! trained artifact (not just the system model and a lossy periodic
+//! inventory). The loaders remain supported so gateways can still ingest
+//! previously shipped files.
 
 use crate::system::{SystemModel, SystemModelConfig};
-use behaviot_pfsm::TraceLog;
-use std::fmt::Write as _;
 
-/// Format version written by [`save_system_model`].
+/// Format version the loaders accept (the last version the removed
+/// `save_*` writers produced).
 pub const FORMAT_VERSION: u32 = 1;
 
 /// Errors from loading persisted models.
@@ -64,19 +64,6 @@ impl std::fmt::Display for PersistError {
 
 impl std::error::Error for PersistError {}
 
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '|' => out.push_str("%7C"),
-            '%' => out.push_str("%25"),
-            '\n' => out.push_str("%0A"),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 fn unescape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars().peekable();
@@ -99,27 +86,10 @@ fn unescape(s: &str) -> String {
     out
 }
 
-/// Serialize a system model: the training traces (the PFSM is re-inferred
-/// deterministically on load — traces are the canonical artifact, exactly
-/// what the paper's release ships) plus the configuration.
-#[deprecated(
-    note = "superseded by behaviot-store versioned snapshots (ModelStore::save)"
-)]
-pub fn save_system_model(model: &SystemModel) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "behaviot-system|v{FORMAT_VERSION}");
-    let _ = writeln!(out, "cfg|{}", model.trace_gap());
-    for trace in &model.log.traces {
-        let labels: Vec<String> = trace
-            .iter()
-            .map(|&e| escape(model.log.vocab.name(e)))
-            .collect();
-        let _ = writeln!(out, "trace|{}", labels.join("|"));
-    }
-    out
-}
-
-/// Load a system model saved with [`save_system_model`].
+/// Load a v1 system-model file: header, one `cfg|<gap>` line, and `trace|`
+/// lines of percent-escaped labels. The PFSM is re-inferred
+/// deterministically from the traces — traces are the canonical artifact,
+/// exactly what the paper's release ships.
 pub fn load_system_model(data: &str) -> Result<SystemModel, PersistError> {
     let mut lines = data.lines().enumerate();
     let (_, header) = lines.next().ok_or(PersistError::BadHeader)?;
@@ -184,35 +154,6 @@ pub fn load_system_model(data: &str) -> Result<SystemModel, PersistError> {
     Ok(SystemModel::from_traces(&traces, &cfg))
 }
 
-/// Serialize the periodic models of a [`crate::BehavIoT`] instance as a
-/// portable inventory `(device, destination, proto, periods)`. Loading it
-/// on a gateway yields timer-based classification immediately; the DBSCAN
-/// stage retrains locally from the first idle day (its training input is
-/// unlabeled by definition).
-#[deprecated(
-    note = "superseded by behaviot-store versioned snapshots (ModelStore::save)"
-)]
-pub fn save_periodic_inventory(models: &crate::BehavIoT) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "behaviot-periodic|v{FORMAT_VERSION}");
-    let mut entries: Vec<_> = models.periodic.iter().collect();
-    entries.sort_by(|a, b| {
-        (a.device, &a.destination, a.proto).cmp(&(b.device, &b.destination, b.proto))
-    });
-    for m in entries {
-        let periods: Vec<String> = m.periods.iter().map(|p| format!("{p:.3}")).collect();
-        let _ = writeln!(
-            out,
-            "model|{}|{}|{}|{}",
-            m.device,
-            escape(m.destination.as_str()),
-            m.proto,
-            periods.join(",")
-        );
-    }
-    out
-}
-
 /// Parsed entry of a periodic inventory.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PeriodicInventoryEntry {
@@ -226,7 +167,10 @@ pub struct PeriodicInventoryEntry {
     pub periods: Vec<f64>,
 }
 
-/// Load a periodic inventory saved with [`save_periodic_inventory`].
+/// Load a v1 periodic inventory: `model|<device>|<dest>|<proto>|<periods>`
+/// lines. Loading it on a gateway yields timer-based classification
+/// immediately; the DBSCAN stage retrains locally from the first idle day
+/// (its training input is unlabeled by definition).
 pub fn load_periodic_inventory(data: &str) -> Result<Vec<PeriodicInventoryEntry>, PersistError> {
     let mut lines = data.lines().enumerate();
     let (_, header) = lines.next().ok_or(PersistError::BadHeader)?;
@@ -287,21 +231,6 @@ pub fn load_periodic_inventory(data: &str) -> Result<Vec<PeriodicInventoryEntry>
     Ok(out)
 }
 
-/// Convenience: serialize the traces held by a [`TraceLog`] (the raw
-/// artifact the paper's public release contains).
-#[deprecated(
-    note = "superseded by behaviot-store versioned snapshots (ModelStore::save)"
-)]
-pub fn save_trace_log(log: &TraceLog) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "behaviot-traces|v{FORMAT_VERSION}");
-    for trace in &log.traces {
-        let labels: Vec<String> = trace.iter().map(|&e| escape(log.vocab.name(e))).collect();
-        let _ = writeln!(out, "trace|{}", labels.join("|"));
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,7 +238,60 @@ mod tests {
     use behaviot_flows::{FlowRecord, N_FEATURES};
     use behaviot_net::Proto;
     use std::collections::HashMap;
+    use std::fmt::Write as _;
     use std::net::Ipv4Addr;
+
+    /// The writer-side escaping of the (removed) v1 `save_*` API, kept here
+    /// to generate loader inputs.
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '|' => out.push_str("%7C"),
+                '%' => out.push_str("%25"),
+                '\n' => out.push_str("%0A"),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Render a v1 system-model file the way the removed writer did.
+    fn render_system_model(model: &SystemModel) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "behaviot-system|v{FORMAT_VERSION}");
+        let _ = writeln!(out, "cfg|{}", model.trace_gap());
+        for trace in &model.log.traces {
+            let labels: Vec<String> = trace
+                .iter()
+                .map(|&e| escape(model.log.vocab.name(e)))
+                .collect();
+            let _ = writeln!(out, "trace|{}", labels.join("|"));
+        }
+        out
+    }
+
+    /// Render a v1 periodic inventory the way the removed writer did.
+    fn render_periodic_inventory(models: &crate::BehavIoT) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "behaviot-periodic|v{FORMAT_VERSION}");
+        let mut entries: Vec<_> = models.periodic.iter().collect();
+        entries.sort_by(|a, b| {
+            (a.device, &a.destination, a.proto).cmp(&(b.device, &b.destination, b.proto))
+        });
+        for m in entries {
+            let periods: Vec<String> = m.periods.iter().map(|p| format!("{p:.3}")).collect();
+            let _ = writeln!(
+                out,
+                "model|{}|{}|{}|{}",
+                m.device,
+                escape(m.destination.as_str()),
+                m.proto,
+                periods.join(",")
+            );
+        }
+        out
+    }
 
     fn traces() -> Vec<Vec<String>> {
         vec![
@@ -324,10 +306,9 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn system_model_roundtrip() {
         let model = SystemModel::from_traces(&traces(), &SystemModelConfig::default());
-        let text = save_system_model(&model);
+        let text = render_system_model(&model);
         let loaded = load_system_model(&text).unwrap();
         assert_eq!(loaded.pfsm.n_states(), model.pfsm.n_states());
         assert_eq!(loaded.pfsm.n_transitions(), model.pfsm.n_transitions());
@@ -388,10 +369,9 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn periodic_inventory_roundtrip() {
         let models = trained_models();
-        let text = save_periodic_inventory(&models);
+        let text = render_periodic_inventory(&models);
         let entries = load_periodic_inventory(&text).unwrap();
         assert_eq!(entries.len(), models.periodic.len());
         let e = &entries[0];
@@ -451,15 +431,5 @@ mod tests {
                   model|1.2.3.4|d.example|UDP|60\n\
                   model|1.2.3.5|d.example|TCP|60\n";
         assert_eq!(load_periodic_inventory(ok).unwrap().len(), 3);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn trace_log_save() {
-        let mut log = TraceLog::new();
-        log.push_trace(&["a", "b"]);
-        let text = save_trace_log(&log);
-        assert!(text.starts_with("behaviot-traces|v1"));
-        assert!(text.contains("trace|a|b"));
     }
 }

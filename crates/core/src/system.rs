@@ -38,46 +38,14 @@ pub struct SystemModel {
     /// Standard deviation of the short-term metric over training traces.
     pub train_score_std: f64,
     cfg: SystemModelConfig,
-    /// Devices covered by the vocabulary, cached at construction (the
-    /// allocating per-call set build of `known_devices` is deprecated).
+    /// Devices covered by the vocabulary, cached at construction.
     known: FxHashSet<Symbol>,
 }
 
 /// Split chronologically ordered user events into traces of PFSM labels at
-/// gaps larger than `trace_gap`. Non-user events are ignored.
-#[deprecated(
-    note = "allocates a String per event; use `traces_from_events_syms` (interned labels)"
-)]
-pub fn traces_from_events(
-    events: &[InferredEvent],
-    names: &HashMap<Ipv4Addr, String>,
-    trace_gap: f64,
-) -> Vec<Vec<String>> {
-    let mut user: Vec<(f64, String)> = events
-        .iter()
-        .filter_map(|e| e.pfsm_label(names).map(|l| (e.ts, l)))
-        .collect();
-    user.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN event time"));
-    let mut traces: Vec<Vec<String>> = Vec::new();
-    let mut cur: Vec<String> = Vec::new();
-    let mut last_ts = f64::NEG_INFINITY;
-    for (ts, label) in user {
-        if !cur.is_empty() && ts - last_ts > trace_gap {
-            traces.push(std::mem::take(&mut cur));
-        }
-        cur.push(label);
-        last_ts = ts;
-    }
-    if !cur.is_empty() {
-        traces.push(cur);
-    }
-    traces
-}
-
-/// Symbol-native `traces_from_events`: identical segmentation and label
-/// text, but each label is an interned [`Symbol`] — one render per
-/// first-seen `(device, activity)` pair process-wide instead of one `String`
-/// per event.
+/// gaps larger than `trace_gap`. Non-user events are ignored. Each label is
+/// an interned [`Symbol`] — one render per first-seen `(device, activity)`
+/// pair process-wide instead of one `String` per event.
 pub fn traces_from_events_syms(
     events: &[InferredEvent],
     names: &HashMap<Ipv4Addr, String>,
@@ -187,23 +155,10 @@ impl SystemModel {
     }
 
     /// The devices the system model covers (the prefix before `:` of every
-    /// vocabulary label). Events from other devices cannot be judged by
-    /// this model and are excluded from monitoring traces.
-    #[deprecated(
-        note = "allocates a fresh HashSet<String> per call; use `known_device_syms` (cached)"
-    )]
-    pub fn known_devices(&self) -> std::collections::HashSet<String> {
-        (0..self.log.vocab.len() as u32)
-            .map(|i| {
-                let name = self.log.vocab.name(behaviot_pfsm::EventId(i));
-                name.split(':').next().unwrap_or(name).to_string()
-            })
-            .collect()
-    }
-
-    /// The devices the system model covers, as interned symbols cached at
-    /// construction — the serving-path form of `known_devices`: membership
-    /// is a 4-byte probe, no per-call allocation.
+    /// vocabulary label), as interned symbols cached at construction.
+    /// Events from other devices cannot be judged by this model and are
+    /// excluded from monitoring traces; membership is a 4-byte probe, no
+    /// per-call allocation.
     pub fn known_device_syms(&self) -> &FxHashSet<Symbol> {
         &self.known
     }
@@ -263,10 +218,6 @@ mod tests {
                 vec!["cam:motion", "bulb:on"]
             ]
         );
-        // The deprecated String path segments and labels identically.
-        #[allow(deprecated)]
-        let strings = traces_from_events(&events, &names(), 60.0);
-        assert_eq!(strings, rendered(&traces));
     }
 
     #[test]
@@ -320,19 +271,14 @@ mod tests {
     }
 
     #[test]
-    fn known_device_syms_matches_allocating_accessor() {
+    fn known_device_syms_covers_vocabulary_prefixes() {
         let traces: Vec<Vec<String>> = (0..10)
             .map(|_| vec!["cam:motion".into(), "bulb:on".into()])
             .collect();
         let m = SystemModel::from_traces(&traces, &SystemModelConfig::default());
-        let cached: std::collections::HashSet<String> = m
-            .known_device_syms()
-            .iter()
-            .map(|s| s.as_str().to_string())
-            .collect();
-        #[allow(deprecated)]
-        let fresh = m.known_devices();
-        assert_eq!(cached, fresh);
+        let mut cached: Vec<&str> = m.known_device_syms().iter().map(|s| s.as_str()).collect();
+        cached.sort_unstable();
+        assert_eq!(cached, ["bulb", "cam"]);
         assert!(m.known_device_syms().contains(&Symbol::intern("cam")));
         assert!(!m.known_device_syms().contains(&Symbol::intern("ghost")));
     }

@@ -4,7 +4,11 @@
 //! reusable scratch, per-group timer upkeep, trace assembly, one Viterbi
 //! per trace, and the long-term transition census included. The only
 //! permitted steady-state allocations are emitted [`Deviation`] report
-//! strings, and a healthy window emits none.
+//! strings, and a healthy window emits none. The audited path is held to
+//! the same bar: with the health registry enabled and a ledger sink
+//! attached, a healthy window appends no records and allocates nothing —
+//! health bookkeeping runs in pre-sized registry slots and ledger
+//! rendering only engages when there is something to record.
 //!
 //! A counting global allocator makes the contract checkable (same rig as
 //! `classify_alloc.rs`; keep this file single-test — the counter is
@@ -19,8 +23,10 @@
 //! change its allocation behavior.
 
 use behaviot::{
-    BehavIoT, Monitor, MonitorConfig, SystemModel, SystemModelConfig, TrainConfig, TrainingData,
+    BehavIoT, HealthConfig, Monitor, MonitorConfig, SystemModel, SystemModelConfig, TrainConfig,
+    TrainingData,
 };
+use behaviot_obs::{MemorySink, NullSink};
 use behaviot_flows::{FlowRecord, N_FEATURES};
 use behaviot_intern::Symbol;
 use behaviot_par::Parallelism;
@@ -182,6 +188,38 @@ fn process_window_is_allocation_free_after_warmup() {
                 0,
                 "window {w} ({par:?}): {} allocations on the steady-state \
                  serving path ({} flows)",
+                after - before,
+                flows.len()
+            );
+        }
+
+        // Audited path, same bar: health registry enabled, ledger sink
+        // attached. A healthy window appends nothing, so even a capturing
+        // MemorySink sees no writes — and the whole audited window must
+        // still be allocation-free. (The first audited window warms the
+        // registry's transition scratch; it is part of warm-up.)
+        let mut m = monitor(par);
+        m.enable_health(HealthConfig::default());
+        let mut sink = MemorySink::new();
+        for (flows, s, e) in warm {
+            let devs = m.process_window_audited(flows, *s, *e, None, &mut sink);
+            assert!(devs.is_empty(), "audited warm-up must be healthy: {devs:#?}");
+        }
+        assert!(
+            sink.is_empty(),
+            "healthy windows appended ledger records: {:?}",
+            sink.as_str()
+        );
+        for (w, (flows, s, e)) in steady.iter().enumerate() {
+            let before = alloc_count();
+            let devs = m.process_window_audited(flows, *s, *e, None, &mut NullSink);
+            let after = alloc_count();
+            assert!(devs.is_empty(), "audited steady state must stay healthy");
+            assert_eq!(
+                after - before,
+                0,
+                "window {w} ({par:?}): {} allocations on the audited \
+                 steady-state path ({} flows)",
                 after - before,
                 flows.len()
             );

@@ -15,6 +15,12 @@
 //!   Perfetto. Timing is inherently nondeterministic, so spans are opt-in
 //!   (`--trace` / `BEHAVIOT_TRACE`) and never feed reproducible output.
 //!
+//! On top of the metrics registry sit the fleet-observability surfaces:
+//! the [`ledger`] module (append-only deviation audit ledger sinks; see
+//! DESIGN.md §15) and the [`openmetrics`] module (Prometheus/OpenMetrics
+//! text exposition plus the [`SnapshotDiff`] windowed-rate differ). Both
+//! inherit the metrics determinism contract.
+//!
 //! See `DESIGN.md` §10 for the span model and the deterministic-aggregation
 //! rule.
 
@@ -22,14 +28,18 @@
 
 mod clock;
 mod json;
+pub mod ledger;
 pub mod metrics;
+pub mod openmetrics;
 mod trace;
 
 pub use clock::{Clock, MonotonicClock, VirtualClock};
+pub use ledger::{FileSink, LedgerSink, MemorySink, NullSink};
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot,
-    Volatility,
+    Counter, Gauge, Histogram, HistogramSnapshot, HistogramSummary, MetricValue, MetricsRegistry,
+    MetricsSnapshot, Volatility,
 };
+pub use openmetrics::{MetricDelta, SnapshotDiff};
 pub use trace::{FieldValue, SpanGuard, SpanRecord, Tracer};
 
 use std::sync::OnceLock;

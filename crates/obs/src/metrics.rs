@@ -221,6 +221,12 @@ impl Histogram {
         }
     }
 
+    /// p50/p95/p99 of the current state (`None` while empty). Shorthand
+    /// for `self.value().summary()`.
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        self.value().summary()
+    }
+
     fn reset(&self) {
         for b in &self.0.buckets {
             b.store(0, Ordering::Relaxed);
@@ -244,6 +250,52 @@ pub struct HistogramSnapshot {
     pub max: Option<u64>,
     /// Non-empty buckets as `(lo, hi_exclusive, count)`, ascending.
     pub buckets: Vec<(u64, u64, u64)>,
+}
+
+/// The p50/p95/p99 view of a histogram — what reporting surfaces
+/// (`fleet-health`, the snapshot differ) print instead of raw buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Median upper-bound estimate.
+    pub p50: u64,
+    /// 95th-percentile upper-bound estimate.
+    pub p95: u64,
+    /// 99th-percentile upper-bound estimate.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Upper-bound estimate of the `q`-quantile (`0 < q ≤ 1`): the
+    /// inclusive upper bound of the first bucket whose cumulative count
+    /// reaches rank `⌈q·count⌉`, clamped to the observed maximum. Exact
+    /// when every value in that bucket equals its bound (e.g. all-zero
+    /// recordings); otherwise conservative by at most the bucket width —
+    /// the inherent resolution of log2 buckets. `None` when the histogram
+    /// is empty or `q` is out of range.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || !(q > 0.0 && q <= 1.0) {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for &(_, hi, c) in &self.buckets {
+            cum += c;
+            if cum >= rank {
+                let bound = hi - 1;
+                return Some(self.max.map_or(bound, |mx| bound.min(mx)));
+            }
+        }
+        self.max
+    }
+
+    /// p50/p95/p99 in one call; `None` when the histogram is empty.
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        Some(HistogramSummary {
+            p50: self.quantile(0.50)?,
+            p95: self.quantile(0.95)?,
+            p99: self.quantile(0.99)?,
+        })
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -556,6 +608,34 @@ mod tests {
             s.buckets,
             vec![(0, 1, 1), (1, 2, 2), (2, 4, 1), (4, 8, 2), (512, 1024, 1)]
         );
+    }
+
+    #[test]
+    fn quantile_summary_tracks_bucket_bounds() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("t.q");
+        assert_eq!(h.summary(), None);
+        // 90 small values in [4,8), 9 in [64,128), 1 at 1000.
+        for _ in 0..90 {
+            h.record(5);
+        }
+        for _ in 0..9 {
+            h.record(100);
+        }
+        h.record(1000);
+        let s = h.value();
+        assert_eq!(s.quantile(0.50), Some(7)); // bucket [4,8) upper bound
+        assert_eq!(s.quantile(0.95), Some(127)); // bucket [64,128)
+        assert_eq!(s.quantile(1.0), Some(1000)); // clamped to observed max
+        assert_eq!(s.quantile(0.0), None);
+        assert_eq!(s.quantile(1.5), None);
+        let sum = h.summary().unwrap();
+        assert_eq!((sum.p50, sum.p95, sum.p99), (7, 127, 127));
+        // All-zero recordings: the estimate is exact.
+        let z = r.histogram("t.z");
+        z.record(0);
+        z.record(0);
+        assert_eq!(z.summary().unwrap().p99, 0);
     }
 
     #[test]

@@ -231,6 +231,119 @@ impl IncidentScript {
     }
 }
 
+/// The deviation signal an incident should leave in the audit ledger.
+///
+/// Each §6.2 case manifests through exactly one of the monitor's three
+/// detection channels, so the ground truth names the channel rather than
+/// the case mechanics: ledger checks then reduce to "a record of this
+/// kind, for this device, in this day range".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ExpectedSignal {
+    /// Extra or missing periodic events on a timer (score past the
+    /// Fig. 4a knee): malfunctions, outage aftermath.
+    Periodic,
+    /// User-event traces the PFSM scores past the §5.3 threshold:
+    /// relocations, lab bursts, device resets.
+    System,
+    /// The device (or the whole testbed) goes quiet: outages, removals.
+    /// Surfaces as ingest-gate silence and, at the health layer, `Stale`.
+    Silence,
+}
+
+/// One ground-truth entry derived from an [`IncidentScript`]: the ledger
+/// of a monitor replaying the scripted capture should contain a deviation
+/// (or silence) of kind `signal` for `device` somewhere in
+/// `day_from..day_to`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpectedIncident {
+    /// First day (inclusive) the signal may appear.
+    pub day_from: usize,
+    /// Day bound (exclusive). `usize::MAX` means "until the end of the
+    /// capture" (open-ended incidents such as relocations).
+    pub day_to: usize,
+    /// Device index into the catalog; `None` for testbed-wide incidents.
+    pub device: Option<usize>,
+    /// Which detection channel should fire.
+    pub signal: ExpectedSignal,
+    /// The §6.2 case family this entry came from.
+    pub case: &'static str,
+}
+
+impl ExpectedIncident {
+    /// Does this entry cover day `day`?
+    pub fn covers(&self, day: usize) -> bool {
+        day >= self.day_from && day < self.day_to
+    }
+}
+
+impl IncidentScript {
+    /// Derive the ledger ground truth of this script: what an audit
+    /// ledger replaying the scripted capture must contain, per §6.2 case.
+    /// Deterministically ordered by `(day_from, day_to, device, case)` so
+    /// two derivations (and the reports built from them) are byte-stable.
+    pub fn ledger_ground_truth(&self) -> Vec<ExpectedIncident> {
+        let mut out = Vec::new();
+        for &(device, from_day, _) in &self.relocations {
+            out.push(ExpectedIncident {
+                day_from: from_day,
+                day_to: usize::MAX,
+                device: Some(device),
+                signal: ExpectedSignal::System,
+                case: "relocation",
+            });
+        }
+        for &(day, device, _, _, _) in &self.lab_experiments {
+            out.push(ExpectedIncident {
+                day_from: day,
+                day_to: day + 1,
+                device: Some(device),
+                signal: ExpectedSignal::System,
+                case: "lab_experiment",
+            });
+        }
+        for &(day, device, _, _) in &self.resets {
+            out.push(ExpectedIncident {
+                day_from: day,
+                day_to: day + 1,
+                device: Some(device),
+                signal: ExpectedSignal::System,
+                case: "reset",
+            });
+        }
+        for &(day, _, _, device) in &self.outages {
+            out.push(ExpectedIncident {
+                day_from: day,
+                day_to: day + 1,
+                device,
+                signal: ExpectedSignal::Silence,
+                case: "outage",
+            });
+        }
+        for &(device, from_day, to_day, _, _) in &self.malfunctions {
+            out.push(ExpectedIncident {
+                day_from: from_day,
+                day_to: to_day,
+                device: Some(device),
+                signal: ExpectedSignal::Periodic,
+                case: "malfunction",
+            });
+        }
+        for &(device, from_day, to_day) in &self.removals {
+            out.push(ExpectedIncident {
+                day_from: from_day,
+                day_to: to_day,
+                device: Some(device),
+                signal: ExpectedSignal::Silence,
+                case: "removal",
+            });
+        }
+        out.sort_by(|a, b| {
+            (a.day_from, a.day_to, a.device, a.case).cmp(&(b.day_from, b.day_to, b.device, b.case))
+        });
+        out
+    }
+}
+
 /// Configuration of the uncontrolled experiment (§3.3).
 #[derive(Debug, Clone)]
 pub struct UncontrolledConfig {
@@ -473,6 +586,53 @@ mod tests {
         assert_eq!(s.outages.len(), 3);
         assert!(!s.relocations.is_empty());
         assert!(!s.malfunctions.is_empty());
+    }
+
+    #[test]
+    fn ground_truth_covers_every_case_family() {
+        let c = catalog();
+        let s = IncidentScript::paper_like(&c);
+        let truth = s.ledger_ground_truth();
+        for case in [
+            "relocation",
+            "lab_experiment",
+            "reset",
+            "outage",
+            "malfunction",
+            "removal",
+        ] {
+            assert!(truth.iter().any(|e| e.case == case), "missing {case}");
+        }
+        // Entry counts match the script's incident counts.
+        let n = s.relocations.len()
+            + s.lab_experiments.len()
+            + s.resets.len()
+            + s.outages.len()
+            + s.malfunctions.len()
+            + s.removals.len();
+        assert_eq!(truth.len(), n);
+        // Deterministically ordered, and `covers` honors open-ended spans.
+        let again = s.ledger_ground_truth();
+        assert_eq!(truth, again);
+        let reloc = truth.iter().find(|e| e.case == "relocation").unwrap();
+        assert!(reloc.covers(86) && reloc.covers(4) && !reloc.covers(3));
+        let outage = truth.iter().find(|e| e.case == "outage").unwrap();
+        assert!(outage.covers(outage.day_from) && !outage.covers(outage.day_from + 1));
+        assert_eq!(outage.device, None, "paper outages are testbed-wide");
+    }
+
+    #[test]
+    fn scaled_ground_truth_stays_in_horizon() {
+        let c = catalog();
+        let days = 12;
+        let s = IncidentScript::paper_like_scaled(&c, days);
+        for e in s.ledger_ground_truth() {
+            assert!(e.day_from < days, "{e:?} starts past the horizon");
+            assert!(
+                e.day_to == usize::MAX || e.day_to <= days || e.covers(days - 1),
+                "{e:?}"
+            );
+        }
     }
 
     #[test]

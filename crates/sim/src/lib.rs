@@ -34,8 +34,8 @@ pub mod types;
 
 pub use catalog::Catalog;
 pub use datasets::{
-    activity_dataset, idle_dataset, routine_dataset, uncontrolled_day, IncidentScript,
-    UncontrolledConfig,
+    activity_dataset, idle_dataset, routine_dataset, uncontrolled_day, ExpectedIncident,
+    ExpectedSignal, IncidentScript, UncontrolledConfig,
 };
 pub use faults::{mutate_bytes, write_pcap, ExpectedCounts, Fault, FaultPlan, CLOCK_JUMP_DELTA};
 pub use gen::{Capture, TrafficGenerator};

@@ -9,8 +9,8 @@
 use crate::format::{escape, fmt_f64, parse_f64, unescape};
 use crate::StoreError;
 use behaviot::{
-    MonitorConfig, MonitorState, PeriodicModel, PeriodicTrainConfig, SystemModel,
-    SystemModelConfig,
+    HealthConfig, HealthExport, HealthState, MonitorConfig, MonitorState, PeriodicModel,
+    PeriodicTrainConfig, SystemModel, SystemModelConfig,
 };
 use behaviot_cluster::{DbscanModel, Standardizer};
 use behaviot_forest::{DecisionTree, NodeSpec, RandomForest};
@@ -629,6 +629,7 @@ pub(crate) fn render_monitor(
         ff(artifact, cfg.long_min_count_diff)?,
         ff(artifact, cfg.trace_gap)?,
     );
+    out.push_str(&format!("windows|{}\n", state.windows));
     for ((ip, dest, proto), ts) in &state.last_seen {
         out.push_str(&format!(
             "timer|{ip}|{}|{proto}|{}\n",
@@ -677,6 +678,7 @@ pub(crate) fn parse_monitor(
     let mut seen_timers: FxHashSet<(Ipv4Addr, Symbol, Proto)> = FxHashSet::default();
     let mut seen_absent: FxHashSet<Ipv4Addr> = FxHashSet::default();
     let mut seen_long: FxHashSet<(Symbol, Symbol)> = FxHashSet::default();
+    let mut seen_windows = false;
     let dup = |key: String| StoreError::Duplicate {
         artifact: artifact.to_string(),
         key,
@@ -685,6 +687,17 @@ pub(crate) fn parse_monitor(
         let ln = i + 1;
         let fields: Vec<&str> = line.split('|').collect();
         match fields[0] {
+            // Ledger window counter; absent in pre-PR-10 snapshots, which
+            // restart sequence numbering at 0.
+            "windows" if fields.len() == 2 => {
+                if seen_windows {
+                    return Err(dup("windows".to_string()));
+                }
+                seen_windows = true;
+                state.windows = fields[1]
+                    .parse()
+                    .map_err(|_| bad(artifact, ln, "bad window count"))?;
+            }
             "timer" if fields.len() == 5 => {
                 let ip = pip(artifact, ln, fields[1])?;
                 let dest = Symbol::intern(&pstr(artifact, ln, fields[2])?);
@@ -714,6 +727,71 @@ pub(crate) fn parse_monitor(
         }
     }
     Ok((cfg, state))
+}
+
+// ---------------------------------------------------------------------------
+// health — fleet health registry checkpoint
+
+/// Render the health registry export: the hysteresis config plus one
+/// `dev|` row per registered device, already in device-name order.
+pub(crate) fn render_health(
+    artifact: &str,
+    export: &HealthExport,
+) -> Result<String, StoreError> {
+    let c = &export.cfg;
+    let mut out = format!(
+        "cfg|{}|{}|{}\n",
+        ff(artifact, c.degrade_drop_frac)?,
+        c.recover_after,
+        c.stale_after,
+    );
+    for (device, state, clean_streak, silent_windows) in &export.records {
+        out.push_str(&format!(
+            "dev|{}|{}|{clean_streak}|{silent_windows}\n",
+            escape(device.as_str()),
+            state.label(),
+        ));
+    }
+    Ok(out)
+}
+
+/// Parse [`render_health`]'s output.
+pub(crate) fn parse_health(artifact: &str, content: &str) -> Result<HealthExport, StoreError> {
+    let mut lines = content.lines().enumerate();
+    let (_, cfg_line) = lines
+        .next()
+        .ok_or_else(|| bad(artifact, 1, "missing cfg line"))?;
+    let c: Vec<&str> = cfg_line.split('|').collect();
+    if c.len() != 4 || c[0] != "cfg" {
+        return Err(bad(artifact, 1, "bad cfg line"));
+    }
+    let cfg = HealthConfig {
+        degrade_drop_frac: pf(artifact, 1, c[1], "degrade drop fraction")?,
+        recover_after: pu32(artifact, 1, c[2], "recover after")?,
+        stale_after: pu32(artifact, 1, c[3], "stale after")?,
+    };
+    let mut records = Vec::new();
+    let mut seen: FxHashSet<Symbol> = FxHashSet::default();
+    for (i, line) in lines {
+        let ln = i + 1;
+        let fields: Vec<&str> = line.split('|').collect();
+        if fields.len() != 5 || fields[0] != "dev" {
+            return Err(bad(artifact, ln, "unknown record kind"));
+        }
+        let device = Symbol::intern(&pstr(artifact, ln, fields[1])?);
+        let state = HealthState::parse(fields[2])
+            .ok_or_else(|| bad(artifact, ln, "bad health state"))?;
+        let clean_streak = pu32(artifact, ln, fields[3], "clean streak")?;
+        let silent_windows = pu32(artifact, ln, fields[4], "silent windows")?;
+        if !seen.insert(device) {
+            return Err(StoreError::Duplicate {
+                artifact: artifact.to_string(),
+                key: format!("dev|{device}"),
+            });
+        }
+        records.push((device, state, clean_streak, silent_windows));
+    }
+    Ok(HealthExport { cfg, records })
 }
 
 // ---------------------------------------------------------------------------

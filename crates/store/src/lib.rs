@@ -39,7 +39,7 @@ pub mod format;
 
 mod artifacts;
 
-use behaviot::{BehavIoT, Monitor, MonitorConfig, MonitorState, SystemModel};
+use behaviot::{BehavIoT, HealthExport, Monitor, MonitorConfig, MonitorState, SystemModel};
 use behaviot_intern::{FxHashSet, FxHasher, Symbol};
 use std::collections::HashMap;
 use std::fmt;
@@ -183,6 +183,9 @@ pub struct SnapshotSpec<'a> {
     pub system: Option<&'a SystemModel>,
     /// Streaming-monitor configuration + exported state, for kill/restore.
     pub monitor: Option<(&'a MonitorConfig, MonitorState)>,
+    /// Fleet health registry checkpoint, so restored monitors resume the
+    /// per-device hysteresis state instead of re-learning it.
+    pub health: Option<HealthExport>,
     /// Opaque metrics text (e.g. a JSONL metrics dump). Stored
     /// hash-protected but never parsed.
     pub metrics_jsonl: Option<&'a str>,
@@ -197,6 +200,7 @@ impl<'a> SnapshotSpec<'a> {
             models,
             system: None,
             monitor: None,
+            health: None,
             metrics_jsonl: None,
             include_interner: false,
         }
@@ -215,6 +219,8 @@ pub struct LoadedSnapshot {
     pub monitor_cfg: Option<MonitorConfig>,
     /// Monitor streaming state, if persisted.
     pub monitor_state: Option<MonitorState>,
+    /// Fleet health registry checkpoint, if persisted.
+    pub health: Option<HealthExport>,
     /// Opaque metrics text, if persisted.
     pub metrics_jsonl: Option<String>,
 }
@@ -227,7 +233,11 @@ impl LoadedSnapshot {
         let system = self.system?;
         let cfg = self.monitor_cfg?;
         let state = self.monitor_state.unwrap_or_default();
-        Some(Monitor::restore(self.models, system, cfg, state))
+        let mut monitor = Monitor::restore(self.models, system, cfg, state);
+        if let Some(health) = self.health {
+            monitor.restore_health(health);
+        }
+        Some(monitor)
     }
 }
 
@@ -261,6 +271,7 @@ enum ArtifactKind {
     Names,
     System,
     Monitor,
+    Health,
     Interner,
     Metrics,
 }
@@ -272,6 +283,7 @@ fn classify_artifact(name: &str) -> Option<ArtifactKind> {
         "names" => Some(ArtifactKind::Names),
         "system" => Some(ArtifactKind::System),
         "monitor" => Some(ArtifactKind::Monitor),
+        "health" => Some(ArtifactKind::Health),
         "interner" => Some(ArtifactKind::Interner),
         "metrics" => Some(ArtifactKind::Metrics),
         _ => {
@@ -409,6 +421,11 @@ impl ModelStore {
         if let Some((cfg, state)) = &spec.monitor {
             let body = artifacts::render_monitor("monitor", cfg, state)?;
             entries.push(self.put("monitor", &body)?);
+            written += 1;
+        }
+        if let Some(health) = &spec.health {
+            let body = artifacts::render_health("health", health)?;
+            entries.push(self.put("health", &body)?);
             written += 1;
         }
         if let Some(metrics_text) = spec.metrics_jsonl {
@@ -778,6 +795,10 @@ impl ModelStore {
             }
             None => (None, None),
         };
+        let health = match contents.get("health") {
+            Some(body) => Some(artifacts::parse_health("health", body)?),
+            None => None,
+        };
 
         Ok(LoadedSnapshot {
             version,
@@ -789,6 +810,7 @@ impl ModelStore {
             system,
             monitor_cfg,
             monitor_state,
+            health,
             metrics_jsonl: contents.remove("metrics"),
         })
     }

@@ -8,8 +8,8 @@
 //! manifest itself, artifact names included).
 
 use behaviot::{
-    BehavIoT, MonitorConfig, MonitorState, PeriodicModel, PeriodicModelSet, PeriodicTrainConfig,
-    SystemModel, SystemModelConfig, UserActionModels,
+    BehavIoT, HealthConfig, HealthExport, HealthState, MonitorConfig, MonitorState, PeriodicModel,
+    PeriodicModelSet, PeriodicTrainConfig, SystemModel, SystemModelConfig, UserActionModels,
 };
 use behaviot_cluster::{DbscanModel, Standardizer};
 use behaviot_forest::{DecisionTree, NodeSpec, RandomForest};
@@ -117,11 +117,20 @@ fn save_fixture(store: &ModelStore, models: &BehavIoT, system: &SystemModel) {
         )],
         absence_flagged: vec![Ipv4Addr::new(10, 0, 0, 2)],
         long_flagged: vec![(Symbol::intern("plug:on_off"), Symbol::intern("FINAL"))],
+        windows: 7,
+    };
+    let health = HealthExport {
+        cfg: HealthConfig::default(),
+        records: vec![
+            (Symbol::intern("camera"), HealthState::Stale, 0, 4),
+            (Symbol::intern("plug"), HealthState::Deviant, 0, 0),
+        ],
     };
     let spec = SnapshotSpec {
         models,
         system: Some(system),
         monitor: Some((&cfg, state)),
+        health: Some(health),
         metrics_jsonl: Some("{\"counter\":{\"store.saves\":1}}\n"),
         include_interner: false,
     };
@@ -281,6 +290,37 @@ fn duplicate_monitor_records_rejected() {
         }
         fs::remove_dir_all(&dir).unwrap();
     }
+}
+
+/// A duplicated health `dev|` record is likewise a hard
+/// `StoreError::Duplicate` — the registry restores rows into a per-device
+/// map, so last-wins would silently mask snapshot corruption.
+#[test]
+fn duplicate_health_records_rejected() {
+    let (models, system) = fixture();
+    let dir = temp_dir();
+    let store = ModelStore::open(&dir).unwrap();
+    save_fixture(&store, &models, &system);
+
+    let health_file = artifact_by_file(&dir)
+        .into_iter()
+        .find(|(_, a)| a == "health")
+        .map(|(f, _)| f)
+        .unwrap();
+    let path = dir.join(&health_file);
+    let text = fs::read_to_string(&path).unwrap();
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("dev|"))
+        .expect("fixture carries health device rows");
+    fs::write(&path, format!("{text}{line}\n")).unwrap();
+    rehash_manifest(&dir);
+
+    match store.load().map(|_| ()).unwrap_err() {
+        StoreError::Duplicate { ref artifact, .. } => assert_eq!(artifact, "health"),
+        other => panic!("expected Duplicate for repeated health dev record, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).unwrap();
 }
 
 /// An empty manifest is a `BadManifest`, not a panic; a missing manifest

@@ -7,8 +7,8 @@
 //! trainer produces.
 
 use behaviot::{
-    BehavIoT, MonitorConfig, MonitorState, PeriodicModel, PeriodicModelSet, PeriodicTrainConfig,
-    SystemModel, SystemModelConfig, UserActionModels,
+    BehavIoT, HealthConfig, HealthExport, HealthState, MonitorConfig, MonitorState, PeriodicModel,
+    PeriodicModelSet, PeriodicTrainConfig, SystemModel, SystemModelConfig, UserActionModels,
 };
 use behaviot_cluster::{DbscanModel, Standardizer};
 use behaviot_forest::{DecisionTree, NodeSpec, RandomForest};
@@ -170,6 +170,7 @@ proptest! {
         dim_sel in 0usize..4,
         with_system in any::<bool>(),
         with_monitor in any::<bool>(),
+        with_health in any::<bool>(),
         with_metrics in any::<bool>(),
     ) {
         // dim 21 (the paper's feature count) every 4th case.
@@ -215,12 +216,25 @@ proptest! {
                 .collect(),
             absence_flagged: (0..n_devices / 2).map(|d| Ipv4Addr::new(10, 0, 0, 1 + d as u8)).collect(),
             long_flagged: vec![(Symbol::intern("a:x\r"), Symbol::intern("b:\r\ny"))],
+            windows: n_devices as u64,
         };
         let cfg = MonitorConfig::default();
+        let health = HealthExport {
+            cfg: HealthConfig {
+                degrade_drop_frac: prob(seeds[0]),
+                recover_after: (seeds[0] % 5) as u32,
+                stale_after: 1 + (seeds[0] % 7) as u32,
+            },
+            records: vec![
+                (Symbol::intern("cam|era\r"), HealthState::Stale, 0, (seeds[0] % 9) as u32),
+                (Symbol::intern("plug"), HealthState::Degraded, 2, 0),
+            ],
+        };
         let spec = SnapshotSpec {
             models: &behaviot,
             system: with_system.then_some(&system),
             monitor: with_monitor.then_some((&cfg, state)),
+            health: with_health.then_some(health),
             metrics_jsonl: with_metrics.then_some("{\"counter\":{\"x\":1}}\n"),
             include_interner: false,
         };
@@ -232,6 +246,7 @@ proptest! {
         prop_assert_eq!(loaded.models.periodic.len(), behaviot.periodic.len());
         prop_assert_eq!(loaded.system.is_some(), with_system);
         prop_assert_eq!(loaded.monitor_state.is_some(), with_monitor);
+        prop_assert_eq!(loaded.health.is_some(), with_health);
         prop_assert_eq!(loaded.metrics_jsonl.is_some(), with_metrics);
 
         let dir_b = temp_dir("b");
@@ -240,6 +255,7 @@ proptest! {
             models: &loaded.models,
             system: loaded.system.as_ref(),
             monitor: loaded.monitor_cfg.as_ref().map(|c| (c, loaded.monitor_state.clone().unwrap())),
+            health: loaded.health.clone(),
             metrics_jsonl: loaded.metrics_jsonl.as_deref(),
             include_interner: false,
         };
@@ -274,6 +290,7 @@ proptest! {
                 last_seen: vec![((Ipv4Addr::new(10, 0, 0, 1), Symbol::intern("d.com"), Proto::Tcp), nf)],
                 absence_flagged: vec![],
                 long_flagged: vec![],
+                windows: 0,
             };
             let spec = SnapshotSpec {
                 monitor: Some((&cfg, state)),

@@ -59,6 +59,20 @@ store-replay:
     cargo test --release -q -p behaviot-store --test roundtrip_proptests
     cargo test --release -q -p behaviot-store --test corruption_proptests
 
+# Replay the §6.2 uncontrolled experiment through the audited serving path:
+# per-device health timeline, fleet rollup, incident-script coverage, and a
+# durable checkpoint in ./fleet-store (rerun to extend the timeline); the
+# deviation ledger and OpenMetrics exposition land next to it
+fleet-health:
+    cargo run --release -q -p behaviot-bench --bin fleet-health -- \
+      --store fleet-store --ledger-out fleet-store/ledger.jsonl \
+      --openmetrics-out fleet-store/metrics.prom
+
+# Ledger byte-determinism suite: audit trail identical across thread
+# policies and across kill-and-restore through the store
+ledger-determinism:
+    cargo test --release -q -p behaviot-harness --test ledger_determinism
+
 # Tier-1 gate only
 test:
     cargo build --release && cargo test -q

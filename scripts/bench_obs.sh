@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
-# Run the observability overhead bench (registry + tracer enabled vs
-# disabled over the same ingest workload) and write the machine-readable
-# results to BENCH_obs.json. The acceptance bar for the observability PR is
-# `obs/instrumented` mean_ns ≤ 1.05x `obs/uninstrumented` — instrumentation
-# may cost at most 5% on the hot path. The check below enforces it; set
-# BENCH_OBS_NO_ENFORCE=1 to record numbers without failing (e.g. on a noisy
-# shared box).
+# Run the observability overhead bench and write the machine-readable
+# results to BENCH_obs.json. Two pairs over identical workloads:
+# registry + tracer enabled vs disabled (ingest path), and the audited
+# monitor path with health + ledger vs the plain serving path. The
+# acceptance bar is ≤5% overhead for each pair's enabled side. The check
+# below enforces it; set BENCH_OBS_NO_ENFORCE=1 to record numbers without
+# failing (e.g. on a noisy shared box).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,13 +19,20 @@ python3 - "$out" <<'EOF'
 import json, os, sys
 
 results = {r["id"]: r["mean_ns"] for r in json.load(open(sys.argv[1]))}
-base = results["obs/uninstrumented"]
-inst = results["obs/instrumented"]
-overhead = (inst - base) / base * 100.0
-print(f"observability overhead: {overhead:+.2f}% "
-      f"(uninstrumented {base:.0f} ns, instrumented {inst:.0f} ns)")
-if overhead > 5.0:
-    msg = f"FAIL: overhead {overhead:.2f}% exceeds the 5% bar"
+failed = []
+for label, base_id, on_id in [
+    ("observability", "obs/uninstrumented", "obs/instrumented"),
+    ("ledger", "obs/ledger_off", "obs/ledger_on"),
+]:
+    base = results[base_id]
+    inst = results[on_id]
+    overhead = (inst - base) / base * 100.0
+    print(f"{label} overhead: {overhead:+.2f}% "
+          f"({base_id} {base:.0f} ns, {on_id} {inst:.0f} ns)")
+    if overhead > 5.0:
+        failed.append(f"{label} overhead {overhead:.2f}% exceeds the 5% bar")
+if failed:
+    msg = "FAIL: " + "; ".join(failed)
     if os.environ.get("BENCH_OBS_NO_ENFORCE"):
         print(msg, "(not enforced: BENCH_OBS_NO_ENFORCE set)")
     else:

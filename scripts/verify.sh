@@ -32,7 +32,7 @@ cargo test --release -q -p behaviot-harness --test metrics_determinism
 echo "==> alloc contract: steady-state classify performs zero heap allocations"
 cargo test --release -q -p behaviot --test classify_alloc
 
-echo "==> alloc contract: steady-state monitor windows perform zero heap allocations"
+echo "==> alloc contract: steady-state monitor windows (plain + audited) allocate nothing"
 cargo test --release -q -p behaviot --test monitor_alloc
 
 echo "==> monitor parity: symbol-native serving path matches the String pipeline byte-for-byte"
@@ -44,6 +44,9 @@ cargo test --release -q -p behaviot-harness --test store_replay
 echo "==> store: corrupt-load smoke (byte-flip/insert/truncate proptests never panic)"
 cargo test --release -q -p behaviot-store --test corruption_proptests
 cargo test --release -q -p behaviot-store --test roundtrip_proptests
+
+echo "==> ledger determinism: audit bytes identical across policies and kill/restore"
+cargo test --release -q -p behaviot-harness --test ledger_determinism
 
 echo "==> trace smoke: obs_smoke must emit every stage's spans + metrics"
 obs_tmp="$(mktemp -d)"
@@ -70,6 +73,70 @@ need_prefixes = {
 bare = {p for p in need_prefixes if not any(m.startswith(p) for m in metrics)}
 assert not bare, f"metrics missing stage prefixes: {sorted(bare)}"
 print(f"trace smoke: {len(spans)} span names, {len(metrics)} metrics ok")
+EOF
+
+echo "==> health smoke: fleet-health replay with ledger + OpenMetrics artifacts"
+cargo run --release -q -p behaviot-bench --bin fleet-health -- \
+  --quick --days 6 --threads 2 \
+  --ledger-out "$obs_tmp/ledger.jsonl" --openmetrics-out "$obs_tmp/metrics.prom" \
+  > "$obs_tmp/fleet.txt"
+python3 - "$obs_tmp/fleet.txt" "$obs_tmp/ledger.jsonl" <<'EOF'
+import json, re, sys
+
+# The report must end in full incident coverage: every scripted §6.2 case
+# left a matching health transition or held bad state on its device.
+report = open(sys.argv[1]).read()
+m = re.search(r"covered (\d+)/(\d+) scripted incidents", report)
+assert m, "fleet-health report lacks the coverage line"
+covered, total = int(m.group(1)), int(m.group(2))
+assert total > 0 and covered == total, f"incident coverage {covered}/{total}"
+assert "fleet rollup" in report, "fleet-health report lacks the rollup"
+
+# Ledger lint: every line is a JSON record of a known family, carrying a
+# never-decreasing window sequence number.
+kinds, last_seq = {}, -1
+for line in open(sys.argv[2]):
+    rec = json.loads(line)
+    kind = rec["record"]
+    assert kind in {"window", "deviation", "health"}, f"unknown record {kind}"
+    kinds[kind] = kinds.get(kind, 0) + 1
+    assert rec["seq"] >= last_seq, f"seq regressed: {line.strip()}"
+    last_seq = rec["seq"]
+    if kind == "deviation":
+        cause = rec["evidence"]["cause"]
+        assert cause in {"gap", "absence", "outage", "trace", "transition"}, cause
+for kind in ("window", "deviation", "health"):
+    assert kinds.get(kind), f"ledger has no {kind} records ({kinds})"
+print(f"health smoke: covered {covered}/{total}, ledger {kinds} ok")
+EOF
+
+echo "==> OpenMetrics lint: exposition well-formed and EOF-terminated"
+python3 - "$obs_tmp/metrics.prom" <<'EOF'
+import re, sys
+
+lines = open(sys.argv[1]).read().splitlines()
+assert lines and lines[-1] == "# EOF", "exposition must end with # EOF"
+name_re = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+typed = set()
+samples = 0
+for line in lines[:-1]:
+    if line.startswith("# TYPE "):
+        name, kind = line[len("# TYPE "):].rsplit(" ", 1)
+        assert name_re.match(name), f"bad metric name: {name}"
+        assert kind in {"counter", "gauge", "histogram"}, f"bad type: {kind}"
+        assert name not in typed, f"duplicate TYPE for {name}"
+        typed.add(name)
+        continue
+    if line.startswith("# HELP ") or line == "# EOF":
+        continue
+    assert not line.startswith("#"), f"unexpected comment: {line}"
+    m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$", line)
+    assert m, f"malformed sample line: {line}"
+    family = re.sub(r"_(total|bucket|sum|count)$", "", m.group(1))
+    assert family in typed, f"sample before its TYPE: {line}"
+    samples += 1
+assert samples > 0, "exposition has no samples"
+print(f"openmetrics lint: {len(typed)} families, {samples} samples ok")
 EOF
 
 echo "==> clippy -D warnings (parallel-pipeline + interning crates)"

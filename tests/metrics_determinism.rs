@@ -31,17 +31,28 @@ fn snapshots_policy_invariant_and_observability_invisible() {
     let m = behaviot_obs::metrics();
 
     // --- 1. Byte-identical snapshots across thread policies -------------
+    // Both renderings of the deterministic snapshot are pinned: the JSONL
+    // form and the OpenMetrics text exposition served to scrapers.
     let mut snapshots = Vec::new();
+    let mut expositions = Vec::new();
     let mut summaries = Vec::new();
     for par in [Parallelism::Off, Parallelism::Fixed(2), Parallelism::Auto] {
         m.reset();
         summaries.push(smoke::run_smoke(par));
         snapshots.push(m.snapshot().to_jsonl());
+        expositions.push(behaviot_obs::openmetrics::render(&m.snapshot()));
     }
     assert_eq!(snapshots[0], snapshots[1], "Off vs Fixed(2) snapshots differ");
     assert_eq!(snapshots[0], snapshots[2], "Off vs Auto snapshots differ");
+    assert_eq!(expositions[0], expositions[1], "OpenMetrics text policy-variant");
+    assert_eq!(expositions[0], expositions[2], "OpenMetrics text policy-variant");
     assert_eq!(summaries[0], summaries[1], "pipeline output policy-variant");
     assert_eq!(summaries[0], summaries[2], "pipeline output policy-variant");
+
+    assert!(
+        expositions[0].ends_with("# EOF\n"),
+        "OpenMetrics exposition must be EOF-terminated"
+    );
 
     // Every pipeline stage must have reported: the snapshot is the
     // cross-layer telemetry contract, not a grab bag.

@@ -18,9 +18,7 @@
 //! * a v1 (previous format) snapshot migrates losslessly to v2,
 //! * `checkpoint` genuinely skips unchanged devices (proved behaviorally:
 //!   corrupt an unchanged device's file on disk, checkpoint, and the stale
-//!   bytes — and stale manifest hash — are still there),
-//! * no in-repo caller of the deprecated `behaviot::persist::save_*` API
-//!   remains outside the persist module itself.
+//!   bytes — and stale manifest hash — are still there).
 
 use behaviot::{BehavIoT, Deviation, Monitor, MonitorConfig, SystemModel, SystemModelConfig};
 use behaviot::{TrainConfig, TrainingData};
@@ -197,6 +195,7 @@ fn save_monitor(store: &ModelStore, monitor: &Monitor) {
         models: monitor.models(),
         system: Some(monitor.system()),
         monitor: Some((monitor.config(), monitor.export_state())),
+        health: monitor.health().map(|h| h.export()),
         metrics_jsonl: None,
         include_interner: false,
     };
@@ -377,6 +376,7 @@ fn v1_snapshot_migrates_losslessly() {
         models: &models,
         system: Some(&system),
         monitor: Some((&MonitorConfig::default(), Default::default())),
+        health: None,
         metrics_jsonl: None,
         include_interner: false,
     };
@@ -396,6 +396,7 @@ fn v1_snapshot_migrates_losslessly() {
             loaded.monitor_cfg.as_ref().unwrap(),
             loaded.monitor_state.clone().unwrap(),
         )),
+        health: None,
         metrics_jsonl: None,
         include_interner: false,
     };
@@ -471,48 +472,4 @@ fn checkpoint_skips_unchanged_devices() {
     store.load().unwrap();
 
     fs::remove_dir_all(&dir).unwrap();
-}
-
-/// The deprecated `behaviot::persist::save_*` string API must have no
-/// in-repo callers left (outside the persist module's own tests). This
-/// complements the `#[deprecated]` attribute: clippy runs with
-/// `-D warnings`, so a new caller fails CI twice.
-#[test]
-fn no_in_repo_persist_callers_remain() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    // Built at runtime so this test's own source never matches itself.
-    let needles: Vec<String> = ["periodic_inventory", "system_model", "trace_log"]
-        .iter()
-        .map(|s| format!("save_{s}("))
-        .collect();
-    let mut offenders = Vec::new();
-    let mut stack = vec![root.join("crates"), root.join("tests"), root.join("examples")];
-    while let Some(dir) = stack.pop() {
-        let Ok(entries) = fs::read_dir(&dir) else {
-            continue;
-        };
-        for e in entries.flatten() {
-            let p = e.path();
-            if p.is_dir() {
-                if p.file_name().is_some_and(|n| n == "target") {
-                    continue;
-                }
-                stack.push(p);
-            } else if p.extension().is_some_and(|x| x == "rs")
-                && !p.ends_with("core/src/persist.rs")
-                && !p.ends_with("tests/store_replay.rs")
-            {
-                let Ok(text) = fs::read_to_string(&p) else {
-                    continue;
-                };
-                if needles.iter().any(|n| text.contains(n.as_str())) {
-                    offenders.push(p);
-                }
-            }
-        }
-    }
-    assert!(
-        offenders.is_empty(),
-        "deprecated persist::save_* still called from: {offenders:?}"
-    );
 }
